@@ -1,0 +1,187 @@
+"""Ablations of the runtime design choices (DESIGN.md §3, last row).
+
+* **Locality scheduling** (§6.1): disabling the same-input rule lets
+  cached GEMM chunks migrate between devices and be re-transferred.
+* **Fast model builder** (§6.2.3): falling back to the stock TFLite
+  compile cost makes model creation dominate end to end — the paper's
+  motivation for reverse-engineering the format.
+* **Kernel batching** (§7.1.2 lowering): one kernel per conv2D
+  instruction (the literal algorithm) pays the per-instruction issue
+  floor K times; batching fills the 128² result tile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.bench.harness import run_app
+from repro.runtime.scheduler import SchedulePolicy
+from repro.runtime.tensorizer import TensorizerOptions
+
+GEMM_PARAMS = {"n": 512}
+
+
+def test_locality_scheduling(benchmark, report):
+    """A wide GEMM (several kernel batches sweep each cached row chunk)
+    is where the same-input rule pays: without it, batches migrate
+    between devices and every migration re-transfers the chunk."""
+    from repro.host.platform import Platform
+    from repro.ops.gemm import tpu_gemm
+    from repro.runtime.api import OpenCtpu
+
+    # Tall-skinny product: big row chunks (512 KB each), small kernels,
+    # two kernel batches sweeping every chunk.
+    rng = np.random.default_rng(2)
+    a = rng.uniform(0, 4, (4096, 1024))
+    b = rng.uniform(0, 4, (1024, 64))
+    options = TensorizerOptions(min_gemm_chunks=8)
+
+    def one(policy):
+        platform = Platform.with_tpus(4)
+        ctx = OpenCtpu(platform, options=options, policy=policy)
+        tpu_gemm(ctx, a, b)
+        rep = ctx.sync()
+        return rep.timeline
+
+    def run():
+        return one(SchedulePolicy(locality=True)), one(SchedulePolicy(locality=False))
+
+    with_loc, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["policy", "wall (s)", "bytes moved"],
+            [
+                ("locality (paper §6.1)", f"{with_loc.makespan:.4f}", with_loc.bytes_transferred),
+                ("no locality", f"{without.makespan:.4f}", without.bytes_transferred),
+            ],
+            title="Ablation: §6.1 locality rule on a 4-TPU tall GEMM (4096x1024 @ 1024x64)",
+        )
+    )
+    # The locality rule reduces data movement (cached chunks stay put).
+    assert with_loc.bytes_transferred < without.bytes_transferred
+    assert with_loc.makespan <= without.makespan * 1.05
+
+
+def test_fast_model_builder(benchmark, report):
+    def run():
+        fast = run_app("gemm", params=GEMM_PARAMS,
+                       options=TensorizerOptions(fast_model_builder=True))
+        slow = run_app("gemm", params=GEMM_PARAMS,
+                       options=TensorizerOptions(fast_model_builder=False))
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["model builder", "GEMM wall (s)", "speedup vs CPU"],
+            [
+                ("Tensorizer (1.8 ms/2K², §6.2.3)", f"{fast.gptpu.wall_seconds:.4f}",
+                 f"{fast.speedup:.2f}x"),
+                ("stock TFLite (2.7 s/2K², §3.3)", f"{slow.gptpu.wall_seconds:.4f}",
+                 f"{slow.speedup:.3f}x"),
+            ],
+            title="Ablation: model-creation path, end-to-end 512² GEMM",
+        )
+    )
+    # Without the fast builder the TPU path loses to the CPU outright —
+    # the paper's entire motivation for §6.2.3.
+    assert slow.speedup < 0.2
+    assert fast.gptpu.wall_seconds < slow.gptpu.wall_seconds / 10
+
+
+def test_kernel_batching(benchmark, report):
+    def run():
+        batched = run_app("gemm", params=GEMM_PARAMS,
+                          options=TensorizerOptions(kernel_batching=True))
+        single = run_app("gemm", params=GEMM_PARAMS,
+                         options=TensorizerOptions(kernel_batching=False))
+        return batched, single
+
+    batched, single = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["lowering", "instructions", "wall (s)", "RMSE %"],
+            [
+                ("batched kernels (default)", batched.gptpu.instructions,
+                 f"{batched.gptpu.wall_seconds:.4f}", f"{batched.rmse_percent:.2f}"),
+                ("one kernel per conv2D (§7.1.2 literal)", single.gptpu.instructions,
+                 f"{single.gptpu.wall_seconds:.4f}", f"{single.rmse_percent:.2f}"),
+            ],
+            title="Ablation: conv2D GEMM kernel batching",
+        )
+    )
+    assert batched.gptpu.instructions < single.gptpu.instructions / 10
+    assert batched.gptpu.wall_seconds < single.gptpu.wall_seconds
+    # Accuracy unaffected by batching.
+    assert batched.rmse_percent < 1.0 and single.rmse_percent < 1.0
+
+
+def test_pipelining(benchmark, report):
+    """§6.2.3's overlap, end to end: with double buffering off, every
+    instruction pays its full transfer latency in series."""
+
+    def run():
+        on = run_app("gemm", params={"n": 1024},
+                     policy=SchedulePolicy(pipelining=True))
+        off = run_app("gemm", params={"n": 1024},
+                      policy=SchedulePolicy(pipelining=False))
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["executor", "GEMM wall (s)", "speedup vs CPU"],
+            [
+                ("pipelined (§6.2.3 overlap)", f"{on.gptpu.wall_seconds:.4f}",
+                 f"{on.speedup:.2f}x"),
+                ("transfer -> execute, serialized", f"{off.gptpu.wall_seconds:.4f}",
+                 f"{off.speedup:.2f}x"),
+            ],
+            title="Ablation: transfer/execute overlap on a 1024² GEMM (1 TPU)",
+        )
+    )
+    assert on.gptpu.wall_seconds < off.gptpu.wall_seconds
+    # Results are identical either way — only the timeline changes.
+    assert on.rmse_percent == pytest.approx(off.rmse_percent)
+
+
+def test_quantization_rules(benchmark, report):
+    """§6.2.2 ablation: measured Eq. 4 bounds vs literal Eqs. 5–8."""
+    from repro.apps.gemm_app import GemmApp
+    from repro.host.platform import Platform
+    from repro.metrics import rmse_percent
+    from repro.runtime.api import OpenCtpu
+    from repro.runtime.opqueue import QuantMode
+
+    def run():
+        rows = []
+        app = GemmApp()
+        inputs = app.generate(seed=5, n=512)
+        exact = inputs["a"] @ inputs["b"]
+        for label, options, quant in (
+            ("measured bounds, per-tile (default)",
+             TensorizerOptions(scaling_rule="measured"), QuantMode.SCALE),
+            ("Eq. 5 closed form",
+             TensorizerOptions(scaling_rule="formula"), QuantMode.SCALE),
+            ("measured bounds, global input scale",
+             TensorizerOptions(scaling_rule="measured"), QuantMode.GLOBAL),
+        ):
+            ctx = OpenCtpu(Platform.with_tpus(1), options=options, quant=quant)
+            result = app.run_gptpu(inputs, ctx)
+            rows.append((label, rmse_percent(result.value, exact)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["scaling rule", "GEMM RMSE %"],
+            [(label, f"{rmse:.3f}") for label, rmse in rows],
+            title="Ablation: §6.2.2 output-scale selection (512² uniform GEMM)",
+        )
+    )
+    by_label = dict(rows)
+    default_rmse = by_label["measured bounds, per-tile (default)"]
+    formula_rmse = by_label["Eq. 5 closed form"]
+    assert default_rmse < 1.0
+    # The closed-form worst case is strictly looser.
+    assert formula_rmse >= default_rmse

@@ -1,0 +1,68 @@
+"""Concurrent task throughput — the §1/§4 multi-tenant promise.
+
+The prototype exists "to allow concurrent GPTPU task execution" (§1):
+independent kernels from different callers share the 8 Edge TPUs
+through the OPQ/IQ scheduler (§6.1, Fig. 4).  This benchmark submits a
+batch of independent GEMM tasks in one sync and measures how batch
+throughput scales against running the same tasks one sync at a time —
+the scheduler's ability to keep all devices fed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.host.platform import Platform
+from repro.ops.gemm import tpu_gemm
+from repro.runtime.api import OpenCtpu
+
+N_TASKS = 12
+SIZE = 256
+
+
+def _inputs():
+    rng = np.random.default_rng(99)
+    return [
+        (rng.uniform(0, 4, (SIZE, SIZE)), rng.uniform(0, 4, (SIZE, SIZE)))
+        for _ in range(N_TASKS)
+    ]
+
+
+def test_concurrent_task_throughput(benchmark, report):
+    pairs = _inputs()
+
+    def run():
+        rows = []
+        for tpus in (1, 4, 8):
+            # Batched: all tasks enqueued before one sync (the Fig. 4 flow).
+            ctx = OpenCtpu(Platform.with_tpus(tpus))
+            for a, b in pairs:
+                ctx.enqueue(lambda a=a, b=b: tpu_gemm(ctx, a, b))
+            batched = ctx.sync().timeline.makespan
+            # Serialized: one task per sync (a naive caller).
+            ctx2 = OpenCtpu(Platform.with_tpus(tpus))
+            serial = 0.0
+            for a, b in pairs:
+                ctx2.enqueue(lambda a=a, b=b: tpu_gemm(ctx2, a, b))
+                serial += ctx2.sync().timeline.makespan
+            rows.append((tpus, batched, serial, N_TASKS / batched))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["TPUs", "batched wall (s)", "serialized wall (s)", "tasks/s (batched)"],
+            [(t, f"{b:.4f}", f"{s:.4f}", f"{rate:.0f}") for t, b, s, rate in rows],
+            title=f"Concurrent execution of {N_TASKS} independent {SIZE}² GEMM tasks",
+        )
+    )
+
+    by_tpus = {t: (b, s) for t, b, s, _ in rows}
+    # Batching never loses to serial submission.
+    for t, (b, s) in by_tpus.items():
+        assert b <= s * 1.02, t
+    # Throughput scales with devices for a batch of independent tasks.
+    assert by_tpus[8][0] < by_tpus[1][0] / 3.5
+    # On one device batching still wins slightly (cross-task pipelining
+    # of transfers under execution).
+    assert by_tpus[1][0] <= by_tpus[1][1]

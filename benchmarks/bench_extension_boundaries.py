@@ -1,0 +1,97 @@
+"""Extension benchmarks: where the Edge TPU's applicability boundary lies.
+
+§8.2 states the selection criterion for the paper's seven apps: inputs
+must "preserve the form of matrix inputs" and map to "reasonable matrix
+operations" — Edge TPUs are *not* expected to win workloads without
+matrix-level arithmetic intensity.  These benchmarks probe that boundary
+from the losing side with the two §10-adjacent extensions:
+
+* prefix scan / reduction (after [93]): O(n^1.5) MACs for O(n) useful
+  work, every byte through the 6 ms/MB PCIe toll;
+* relational GROUP BY aggregation (after [92]): O(1) useful work per
+  byte.
+
+Both map exactly and stay accurate, and both lose to the CPU — the
+quantitative content is *how much*, and how the gap trends with
+arithmetic intensity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.relational import RelationalApp
+from repro.bench import format_table
+from repro.host.platform import Platform
+from repro.metrics import rmse_percent
+from repro.ops.scan import tpu_prefix_sum
+from repro.runtime.api import OpenCtpu
+
+
+def test_scan_boundary(benchmark, report):
+    def run():
+        rows = []
+        for n in (1 << 12, 1 << 14, 1 << 16):
+            x = np.random.default_rng(n).uniform(0, 4, n)
+            platform = Platform.with_tpus(1)
+            ctx = OpenCtpu(platform)
+            scan = tpu_prefix_sum(ctx, x)
+            tpu_seconds = ctx.sync().wall_seconds
+            cpu_seconds = platform.cpu.stream_seconds(n * 16)  # one cumsum pass
+            rows.append((n, cpu_seconds, tpu_seconds, rmse_percent(scan, np.cumsum(x))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["n", "CPU cumsum (s)", "Edge TPU scan (s)", "TPU/CPU", "RMSE %"],
+            [(n, f"{c:.2e}", f"{t:.2e}", f"{t / c:.0f}x", f"{r:.2f}") for n, c, t, r in rows],
+            title="Extension: prefix scan (matrix method of [93]) vs one CPU pass",
+        )
+    )
+    for n, cpu_s, tpu_s, rmse in rows:
+        # The mapping is accurate...
+        assert rmse < 1.5, n
+        # ...but a memory-bound primitive cannot beat the PCIe toll
+        # (the §8.2 boundary, measured).
+        assert tpu_s > cpu_s, n
+
+
+def test_relational_boundary(benchmark, report):
+    app = RelationalApp()
+
+    def run():
+        rows = []
+        for measures in (8, 32, 128):
+            inputs = app.generate(seed=7, rows=1 << 15, groups=64, measures=measures)
+            platform = Platform.with_tpus(1)
+            ctx = OpenCtpu(platform)
+            cpu = app.run_cpu(inputs, platform.cpu)
+            gptpu = app.run_gptpu(inputs, ctx)
+            rows.append(
+                (
+                    measures,
+                    cpu.seconds,
+                    gptpu.wall_seconds,
+                    gptpu.wall_seconds / cpu.seconds,
+                    rmse_percent(gptpu.value, cpu.value),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["measures", "CPU (s)", "GPTPU (s)", "TPU/CPU", "RMSE %"],
+            [(m, f"{c:.2e}", f"{t:.2e}", f"{ratio:.1f}x", f"{r:.2f}")
+             for m, c, t, ratio, r in rows],
+            title="Extension: masked GROUP BY aggregation (after [92]), 32K rows",
+        )
+    )
+    ratios = [ratio for _m, _c, _t, ratio, _r in rows]
+    # Accurate everywhere, slower everywhere (the boundary)...
+    for _m, _c, _t, ratio, rmse in rows:
+        assert rmse < 1.0
+        assert ratio > 1.0
+    # ...but the gap narrows as arithmetic intensity (measure count)
+    # grows — the trend that makes GEMM-shaped workloads winners.
+    assert ratios[-1] < ratios[0]

@@ -1,0 +1,95 @@
+"""Fig. 6 — GEMM speedup over OpenBLAS: FullyConnected vs conv2D (§7.1).
+
+Paper series (speedup over one CPU core running OpenBLAS):
+
+* conv2D:          1.48× (1K), 1.90× (2K), 2.06× (4K)
+* FullyConnected:  < 1× everywhere; §7.1.3 reports the conv2D algorithm
+  beating the FullyConnected one by ~43× at 4K.
+
+We sweep 512–2048 (4K float64 functional execution is minutes of real
+time; DESIGN.md §5) and check the same shape: conv2D above 1× and
+rising with size, FullyConnected far below 1×, conv2D ≫ FullyConnected.
+"""
+
+import pytest
+
+from repro.baselines.cpu_blas import blas_gemm
+from repro.bench import comparison_table, format_table
+from repro.apps.gemm_app import GemmApp
+from repro.host.platform import Platform
+from repro.metrics import rmse_percent
+from repro.runtime.api import OpenCtpu
+
+#: Paper's conv2D speedups, for the sizes we share.
+PAPER_CONV2D = {1024: 1.48, 2048: 1.90, 4096: 2.06}
+
+SIZES = (512, 1024, 2048)
+
+
+def _run_method(method: str, n: int, seed: int = 1):
+    app = GemmApp(method=method)
+    inputs = app.generate(seed=seed, n=n)
+    platform = Platform.with_tpus(1)
+    ctx = OpenCtpu(platform)
+    cpu = blas_gemm(inputs["a"], inputs["b"], platform.cpu)
+    gptpu = app.run_gptpu(inputs, ctx)
+    return cpu, gptpu
+
+
+def test_fig6_gemm_speedups(benchmark, report):
+    def run():
+        rows = {}
+        for n in SIZES:
+            cpu, conv = _run_method("conv2d", n)
+            _, fc = _run_method("fc", n)
+            rows[n] = {
+                "cpu_seconds": cpu.seconds,
+                "conv_speedup": cpu.seconds / conv.wall_seconds,
+                "fc_speedup": cpu.seconds / fc.wall_seconds,
+                "conv_rmse": rmse_percent(conv.value, cpu.value),
+                "fc_rmse": rmse_percent(fc.value, cpu.value),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report(
+        format_table(
+            ["size", "conv2D speedup", "FullyConnected speedup", "conv2D/FC ratio", "conv2D RMSE%"],
+            [
+                (
+                    f"{n}x{n}",
+                    f"{r['conv_speedup']:.2f}x",
+                    f"{r['fc_speedup']:.3f}x",
+                    f"{r['conv_speedup'] / r['fc_speedup']:.0f}x",
+                    f"{r['conv_rmse']:.2f}",
+                )
+                for n, r in rows.items()
+            ],
+            title="Fig. 6: GEMM implementations vs OpenBLAS CPU baseline",
+        )
+    )
+    report(
+        comparison_table(
+            "Fig. 6 conv2D speedup vs paper",
+            [
+                (f"{n}x{n} conv2D", PAPER_CONV2D.get(n), rows[n]["conv_speedup"])
+                for n in SIZES
+            ],
+        )
+    )
+
+    # Shape assertions (who wins, by roughly what factor):
+    # conv2D beats the CPU from 1K up and improves with size.
+    assert rows[1024]["conv_speedup"] > 1.0
+    assert rows[2048]["conv_speedup"] > rows[1024]["conv_speedup"]
+    assert rows[1024]["conv_speedup"] == pytest.approx(PAPER_CONV2D[1024], rel=0.35)
+    # FullyConnected never beats the CPU (§7.1.3).
+    for n in SIZES:
+        assert rows[n]["fc_speedup"] < 1.0
+    # conv2D beats FullyConnected by tens of x at the largest size (§7.1.3: 43x).
+    ratio = rows[2048]["conv_speedup"] / rows[2048]["fc_speedup"]
+    assert 20 < ratio < 90
+    # Results stay sub-percent accurate.
+    for n in SIZES:
+        assert rows[n]["conv_rmse"] < 1.0

@@ -1,0 +1,113 @@
+"""Fig. 8 — parallel processing with multiple Edge TPUs (§9.3).
+
+Paper:
+
+* (a) speedup over one CPU core with 2/4/8 Edge TPUs; 8 TPUs average
+  13.86×, while the 8-core OpenMP CPU implementations reach only 2.70×;
+* (b) per-app scaling 1→8 TPUs is near-linear for 6 of 7 applications;
+  LUD is the exception (its recursion exposes only one of four
+  partitions to parallel execution at a time).
+
+Our inputs are scaled down from Table 3 (DESIGN.md §5), which shrinks
+the parallel work per dispatch round, so absolute multi-TPU speedups
+sit below the paper's; the asserted shape is monotone scaling, LUD
+scaling worst, and 8 TPUs decisively beating the 8-core CPU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import comparison_table, format_table
+from repro.bench.harness import mean_speedup, run_suite
+from repro.baselines.openmp import openmp_run
+
+TPU_COUNTS = (1, 2, 4, 8)
+
+#: Larger parallel-friendly inputs for the scaling study.
+FIG8_PARAMS = {
+    "gemm": {"n": 1024},
+    "pagerank": {"n": 2048, "iterations": 10},
+    "hotspot3d": {"n": 512, "layers": 4, "iterations": 3},
+    "gaussian": {"n": 1536},
+}
+
+
+@pytest.fixture(scope="module")
+def records_by_tpus():
+    return {n: run_suite(num_tpus=n, params_by_app=FIG8_PARAMS) for n in TPU_COUNTS}
+
+
+def test_fig8a_speedup_vs_cpu(benchmark, report, records_by_tpus):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    apps = sorted(records_by_tpus[1])
+    rows = []
+    for app in apps:
+        cpu_1core = records_by_tpus[1][app].cpu_seconds
+        openmp_8 = cpu_1core / openmp_run(cpu_1core, 8)
+        row = [app] + [
+            f"{records_by_tpus[n][app].speedup:.2f}x" for n in TPU_COUNTS
+        ] + [f"{openmp_8:.2f}x"]
+        rows.append(tuple(row))
+    report(
+        format_table(
+            ["app", "1 TPU", "2 TPUs", "4 TPUs", "8 TPUs", "8 CPUs (OpenMP)"],
+            rows,
+            title="Fig. 8(a): speedup over one CPU core",
+        )
+    )
+
+    avg8 = mean_speedup(records_by_tpus[8])
+    report(
+        comparison_table(
+            "Fig. 8(a) summary",
+            [
+                ("8-TPU average speedup", 13.86, avg8),
+                ("8-core OpenMP speedup", 2.70, openmp_run(1.0, 8) and 1.0 / openmp_run(1.0, 8)),
+            ],
+        )
+    )
+
+    # 8 Edge TPUs beat the 8-core OpenMP CPU on average (the §9.3 story:
+    # similar active power, far better throughput).
+    assert avg8 > 2.70
+    # Every app gains from 8 TPUs relative to 1.
+    for app in apps:
+        assert records_by_tpus[8][app].speedup >= records_by_tpus[1][app].speedup
+
+
+def test_fig8b_scaling_curves(benchmark, report, records_by_tpus):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    apps = sorted(records_by_tpus[1])
+    scaling = {
+        app: [
+            records_by_tpus[1][app].gptpu.wall_seconds
+            / records_by_tpus[n][app].gptpu.wall_seconds
+            for n in TPU_COUNTS
+        ]
+        for app in apps
+    }
+    report(
+        format_table(
+            ["app"] + [f"{n} TPU(s)" for n in TPU_COUNTS],
+            [tuple([app] + [f"{s:.2f}x" for s in scaling[app]]) for app in apps],
+            title="Fig. 8(b): per-app scaling relative to one Edge TPU",
+        )
+    )
+
+    # Monotone non-degrading scaling for every app.
+    for app in apps:
+        series = scaling[app]
+        assert all(b >= a * 0.95 for a, b in zip(series, series[1:])), app
+
+    # LUD is among the worst scalers (the paper's stated exception; in
+    # our reproduction Gaussian's host-side panel factorization also
+    # serializes — see EXPERIMENTS.md).
+    final = {app: scaling[app][-1] for app in apps}
+    worst_two = sorted(final, key=final.get)[:2]
+    assert "lud" in worst_two, final
+    # LUD clearly below the linear scalers.
+    assert final["lud"] < 0.55 * max(final.values())
+    # The best scalers get substantial gains from 8 TPUs.
+    assert max(final.values()) > 2.5

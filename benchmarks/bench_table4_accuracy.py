@@ -1,0 +1,132 @@
+"""Table 4 — MAPE and RMSE of every application across input value ranges.
+
+The paper measures each application against its exact CPU baseline on
+(a) the default dataset and (b) synthetic datasets whose values span
+-2^7..2^7, -2^15..2^15, and -2^31..2^31, finding MAPE always < 1 %
+(average 0.33 %) and RMSE at worst 0.98 %, *independent of the value
+range* — the §6.2.2 scaling makes 8-bit precision range-invariant.
+
+We scale each app's linear inputs by the requested range.  PageRank is
+exempt from scaling (a link matrix is stochastic by definition — its
+"range" is fixed; the paper's graphs have the same property).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_applications
+from repro.bench import comparison_table, format_table
+from repro.host.platform import Platform
+from repro.metrics import mape_percent, rmse_percent
+from repro.runtime.api import OpenCtpu
+
+#: Paper Table 4(a) MAPE / 4(b) RMSE on the default dataset, in percent.
+PAPER_DEFAULT = {
+    "backprop": (0.12, 0.14),
+    "blackscholes": (0.18, 0.33),
+    "gaussian": (0.00, 0.00),
+    "gemm": (0.89, 0.98),
+    "hotspot3d": (0.50, 0.64),
+    "lud": (0.00, 0.00),
+    "pagerank": (0.61, 0.41),
+}
+
+#: Modest problem sizes — Table 4 is about accuracy, not scale.
+ACC_PARAMS = {
+    "backprop": {"batch": 256, "n_in": 512, "n_hidden": 128, "n_out": 16},
+    "blackscholes": {"n_options": 128 * 128},
+    "gaussian": {"n": 384},
+    "gemm": {"n": 384},
+    "hotspot3d": {"n": 192, "layers": 2, "iterations": 3},
+    "lud": {"n": 384},
+    "pagerank": {"n": 512, "iterations": 10},
+}
+
+#: Which generated arrays may be linearly rescaled per app.  Backprop is
+#: exempt like PageRank: rescaling the input of a fixed tanh network
+#: saturates the activations in exact float math too, so the comparison
+#: would measure saturation behaviour rather than quantization error.
+SCALABLE = {
+    "backprop": [],
+    "blackscholes": ["spot", "strike"],
+    "gaussian": ["a", "b"],
+    "gemm": ["a", "b"],
+    "hotspot3d": ["temps", "power"],
+    "lud": ["a"],
+    "pagerank": [],
+}
+
+RANGES = [("default", None), ("2^7", 2.0**7), ("2^15", 2.0**15), ("2^31", 2.0**31)]
+
+
+def _run_accuracy(name: str, scale: float | None):
+    app = all_applications()[name]
+    inputs = app.generate(seed=11, **ACC_PARAMS[name])
+    if scale is not None and SCALABLE[name]:
+        peak = max(float(np.abs(inputs[k]).max()) for k in SCALABLE[name])
+        factor = scale / peak
+        for key in SCALABLE[name]:
+            inputs[key] = inputs[key] * factor
+    platform = Platform.with_tpus(1)
+    ctx = OpenCtpu(platform)
+    cpu_res = app.run_cpu(inputs, platform.cpu)
+    gptpu_res = app.run_gptpu(inputs, ctx)
+    return (
+        mape_percent(gptpu_res.value, cpu_res.value),
+        rmse_percent(gptpu_res.value, cpu_res.value),
+    )
+
+
+@pytest.fixture(scope="module")
+def table():
+    return {
+        name: {label: _run_accuracy(name, scale) for label, scale in RANGES}
+        for name in sorted(PAPER_DEFAULT)
+    }
+
+
+def test_table4_accuracy(benchmark, report, table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    for metric_idx, metric in ((0, "MAPE"), (1, "RMSE")):
+        report(
+            format_table(
+                ["benchmark"] + [label for label, _ in RANGES] + ["paper (default)"],
+                [
+                    tuple(
+                        [name]
+                        + [f"{table[name][label][metric_idx]:.2f}%" for label, _ in RANGES]
+                        + [f"{PAPER_DEFAULT[name][metric_idx]:.2f}%"]
+                    )
+                    for name in sorted(table)
+                ],
+                title=f"Table 4({'a' if metric == 'MAPE' else 'b'}): {metric} vs exact CPU results",
+            )
+        )
+
+    # Shape assertions.  RMSE (range-normalized, the paper's headline
+    # robustness metric) stays small everywhere; MAPE is entrywise
+    # relative error and can inflate on outputs distributed around zero
+    # (backprop predictions, see EXPERIMENTS.md), so it gets a looser
+    # but still-small bound.
+    for name, per_range in table.items():
+        for label, (mape, rmse) in per_range.items():
+            assert rmse < 1.5, (name, label, rmse)
+            # Backprop's outputs are tanh-layer pre-activations centered
+            # on zero, so entrywise relative error carries a long tail.
+            assert mape < (12.0 if name == "backprop" else 8.0), (name, label, mape)
+
+    # Range invariance: accuracy does not degrade with 2^31-scale inputs
+    # (the paper's key §6.2.2 claim).
+    for name, per_range in table.items():
+        if not SCALABLE[name]:
+            continue
+        default_rmse = per_range["default"][1]
+        huge_rmse = per_range["2^31"][1]
+        assert huge_rmse < max(2.0 * default_rmse, 1.0), name
+
+    # Average MAPE lands in the paper's sub-percent regime for the
+    # matrix apps (gemm / gaussian / lud / hotspot / pagerank).
+    core = ["gemm", "gaussian", "lud", "hotspot3d", "pagerank"]
+    avg = np.mean([table[n]["default"][0] for n in core])
+    assert avg < 1.0

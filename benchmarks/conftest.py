@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark prints its comparison table (paper vs measured) and
+archives it under ``benchmarks/results/`` so EXPERIMENTS.md can cite the
+exact output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(request):
+    """Print a report block and archive it per-benchmark."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    chunks = []
+
+    def _report(text: str) -> None:
+        chunks.append(text)
+        print("\n" + text)
+
+    yield _report
+    if chunks:
+        out = RESULTS_DIR / f"{request.node.name}.txt"
+        out.write_text("\n\n".join(chunks) + "\n")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Building a custom dataflow pipeline on the GPTPU runtime.
+
+Shows the pieces a downstream user composes for a workload the paper
+never shipped: a feature-normalization → projection → activation →
+summary pipeline expressed as a task DAG with ``depends_on`` (§5's
+dataflow model), executed across all 8 Edge TPUs, with the simulated
+timeline exported as a Chrome trace (load ``pipeline_trace.json`` in
+chrome://tracing or Perfetto).
+
+Run:  python examples/custom_pipeline.py
+"""
+
+import numpy as np
+
+from repro.host.platform import Platform
+from repro.ops import tpu_gemm, tpu_mean, tpu_mul, tpu_relu, tpu_sub
+from repro.runtime import OpenCtpu
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    features = rng.normal(5.0, 2.0, (512, 256))
+    weights = rng.normal(0.0, 0.1, (256, 128))
+
+    platform = Platform()  # 8 Edge TPUs
+    ctx = OpenCtpu(platform)
+
+    # Stage 1 — center the features (two independent ops, run in parallel):
+    mu = features.mean(axis=0, keepdims=True)
+    centered = tpu_sub(ctx, features, np.broadcast_to(mu, features.shape))
+    t_center = ctx.last_task
+    scale = np.broadcast_to(1.0 / features.std(axis=0, keepdims=True), features.shape)
+    normalized = tpu_mul(ctx, centered, scale, depends_on=[t_center])
+    t_norm = ctx.last_task
+
+    # Stage 2 — project through the weights (conv2D GEMM, §7.1.2):
+    projected = tpu_gemm(ctx, normalized, weights, depends_on=[t_norm])
+    t_proj = ctx.last_task
+
+    # Stage 3 — nonlinearity + summary statistic:
+    activated = tpu_relu(ctx, projected, depends_on=[t_proj])
+    t_act = ctx.last_task
+    summary = tpu_mean(ctx, activated)
+
+    report = ctx.sync()
+
+    ref = np.maximum(((features - mu) / features.std(axis=0)) @ weights, 0.0)
+    print("Custom 4-stage pipeline on 8 Edge TPUs")
+    print(f"  wall time            : {report.wall_seconds * 1e3:7.2f} ms")
+    print(f"  device instructions  : {report.timeline.instructions}")
+    print(f"  energy               : {report.energy.total_joules:7.3f} J")
+    print(f"  mean activation      : {summary:.4f} (exact {ref.mean():.4f})")
+    print(f"  projection max error : {np.abs(activated - ref).max():.4f}")
+
+    platform.tracer.save_chrome_trace("pipeline_trace.json")
+    print("  timeline written to pipeline_trace.json (open in chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

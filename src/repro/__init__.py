@@ -1,0 +1,42 @@
+"""GPTPU reproduction: general-purpose computing on (simulated) Edge TPUs.
+
+Reproduces Hsu & Tseng, "Accelerating Applications using Edge Tensor
+Processing Units" (SC '21).  See README.md for a tour and DESIGN.md for
+the hardware-substitution rationale.
+
+Public API quick reference
+--------------------------
+>>> from repro import OpenCtpu, Platform, tpu_gemm
+>>> ctx = OpenCtpu(Platform.with_tpus(4))
+>>> # c = tpu_gemm(ctx, a, b); report = ctx.sync()
+
+* :class:`repro.runtime.api.OpenCtpu` — the §5 programming interface,
+* :class:`repro.host.platform.Platform` — a simulated GPTPU machine,
+* :mod:`repro.ops` — the optimized operator library (``tpuGemm`` etc.),
+* :mod:`repro.apps` — the seven Table 3 applications,
+* :mod:`repro.bench` — characterization + experiment harness,
+* ``python -m repro`` — command-line front end.
+"""
+
+from repro.config import DEFAULT_CONFIG, EdgeTPUConfig, SystemConfig
+from repro.host.platform import Platform
+from repro.ops import tpu_gemm, tpu_gemm_precise, tpu_matvec
+from repro.runtime.api import OpenCtpu, SyncReport, TpuTensor
+from repro.runtime.opqueue import QuantMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "EdgeTPUConfig",
+    "OpenCtpu",
+    "Platform",
+    "QuantMode",
+    "SyncReport",
+    "SystemConfig",
+    "TpuTensor",
+    "__version__",
+    "tpu_gemm",
+    "tpu_gemm_precise",
+    "tpu_matvec",
+]

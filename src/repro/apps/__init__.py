@@ -1,0 +1,50 @@
+"""The seven benchmark applications of the paper's evaluation (§7.2, §8).
+
+``APPLICATIONS`` maps Table 3 benchmark names to ready-to-run
+:class:`~repro.apps.base.Application` instances.
+"""
+
+from typing import Dict
+
+from repro.apps.backprop import BackpropApp
+from repro.apps.base import Application, CPUResult, GPTPUResult, aggregate_reports
+from repro.apps.blackscholes import BlackScholesApp
+from repro.apps.gaussian import GaussianApp
+from repro.apps.gemm_app import GemmApp
+from repro.apps.hotspot3d import HotSpot3DApp
+from repro.apps.lud import LUDApp
+from repro.apps.pagerank import PageRankApp
+
+
+def all_applications() -> Dict[str, Application]:
+    """Fresh instances of the seven Table 3 applications."""
+    apps = [
+        BackpropApp(),
+        BlackScholesApp(),
+        GaussianApp(),
+        GemmApp(),
+        HotSpot3DApp(),
+        LUDApp(),
+        PageRankApp(),
+    ]
+    return {app.name: app for app in apps}
+
+
+#: Shared default instances (apps are stateless between runs).
+APPLICATIONS: Dict[str, Application] = all_applications()
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "BackpropApp",
+    "BlackScholesApp",
+    "CPUResult",
+    "GPTPUResult",
+    "GaussianApp",
+    "GemmApp",
+    "HotSpot3DApp",
+    "LUDApp",
+    "PageRankApp",
+    "aggregate_reports",
+    "all_applications",
+]

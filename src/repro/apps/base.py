@@ -1,0 +1,101 @@
+"""Common application interface for the paper's seven workloads (§7.2).
+
+Each application provides, matching the paper's §8 methodology:
+
+* a dataset generator (Table 3, scaled down per DESIGN.md §5),
+* a CPU baseline producing the *exact* float result with a calibrated
+  single-core wall time, and
+* a GPTPU implementation running through the OpenCtpu runtime, returning
+  the quantized-path result together with wall time and energy.
+
+Iterative apps call ``ctx.sync()`` at every data dependency boundary
+(iterations must serialize); the per-sync reports are aggregated here.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.host.cpu import CPUCoreModel
+from repro.host.energy import EnergyReport
+from repro.runtime.api import OpenCtpu, SyncReport
+
+
+@dataclass(frozen=True)
+class CPUResult:
+    """CPU baseline outcome: exact value + modeled single-core time."""
+
+    value: np.ndarray
+    seconds: float
+
+
+@dataclass(frozen=True)
+class GPTPUResult:
+    """GPTPU outcome aggregated over all syncs of one run."""
+
+    value: np.ndarray
+    wall_seconds: float
+    energy: EnergyReport
+    instructions: int
+    bytes_transferred: int
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Total energy × total wall time."""
+        return self.energy.total_joules * self.wall_seconds
+
+
+def aggregate_reports(value: np.ndarray, reports: Sequence[SyncReport]) -> GPTPUResult:
+    """Fold per-sync reports into one run-level result."""
+    if not reports:
+        raise ValueError("a GPTPU run must sync at least once")
+    wall = sum(r.timeline.makespan for r in reports)
+    idle = sum(r.energy.idle_joules for r in reports)
+    active = sum(r.energy.active_joules for r in reports)
+    return GPTPUResult(
+        value=np.asarray(value, dtype=np.float64),
+        wall_seconds=wall,
+        energy=EnergyReport(wall_seconds=wall, idle_joules=idle, active_joules=active),
+        instructions=sum(r.timeline.instructions for r in reports),
+        bytes_transferred=sum(r.timeline.bytes_transferred for r in reports),
+    )
+
+
+class Application(abc.ABC):
+    """One benchmark application with CPU and GPTPU implementations."""
+
+    #: Benchmark name (Table 3 spelling, lowercase).
+    name: str = ""
+    #: Table 3 category.
+    category: str = ""
+    #: The paper's full-scale input description (Table 3).
+    paper_input: str = ""
+
+    @abc.abstractmethod
+    def default_params(self) -> Dict[str, int]:
+        """Scaled-down default problem parameters (DESIGN.md §5)."""
+
+    @abc.abstractmethod
+    def generate(self, seed: int = 0, **params: int) -> Dict[str, np.ndarray]:
+        """Synthesize the input dataset."""
+
+    @abc.abstractmethod
+    def run_cpu(self, inputs: Dict[str, np.ndarray], cpu: CPUCoreModel) -> CPUResult:
+        """The single-core CPU baseline (§8.2)."""
+
+    @abc.abstractmethod
+    def run_gptpu(self, inputs: Dict[str, np.ndarray], ctx: OpenCtpu) -> GPTPUResult:
+        """The GPTPU implementation (§7.2)."""
+
+    # -- shared helpers -----------------------------------------------------
+
+    @staticmethod
+    def _collect(ctx: OpenCtpu, value: np.ndarray, reports: List[SyncReport]) -> GPTPUResult:
+        """Final sync (if work is pending) and report aggregation."""
+        if ctx.pending_operations:
+            reports.append(ctx.sync())
+        return aggregate_reports(value, reports)

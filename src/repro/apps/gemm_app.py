@@ -1,0 +1,43 @@
+"""GEMM as an application (paper §7.1, Table 3: 2×16K×16K, Linear Algebra)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import Application, CPUResult, GPTPUResult
+from repro.baselines.cpu_blas import blas_gemm
+from repro.host.cpu import CPUCoreModel
+from repro.ops.gemm import tpu_gemm
+from repro.runtime.api import OpenCtpu
+
+
+class GemmApp(Application):
+    """Dense matrix multiply: OpenBLAS baseline vs conv2D-GEMM (§7.1.2)."""
+
+    name = "gemm"
+    category = "Linear Algebra"
+    paper_input = "2 x 16K x 16K (1 GB)"
+
+    def __init__(self, method: str = "conv2d") -> None:
+        self.method = method
+
+    def default_params(self) -> Dict[str, int]:
+        return {"n": 1024}
+
+    def generate(self, seed: int = 0, **params: int) -> Dict[str, np.ndarray]:
+        n = params.get("n", 1024)
+        rng = np.random.default_rng(seed)
+        return {
+            "a": rng.uniform(0.0, 4.0, (n, n)),
+            "b": rng.uniform(0.0, 4.0, (n, n)),
+        }
+
+    def run_cpu(self, inputs: Dict[str, np.ndarray], cpu: CPUCoreModel) -> CPUResult:
+        timed = blas_gemm(inputs["a"], inputs["b"], cpu)
+        return CPUResult(value=timed.value, seconds=timed.seconds)
+
+    def run_gptpu(self, inputs: Dict[str, np.ndarray], ctx: OpenCtpu) -> GPTPUResult:
+        value = tpu_gemm(ctx, inputs["a"], inputs["b"], method=self.method)
+        return self._collect(ctx, value, [])

@@ -1,0 +1,16 @@
+"""Baseline implementations the paper compares against (§8.2, §9.2).
+
+* :mod:`repro.baselines.cpu_blas` — the OpenBLAS float GEMM proxy,
+* :mod:`repro.baselines.fbgemm` — the low-precision 8-bit CPU GEMM with
+  the overflow behaviour the paper reports (Table 5),
+* :mod:`repro.baselines.openmp` — multicore CPU execution (Fig. 8a).
+
+Every baseline computes its *result* exactly with NumPy; only wall time
+comes from the calibrated cost models (DESIGN.md §1).
+"""
+
+from repro.baselines.cpu_blas import TimedResult, blas_gemm
+from repro.baselines.fbgemm import fbgemm_gemm, fbgemm_seconds
+from repro.baselines.openmp import openmp_run
+
+__all__ = ["TimedResult", "blas_gemm", "fbgemm_gemm", "fbgemm_seconds", "openmp_run"]

@@ -1,0 +1,33 @@
+"""OpenBLAS-proxy CPU baseline (paper §7.1.3, Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.host.cpu import CPUCoreModel
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """A baseline's exact result and its modeled single-core wall time."""
+
+    value: np.ndarray
+    seconds: float
+
+
+def blas_gemm(a: np.ndarray, b: np.ndarray, cpu: CPUCoreModel | None = None) -> TimedResult:
+    """Single-precision GEMM on one Ryzen core via OpenBLAS.
+
+    The value is the exact float64 product; the time is the calibrated
+    2·M·N·K / sgemm_flops model.
+    """
+    cpu = cpu or CPUCoreModel()
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"blas_gemm shapes incompatible: {a.shape} x {b.shape}")
+    m, n = a.shape
+    k = b.shape[1]
+    return TimedResult(value=a @ b, seconds=cpu.gemm_seconds(m, n, k))

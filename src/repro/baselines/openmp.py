@@ -1,0 +1,15 @@
+"""Multicore (OpenMP-style) CPU execution of the baselines (Fig. 8a)."""
+
+from __future__ import annotations
+
+from repro.host.cpu import CPUCoreModel, openmp_speedup
+
+
+def openmp_run(single_core_seconds: float, ncores: int, cpu: CPUCoreModel | None = None) -> float:
+    """Wall time of the OpenMP baseline on *ncores* cores.
+
+    Applies the bandwidth-bound scaling curve fitted through the paper's
+    published 2.70× at 8 cores.
+    """
+    cpu = cpu or CPUCoreModel()
+    return cpu.parallel_seconds(single_core_seconds, ncores)

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``characterize``
+    Run the §3.2 measurement loop and print Table 1.
+``run APP``
+    Run one Table 3 application (CPU baseline + GPTPU) and print the
+    speedup/accuracy/energy record.
+``suite``
+    Run all seven applications (the Fig. 7 experiment).
+``table3``
+    Print the benchmark dataset inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps import APPLICATIONS
+from repro.bench import characterize_all, format_table, measure_data_exchange
+from repro.bench.datasets import TABLE3, scale_factor
+from repro.bench.harness import mean_speedup, run_app, run_suite
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, int]:
+    params: Dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise SystemExit(f"--param values must be integers, got {pair!r}") from None
+    return params
+
+
+def _record_rows(record) -> List[tuple]:
+    return [
+        ("CPU baseline (1 core)", f"{record.cpu_seconds:.4f} s"),
+        (f"GPTPU ({record.num_tpus} TPU)", f"{record.gptpu.wall_seconds:.4f} s"),
+        ("speedup", f"{record.speedup:.2f}x"),
+        ("MAPE", f"{record.mape_percent:.3f} %"),
+        ("RMSE", f"{record.rmse_percent:.3f} %"),
+        ("energy ratio (GPTPU/CPU)", f"{record.energy_ratio:.2f}"),
+        ("EDP ratio", f"{record.edp_ratio:.2f}"),
+        ("device instructions", f"{record.gptpu.instructions}"),
+        ("PCIe bytes", f"{record.gptpu.bytes_transferred:,}"),
+    ]
+
+
+def cmd_characterize(_args: argparse.Namespace) -> int:
+    rows = characterize_all()
+    print(
+        format_table(
+            ["operator", "OPS", "RPS", "description"],
+            [(r.opname, f"{r.ops:.2f}", f"{r.rps:.2f}", r.description) for r in rows],
+            title="Table 1 (measured via the Eqs. 1-3 loop):",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["transfer size", "latency"],
+            [(f"{s // 1024} KiB", f"{t * 1e3:.2f} ms") for s, t in measure_data_exchange()],
+            title="Data exchange (§3.2):",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    record = run_app(
+        args.app, num_tpus=args.tpus, seed=args.seed, params=_parse_params(args.param)
+    )
+    print(format_table(["metric", "value"], _record_rows(record), title=f"{args.app}:"))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    records = run_suite(num_tpus=args.tpus, seed=args.seed)
+    print(
+        format_table(
+            ["app", "CPU (s)", "GPTPU (s)", "speedup", "RMSE %", "energy ratio"],
+            [
+                (
+                    name,
+                    f"{r.cpu_seconds:.4f}",
+                    f"{r.gptpu.wall_seconds:.4f}",
+                    f"{r.speedup:.2f}x",
+                    f"{r.rmse_percent:.3f}",
+                    f"{r.energy_ratio:.2f}",
+                )
+                for name, r in sorted(records.items())
+            ],
+            title=f"Application suite on {args.tpus} Edge TPU(s):",
+        )
+    )
+    print(f"\naverage speedup: {mean_speedup(records):.2f}x")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.profile import format_profile, profile_trace
+    from repro.host.platform import Platform
+    from repro.runtime.api import OpenCtpu
+    from repro.apps import all_applications
+    from repro.config import SystemConfig
+
+    app = all_applications()[args.app]
+    run_params = dict(app.default_params())
+    run_params.update(_parse_params(args.param))
+    inputs = app.generate(seed=args.seed, **run_params)
+    platform = Platform(SystemConfig().with_tpus(args.tpus))
+    ctx = OpenCtpu(platform)
+    app.run_gptpu(inputs, ctx)
+    print(f"{args.app} on {args.tpus} Edge TPU(s):\n")
+    print(format_profile(profile_trace(platform.tracer)))
+    if args.trace:
+        platform.tracer.save_chrome_trace(args.trace)
+        print(f"\nChrome trace written to {args.trace}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Concatenate archived benchmark outputs into one reproduction report."""
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    if not results.is_dir():
+        raise SystemExit(
+            f"{results} not found — run `pytest benchmarks/ --benchmark-only` first"
+        )
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        raise SystemExit(f"no archived results in {results}")
+    sections = []
+    for path in files:
+        sections.append(f"## {path.stem}\n\n```\n{path.read_text().rstrip()}\n```")
+    body = "# GPTPU reproduction report\n\n" + "\n\n".join(sections) + "\n"
+    if args.output:
+        pathlib.Path(args.output).write_text(body)
+        print(f"wrote {args.output} ({len(files)} experiment blocks)")
+    else:
+        print(body)
+    return 0
+
+
+def cmd_table3(_args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            ["benchmark", "paper input", "paper size", "category", "baseline", "scaled down"],
+            [
+                (
+                    spec.name,
+                    spec.paper_matrices,
+                    f"{spec.paper_gib:.2f} GiB",
+                    spec.category,
+                    spec.baseline,
+                    f"{scale_factor(name):.0f}x",
+                )
+                for name, spec in sorted(TABLE3.items())
+            ],
+            title="Table 3: benchmark inputs (paper scale vs this reproduction):",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GPTPU reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("characterize", help="measure Table 1 on the simulated device")
+
+    run_p = sub.add_parser("run", help="run one application")
+    run_p.add_argument("app", choices=sorted(APPLICATIONS))
+    run_p.add_argument("--tpus", type=int, default=1, help="number of Edge TPUs")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--param", action="append", default=[], metavar="K=V",
+                       help="override a problem parameter (repeatable)")
+
+    suite_p = sub.add_parser("suite", help="run all seven applications")
+    suite_p.add_argument("--tpus", type=int, default=1)
+    suite_p.add_argument("--seed", type=int, default=1)
+
+    prof_p = sub.add_parser("profile", help="profile one application's timeline")
+    prof_p.add_argument("app", choices=sorted(APPLICATIONS))
+    prof_p.add_argument("--tpus", type=int, default=1)
+    prof_p.add_argument("--seed", type=int, default=1)
+    prof_p.add_argument("--param", action="append", default=[], metavar="K=V")
+    prof_p.add_argument("--trace", metavar="FILE.json",
+                        help="also export a Chrome trace JSON")
+
+    report_p = sub.add_parser("report", help="bundle archived benchmark results")
+    report_p.add_argument("--results-dir", default="benchmarks/results")
+    report_p.add_argument("--output", metavar="FILE.md",
+                          help="write to a file instead of stdout")
+
+    sub.add_parser("table3", help="print the dataset inventory")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "characterize": cmd_characterize,
+        "run": cmd_run,
+        "suite": cmd_suite,
+        "profile": cmd_profile,
+        "report": cmd_report,
+        "table3": cmd_table3,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Simulated Edge TPU substrate.
+
+The paper runs on Google Coral M.2 Edge TPUs; we have none, so this
+package implements the closest synthetic equivalent (DESIGN.md §1):
+
+* :mod:`repro.edgetpu.quantize` — 8-bit quantization with the paper's
+  scaling-factor formulas (Eqs. 4–8),
+* :mod:`repro.edgetpu.isa` — the 11-instruction CISC ISA of Table 1,
+* :mod:`repro.edgetpu.functional` — exact integer semantics per opcode,
+* :mod:`repro.edgetpu.model_format` — the reverse-engineered model
+  binary layout of §3.3 (byte-exact serializer/parser),
+* :mod:`repro.edgetpu.compiler` — the slow TFLite-style reference
+  compiler and the fast Tensorizer model builder (§6.2.3),
+* :mod:`repro.edgetpu.timing` — per-instruction latency calibrated from
+  the paper's measured OPS/RPS (Table 1),
+* :mod:`repro.edgetpu.memory` — the 8 MB on-chip memory allocator,
+* :mod:`repro.edgetpu.device` — the device: executes instructions
+  functionally and reports simulated latency.
+"""
+
+from repro.edgetpu.device import EdgeTPUDevice, ExecutionResult
+from repro.edgetpu.isa import Instruction, Opcode
+from repro.edgetpu.memory import OnChipMemory
+from repro.edgetpu.model_format import ModelBlob, parse_model, serialize_model
+from repro.edgetpu.quantize import QuantParams, dequantize, quantize
+from repro.edgetpu.timing import TimingModel
+
+__all__ = [
+    "EdgeTPUDevice",
+    "ExecutionResult",
+    "Instruction",
+    "ModelBlob",
+    "Opcode",
+    "OnChipMemory",
+    "QuantParams",
+    "TimingModel",
+    "dequantize",
+    "parse_model",
+    "quantize",
+    "serialize_model",
+]

@@ -1,0 +1,137 @@
+"""The simulated Edge TPU device.
+
+Executes instructions *functionally* (exact integer math via
+:mod:`repro.edgetpu.functional`), requantizes the accumulator to int8
+the way the real device returns results over PCIe, and reports the
+simulated latency from the Table 1-calibrated timing model.
+
+The device is deliberately passive: it does not advance any clock.  The
+runtime executor owns the DES engine and charges device busy time there,
+which is what lets multiple TPUs, DMA, and Tensorizer overlap (§6.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import EdgeTPUConfig
+from repro.edgetpu import functional
+from repro.edgetpu.isa import Instruction, Opcode
+from repro.edgetpu.memory import OnChipMemory
+from repro.edgetpu.quantize import QMAX, QMIN, QuantParams
+from repro.edgetpu.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one instruction on the device."""
+
+    #: Output tensor: int8 (normal path) or int64 (``wide_output`` debug path).
+    output: np.ndarray
+    #: Quantization of ``output`` (raw ≈ output / params.scale).
+    out_params: QuantParams
+    #: Simulated device latency in seconds.
+    seconds: float
+    #: Multiply-accumulates performed.
+    macs: int
+    #: Number of output values clipped during requantization.  Nonzero
+    #: saturation means the chosen output scale was too aggressive.
+    saturated: int
+
+    @property
+    def out_elems(self) -> int:
+        """Number of result values produced."""
+        return int(self.output.size)
+
+    def dequantized(self) -> np.ndarray:
+        """Output in raw (float64) units."""
+        return np.asarray(self.output, dtype=np.float64) / self.out_params.scale
+
+
+class EdgeTPUDevice:
+    """One simulated M.2 Edge TPU."""
+
+    def __init__(
+        self,
+        name: str = "tpu0",
+        config: Optional[EdgeTPUConfig] = None,
+        timing: Optional[TimingModel] = None,
+    ) -> None:
+        self.name = name
+        self.config = config or EdgeTPUConfig()
+        self.timing = timing or TimingModel(self.config)
+        self.memory = OnChipMemory(self.config.onchip_memory_bytes)
+        #: Lifetime counters, used by the energy model and reports.
+        self.instructions_executed = 0
+        self.busy_seconds = 0.0
+
+    def execute(self, instr: Instruction) -> ExecutionResult:
+        """Run one instruction; returns requantized output and latency."""
+        result = functional.execute(instr)
+        macs = result.macs
+
+        if instr.attrs.get("wide_output", False):
+            output: np.ndarray = result.acc
+            out_params = QuantParams(scale=result.acc_scale)
+            saturated = 0
+        else:
+            out_params = self._output_params(instr, result)
+            output, saturated = self._requantize(result.acc, result.acc_scale, out_params)
+
+        seconds = self.timing.instruction_seconds(instr.opcode, int(output.size), macs)
+        self.instructions_executed += 1
+        self.busy_seconds += seconds
+        return ExecutionResult(
+            output=output,
+            out_params=out_params,
+            seconds=seconds,
+            macs=macs,
+            saturated=saturated,
+        )
+
+    def execute_packet(self, blob: bytes, kernel_shape=None) -> ExecutionResult:
+        """Decode and run one wire-format instruction packet.
+
+        The end-to-end path a real host driver takes: bytes over PCIe in,
+        requantized int8 results out.  See :mod:`repro.edgetpu.encoding`.
+        """
+        from repro.edgetpu.encoding import decode_instruction
+
+        return self.execute(decode_instruction(blob, kernel_shape=kernel_shape))
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _output_params(instr: Instruction, result: functional.OpResult) -> QuantParams:
+        """Pick the output scale: the caller's request, or a lossless default.
+
+        Operators whose accumulator is already int8-ranged (crop, ext,
+        ReLu, max, tanh, and mean after averaging) requantize losslessly
+        at the accumulator scale; arithmetic operators require the caller
+        (the Tensorizer) to supply an output scale per §6.2.2.
+        """
+        if instr.out_params is not None:
+            return instr.out_params
+        op = instr.opcode
+        if op.is_data_movement or op in (Opcode.RELU, Opcode.MAX, Opcode.TANH):
+            return QuantParams(scale=result.acc_scale)
+        if op is Opcode.MEAN:
+            # acc = raw_mean * (scale * size); returning at the input scale
+            # keeps the mean within int8 range (it cannot exceed the max).
+            return QuantParams(scale=instr.data_params.scale)
+        raise ValueError(
+            f"{op.opname} needs explicit output quantization parameters (§6.2.2)"
+        )
+
+    @staticmethod
+    def _requantize(
+        acc: np.ndarray, acc_scale: float, out_params: QuantParams
+    ) -> tuple[np.ndarray, int]:
+        """Rescale the wide accumulator into int8 at the output scale."""
+        rescale = out_params.scale / acc_scale
+        q = np.rint(acc * rescale)
+        saturated = int(np.count_nonzero((q < QMIN) | (q > QMAX)))
+        return np.clip(q, QMIN, QMAX).astype(np.int8), saturated

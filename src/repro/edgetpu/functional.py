@@ -1,0 +1,207 @@
+"""Exact integer semantics of each Edge TPU instruction.
+
+Every function here is pure: quantized int8 operands in, a wide integer
+accumulator (int64) plus its effective scale out.  "Effective scale"
+means the factor ``f_acc`` such that ``accumulator = raw_result * f_acc``
+exactly (up to the input quantization already applied) — the device
+requantizes the accumulator to int8 before results leave the chip (see
+:mod:`repro.edgetpu.device`).
+
+MAC counts are returned alongside results because the timing model
+(§3.2 calibration) charges matrix arithmetic by multiply-accumulate
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import UnsupportedInstructionError
+from repro.edgetpu.isa import Instruction, Opcode
+from repro.edgetpu.quantize import QMAX, QuantParams
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Raw outcome of one instruction before output requantization."""
+
+    #: Wide integer accumulator (int64).
+    acc: np.ndarray
+    #: Factor such that acc = raw_result * acc_scale.
+    acc_scale: float
+    #: Multiply-accumulate operations performed (for the timing model).
+    macs: int
+
+
+def _require_2d(arr: np.ndarray, what: str) -> np.ndarray:
+    if arr.ndim != 2:
+        raise UnsupportedInstructionError(f"{what} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def conv2d(
+    data: np.ndarray,
+    kernels: np.ndarray,
+    data_scale: float,
+    kernel_scale: float,
+    stride: Tuple[int, int] | None = None,
+) -> OpResult:
+    """2-D valid convolution (cross-correlation, as NN frameworks define it).
+
+    ``kernels`` may be 2-D (one kernel, output is 2-D) or 3-D with shape
+    ``(num_kernels, kh, kw)`` (output channels stacked on axis 0 — how
+    Tensorizer batches the per-column kernels of the GEMM algorithm).
+
+    ``stride`` defaults to (1, 1).  The paper's GEMM trick (§7.1.2) uses
+    stride == kernel size so each window is consumed exactly once.
+    """
+    data = _require_2d(data, "conv2D data")
+    single = kernels.ndim == 2
+    if single:
+        kernels = kernels[None, :, :]
+    if kernels.ndim != 3:
+        raise UnsupportedInstructionError(f"conv2D kernels must be 2-D or 3-D, got {kernels.shape}")
+    nk, kh, kw = kernels.shape
+    if kh > data.shape[0] or kw > data.shape[1]:
+        raise UnsupportedInstructionError(
+            f"kernel {kh}x{kw} larger than data {data.shape[0]}x{data.shape[1]}"
+        )
+    sy, sx = stride if stride is not None else (1, 1)
+    if sy < 1 or sx < 1:
+        raise UnsupportedInstructionError(f"stride must be positive, got ({sy}, {sx})")
+    windows = sliding_window_view(data, (kh, kw))[::sy, ::sx]
+    # windows: (oh, ow, kh, kw); kernels: (nk, kh, kw) -> (nk, oh, ow)
+    acc = np.tensordot(
+        kernels.astype(np.int64), windows.astype(np.int64), axes=([1, 2], [2, 3])
+    )
+    out = acc[0] if single else acc
+    macs = int(out.size) * kh * kw if single else int(acc.size) * kh * kw
+    return OpResult(acc=out, acc_scale=data_scale * kernel_scale, macs=macs)
+
+
+def fully_connected(
+    vec: np.ndarray, weights: np.ndarray, vec_scale: float, weight_scale: float
+) -> OpResult:
+    """Input vector times weight matrix (Table 1: FullyConnected).
+
+    ``vec`` has shape (n,); ``weights`` has shape (n, m); output (m,).
+    """
+    if vec.ndim != 1:
+        raise UnsupportedInstructionError(f"FullyConnected input must be 1-D, got {vec.shape}")
+    weights = _require_2d(weights, "FullyConnected weights")
+    if weights.shape[0] != vec.shape[0]:
+        raise UnsupportedInstructionError(
+            f"dimension mismatch: vec {vec.shape[0]} vs weights {weights.shape}"
+        )
+    acc = vec.astype(np.int64) @ weights.astype(np.int64)
+    return OpResult(acc=acc, acc_scale=vec_scale * weight_scale, macs=int(vec.size) * weights.shape[1])
+
+
+def pairwise(op: Opcode, a: np.ndarray, b: np.ndarray, a_scale: float, b_scale: float) -> OpResult:
+    """Pairwise add / sub / mul on two same-shape matrices."""
+    if a.shape != b.shape:
+        raise UnsupportedInstructionError(f"pairwise shapes differ: {a.shape} vs {b.shape}")
+    wa = a.astype(np.int64)
+    wb = b.astype(np.int64)
+    if op is Opcode.MUL:
+        return OpResult(acc=wa * wb, acc_scale=a_scale * b_scale, macs=int(a.size))
+    # add/sub need a common input scale; the Tensorizer guarantees it.
+    if not np.isclose(a_scale, b_scale, rtol=1e-12):
+        raise UnsupportedInstructionError(
+            f"{op.opname} requires operands quantized with one scale "
+            f"({a_scale} != {b_scale}); requantize first"
+        )
+    acc = wa + wb if op is Opcode.ADD else wa - wb
+    return OpResult(acc=acc, acc_scale=a_scale, macs=0)
+
+
+def crop(data: np.ndarray, box: Tuple[int, int, int, int], scale: float) -> OpResult:
+    """Extract a sub-matrix (Table 1: crop).  box = (row0, col0, h, w)."""
+    data = _require_2d(data, "crop data")
+    r0, c0, h, w = box
+    if r0 < 0 or c0 < 0 or h < 1 or w < 1 or r0 + h > data.shape[0] or c0 + w > data.shape[1]:
+        raise UnsupportedInstructionError(f"crop box {box} outside data shape {data.shape}")
+    return OpResult(acc=data[r0 : r0 + h, c0 : c0 + w].astype(np.int64), acc_scale=scale, macs=0)
+
+
+def ext(
+    data: np.ndarray,
+    out_shape: Tuple[int, int],
+    offset: Tuple[int, int],
+    scale: float,
+) -> OpResult:
+    """Zero-pad to ``out_shape`` placing data at ``offset`` (Table 1: ext)."""
+    data = _require_2d(data, "ext data")
+    oh, ow = out_shape
+    r0, c0 = offset
+    if r0 < 0 or c0 < 0 or r0 + data.shape[0] > oh or c0 + data.shape[1] > ow:
+        raise UnsupportedInstructionError(
+            f"ext placement {offset} of {data.shape} exceeds target {out_shape}"
+        )
+    out = np.zeros((oh, ow), dtype=np.int64)
+    out[r0 : r0 + data.shape[0], c0 : c0 + data.shape[1]] = data
+    return OpResult(acc=out, acc_scale=scale, macs=0)
+
+
+def mean(data: np.ndarray, scale: float) -> OpResult:
+    """Average of all elements (Table 1: mean) — one scalar result.
+
+    The accumulator keeps the exact sum; the effective scale folds in
+    the element count so that acc ≈ raw_mean * acc_scale.
+    """
+    total = int(data.astype(np.int64).sum())
+    return OpResult(acc=np.array([[total]], dtype=np.int64), acc_scale=scale * data.size, macs=int(data.size))
+
+
+def matrix_max(data: np.ndarray, scale: float) -> OpResult:
+    """Maximum element (Table 1: max) — one scalar result, exact."""
+    return OpResult(acc=np.array([[int(data.max())]], dtype=np.int64), acc_scale=scale, macs=int(data.size))
+
+
+def tanh(data: np.ndarray, scale: float) -> OpResult:
+    """Elementwise tanh via the device's 8-bit lookup table.
+
+    The device dequantizes each int8 level, evaluates tanh, and encodes
+    the [-1, 1] result in int8 with scale 127 — i.e. a 256-entry LUT.
+    The accumulator already holds the final int8 codes.
+    """
+    levels = np.arange(-128, 128, dtype=np.int64)
+    lut = np.rint(np.tanh(levels / scale) * QMAX).astype(np.int64)
+    return OpResult(acc=lut[data.astype(np.int64) + 128], acc_scale=float(QMAX), macs=0)
+
+
+def relu(data: np.ndarray, scale: float) -> OpResult:
+    """Elementwise ReLU (Table 1: "Leave only non-zero values") — exact."""
+    return OpResult(acc=np.maximum(data.astype(np.int64), 0), acc_scale=scale, macs=0)
+
+
+def execute(instr: Instruction) -> OpResult:
+    """Dispatch one instruction to its functional implementation."""
+    op = instr.opcode
+    ds = instr.data_params.scale
+    if op is Opcode.CONV2D:
+        assert instr.model is not None and instr.model_params is not None
+        return conv2d(instr.data, instr.model, ds, instr.model_params.scale, instr.attrs.get("stride"))
+    if op is Opcode.FULLY_CONNECTED:
+        assert instr.model is not None and instr.model_params is not None
+        return fully_connected(instr.data, instr.model, ds, instr.model_params.scale)
+    if op.is_pairwise:
+        assert instr.model is not None and instr.model_params is not None
+        return pairwise(op, instr.data, instr.model, ds, instr.model_params.scale)
+    if op is Opcode.CROP:
+        return crop(instr.data, instr.attrs["crop_box"], ds)
+    if op is Opcode.EXT:
+        return ext(instr.data, instr.attrs["ext_shape"], instr.attrs.get("ext_offset", (0, 0)), ds)
+    if op is Opcode.MEAN:
+        return mean(instr.data, ds)
+    if op is Opcode.MAX:
+        return matrix_max(instr.data, ds)
+    if op is Opcode.TANH:
+        return tanh(instr.data, ds)
+    if op is Opcode.RELU:
+        return relu(instr.data, ds)
+    raise UnsupportedInstructionError(f"unknown opcode {op!r}")  # pragma: no cover

@@ -1,0 +1,143 @@
+"""The Edge TPU instruction set, as characterized in paper §3.2 (Table 1).
+
+The device exposes eleven CISC instructions.  Each instruction takes up
+to two tensor inputs: a *data* tensor (the would-be "inference input")
+and, for binary operators, a *model* tensor (the would-be "weights",
+delivered in the §3.3 binary model format).  Both are 8-bit quantized.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.edgetpu.quantize import QuantParams
+
+
+class Opcode(enum.Enum):
+    """Edge TPU opcodes; values use the paper's Table 1 spelling."""
+
+    CONV2D = "conv2D"
+    FULLY_CONNECTED = "FullyConnected"
+    SUB = "sub"
+    ADD = "add"
+    MUL = "mul"
+    CROP = "crop"
+    EXT = "ext"
+    MEAN = "mean"
+    MAX = "max"
+    TANH = "tanh"
+    RELU = "ReLu"
+
+    @property
+    def opname(self) -> str:
+        """Table 1 spelling of the instruction name."""
+        return self.value
+
+    @property
+    def takes_model(self) -> bool:
+        """True for binary instructions whose second operand is a model."""
+        return self in _BINARY_OPS
+
+    @property
+    def is_matrix_arithmetic(self) -> bool:
+        """conv2D / FullyConnected — the multiply-accumulate operators."""
+        return self in (Opcode.CONV2D, Opcode.FULLY_CONNECTED)
+
+    @property
+    def is_pairwise(self) -> bool:
+        """Operators combining element pairs from two same-shape inputs."""
+        return self in (Opcode.ADD, Opcode.SUB, Opcode.MUL)
+
+    @property
+    def is_elementwise_unary(self) -> bool:
+        """Operators mapping each element of one input (tanh, ReLu)."""
+        return self in (Opcode.TANH, Opcode.RELU)
+
+    @property
+    def is_reduction(self) -> bool:
+        """Matrix-wise operators producing one value (mean, max)."""
+        return self in (Opcode.MEAN, Opcode.MAX)
+
+    @property
+    def is_data_movement(self) -> bool:
+        """Operators that only rearrange data (crop, ext)."""
+        return self in (Opcode.CROP, Opcode.EXT)
+
+
+_BINARY_OPS = frozenset(
+    {Opcode.CONV2D, Opcode.FULLY_CONNECTED, Opcode.ADD, Opcode.SUB, Opcode.MUL}
+)
+
+
+@dataclass
+class Instruction:
+    """One Edge TPU instruction ready for device execution.
+
+    Attributes
+    ----------
+    opcode:
+        Which of the eleven instructions to run.
+    data:
+        The quantized int8 data operand.
+    data_params:
+        Quantization parameters of ``data``.
+    model:
+        The quantized int8 model operand, or None for unary instructions.
+        For conv2D this is the kernel stack; for FullyConnected the
+        weight matrix; for pairwise ops the second matrix.
+    model_params:
+        Quantization parameters of ``model``.
+    out_params:
+        Requested output quantization (how the device requantizes its
+        accumulator before returning results over PCIe).  None lets the
+        device derive an exact representable scale (data movement ops).
+    attrs:
+        Instruction modifiers:
+
+        * ``"stride"``: (sy, sx) for conv2D (paper §7.1.2),
+        * ``"crop_box"``: (row0, col0, height, width) for crop,
+        * ``"ext_shape"``/``"ext_offset"``: target shape / placement for ext,
+        * ``"wide_output"``: return the int32 accumulator instead of a
+          requantized int8 tensor (debug/ablation only).
+    task_id:
+        Runtime task that produced this instruction (scheduler metadata).
+    input_key / output_key:
+        Identity of the data operand / destination, used by the locality
+        scheduling rule (§6.1) and by on-chip caching.
+    """
+
+    opcode: Opcode
+    data: np.ndarray
+    data_params: QuantParams
+    model: Optional[np.ndarray] = None
+    model_params: Optional[QuantParams] = None
+    out_params: Optional[QuantParams] = None
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+    task_id: int = -1
+    input_key: str = ""
+    output_key: str = ""
+
+    def __post_init__(self) -> None:
+        if self.data.dtype != np.int8:
+            raise TypeError(f"instruction data must be int8, got {self.data.dtype}")
+        if self.opcode.takes_model:
+            if self.model is None or self.model_params is None:
+                raise ValueError(f"{self.opcode.opname} requires a model operand")
+            if self.model.dtype != np.int8:
+                raise TypeError(f"instruction model must be int8, got {self.model.dtype}")
+        elif self.model is not None:
+            raise ValueError(f"{self.opcode.opname} takes no model operand")
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes of the data operand (int8, so == element count)."""
+        return int(self.data.size)
+
+    @property
+    def model_bytes(self) -> int:
+        """Bytes of the model operand's data section (0 if none)."""
+        return 0 if self.model is None else int(self.model.size)

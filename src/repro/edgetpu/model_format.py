@@ -1,0 +1,106 @@
+"""The reverse-engineered Edge TPU model binary format (paper §3.3).
+
+The paper documents four facts about the format, all implemented here:
+
+1. a 120-byte general header whose **last 4 bytes** are an unsigned
+   little-endian integer giving the size of the data section;
+2. a data section of binary 8-bit integers in **row-major** order;
+3. a metadata section following the data section describing the data
+   dimensions (rows, columns) and the float **scaling factor** ``f``
+   used to map raw values to 8-bit integers (quantized = raw × f);
+4. **little-endian** encoding throughout.
+
+The undocumented leading header bytes carry a magic tag and format
+version so that parsers can reject garbage, mirroring the paper's
+"allows TPUs to recognize the model-format version".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelFormatError
+from repro.edgetpu.quantize import QuantParams
+
+#: Total header size in bytes (paper §3.3).
+HEADER_SIZE = 120
+#: Magic tag occupying the first header bytes.
+MAGIC = b"GPTPUMDL"
+#: Format version we emit.
+FORMAT_VERSION = 1
+#: Metadata section layout: rows (u32), cols (u32), scale (f32) — LE.
+_METADATA_STRUCT = struct.Struct("<IIf")
+
+
+@dataclass(frozen=True)
+class ModelBlob:
+    """A parsed Edge TPU model: quantized weights plus their scale."""
+
+    data: np.ndarray
+    params: QuantParams
+
+    def __post_init__(self) -> None:
+        if self.data.dtype != np.int8 or self.data.ndim != 2:
+            raise ModelFormatError(
+                f"model data must be a 2-D int8 array, got {self.data.dtype} {self.data.shape}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the serialized blob in bytes."""
+        return HEADER_SIZE + self.data.size + _METADATA_STRUCT.size
+
+
+def serialize_model(data: np.ndarray, params: QuantParams) -> bytes:
+    """Encode a quantized 2-D int8 matrix into the §3.3 binary format."""
+    if data.dtype != np.int8:
+        raise ModelFormatError(f"model data must be int8, got {data.dtype}")
+    if data.ndim != 2:
+        raise ModelFormatError(f"model data must be 2-D, got shape {data.shape}")
+    rows, cols = data.shape
+    if rows == 0 or cols == 0:
+        raise ModelFormatError(f"model dimensions must be positive, got {data.shape}")
+    data_section = np.ascontiguousarray(data).tobytes()  # row-major int8
+
+    header = bytearray(HEADER_SIZE)
+    header[: len(MAGIC)] = MAGIC
+    struct.pack_into("<I", header, len(MAGIC), FORMAT_VERSION)
+    # Paper: "The last 4 bytes of the header contain an unsigned integer
+    # describing the size of the data section."
+    struct.pack_into("<I", header, HEADER_SIZE - 4, len(data_section))
+
+    metadata = _METADATA_STRUCT.pack(rows, cols, params.scale)
+    return bytes(header) + data_section + metadata
+
+
+def parse_model(blob: bytes) -> ModelBlob:
+    """Decode a §3.3 binary model, validating every structural invariant."""
+    if len(blob) < HEADER_SIZE + _METADATA_STRUCT.size:
+        raise ModelFormatError(
+            f"blob too short to be a model ({len(blob)} bytes < "
+            f"{HEADER_SIZE + _METADATA_STRUCT.size} minimum)"
+        )
+    if blob[: len(MAGIC)] != MAGIC:
+        raise ModelFormatError("bad magic: not an Edge TPU model blob")
+    (version,) = struct.unpack_from("<I", blob, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise ModelFormatError(f"unsupported model format version {version}")
+    (data_size,) = struct.unpack_from("<I", blob, HEADER_SIZE - 4)
+    expected_len = HEADER_SIZE + data_size + _METADATA_STRUCT.size
+    if len(blob) != expected_len:
+        raise ModelFormatError(
+            f"blob length {len(blob)} does not match header data-section size "
+            f"{data_size} (expected total {expected_len})"
+        )
+    rows, cols, scale = _METADATA_STRUCT.unpack_from(blob, HEADER_SIZE + data_size)
+    if rows * cols != data_size:
+        raise ModelFormatError(
+            f"metadata dimensions {rows}x{cols} do not cover the data section ({data_size} bytes)"
+        )
+    if not np.isfinite(scale) or scale <= 0:
+        raise ModelFormatError(f"metadata scaling factor invalid: {scale}")
+    data = np.frombuffer(blob, dtype=np.int8, count=data_size, offset=HEADER_SIZE)
+    return ModelBlob(data=data.reshape(rows, cols).copy(), params=QuantParams(scale=float(scale)))

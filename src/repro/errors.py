@@ -1,0 +1,61 @@
+"""Exception hierarchy for the GPTPU reproduction.
+
+Every error raised by the library derives from :class:`GPTPUError` so that
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by argument validation still use the
+built-in types where that is the idiomatic choice).
+"""
+
+from __future__ import annotations
+
+
+class GPTPUError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(GPTPUError):
+    """Raised when the discrete-event engine is driven incorrectly."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the engine runs out of events while processes wait."""
+
+
+class DeviceError(GPTPUError):
+    """Raised for Edge TPU device-level failures."""
+
+
+class OutOfDeviceMemoryError(DeviceError):
+    """Raised when an allocation exceeds the 8 MB on-chip memory."""
+
+
+class UnsupportedInstructionError(DeviceError):
+    """Raised when an opcode outside the Edge TPU ISA is executed."""
+
+
+class ModelFormatError(GPTPUError):
+    """Raised when an Edge TPU model binary fails to parse or validate."""
+
+
+class QuantizationError(GPTPUError):
+    """Raised when data cannot be quantized (e.g. non-finite inputs)."""
+
+
+class RuntimeAPIError(GPTPUError):
+    """Raised for misuse of the OpenCtpu-style runtime API."""
+
+
+class TaskError(RuntimeAPIError):
+    """Raised when a task reference is invalid or a task failed."""
+
+
+class SchedulerError(GPTPUError):
+    """Raised when the scheduler is configured or driven incorrectly."""
+
+
+class TensorizerError(GPTPUError):
+    """Raised when an operation cannot be lowered to TPU instructions."""
+
+
+class BenchmarkError(GPTPUError):
+    """Raised by the benchmark harness for invalid experiment configs."""

@@ -1,0 +1,25 @@
+"""Host-side hardware models: CPU, GPUs, energy, and platform assembly.
+
+The paper's baselines run on real hardware (Ryzen 3700X, RTX 2080,
+Jetson Nano) measured with a wall-power meter.  We model each with an
+analytic cost model whose constants are documented in
+:mod:`repro.config` and calibrated against the paper's published
+numbers (DESIGN.md §1, §4).  Baseline *results* are always computed
+exactly with NumPy — only *time* and *power* are modeled.
+"""
+
+from repro.host.cpu import CPUCoreModel, openmp_speedup
+from repro.host.energy import EnergyModel, EnergyReport
+from repro.host.gpu import GPUModel, JETSON_NANO_MODEL, RTX_2080_MODEL
+from repro.host.platform import Platform
+
+__all__ = [
+    "CPUCoreModel",
+    "EnergyModel",
+    "EnergyReport",
+    "GPUModel",
+    "JETSON_NANO_MODEL",
+    "Platform",
+    "RTX_2080_MODEL",
+    "openmp_speedup",
+]

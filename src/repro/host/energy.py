@@ -1,0 +1,93 @@
+"""Energy accounting (paper §8.1).
+
+The paper meters wall power for the whole system and integrates it over
+the application runtime.  The published component numbers:
+
+* platform idle: 40 W (southbridge, NVMe, peripherals),
+* one loaded Ryzen core: +6.5 W to +12.5 W (we use 11 W),
+* one active Edge TPU: +0.9 W to +1.4 W (we use 1.2 W),
+* GPUs per Table 6.
+
+``energy = idle_power × wall_time + Σ_unit active_power(unit) × busy(unit)``
+
+which is exactly how the paper decomposes "active energy" vs "idle
+energy" in Fig. 7(b) and Fig. 9(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.config import JETSON_NANO, RTX_2080, SystemConfig
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one application run."""
+
+    wall_seconds: float
+    idle_joules: float
+    active_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        """Idle plus active energy."""
+        return self.idle_joules + self.active_joules
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP = total energy × wall time (Fig. 7b's third bar)."""
+        return self.total_joules * self.wall_seconds
+
+
+class EnergyModel:
+    """Maps per-unit busy times to joules."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+
+    def active_power_watts(self, unit: str) -> float:
+        """Active power draw of one hardware unit.
+
+        Unit names: ``"cpu-core"`` / ``"cpu-coreN"``, ``"tpuN"``,
+        ``"gpu:RTX 2080"``, ``"gpu:Jetson Nano"``.
+        """
+        if unit.startswith("cpu"):
+            return self.config.cpu.core_active_power_watts
+        if unit.startswith("tpu"):
+            return self.config.edgetpu.active_power_watts
+        if unit.startswith("gpu:"):
+            name = unit[4:]
+            for gpu in (RTX_2080, JETSON_NANO):
+                if gpu.name == name:
+                    return gpu.active_power_watts
+            raise KeyError(f"unknown GPU {name!r}")
+        raise KeyError(f"unknown hardware unit {unit!r}")
+
+    def idle_power_watts(self, extra_units: Mapping[str, float] | None = None) -> float:
+        """Platform idle power; GPUs add their idle draw when present."""
+        idle = self.config.idle_power_watts
+        for unit in extra_units or {}:
+            if unit.startswith("gpu:"):
+                name = unit[4:]
+                for gpu in (RTX_2080, JETSON_NANO):
+                    if gpu.name == name:
+                        idle += gpu.idle_power_watts
+        return idle
+
+    def report(self, wall_seconds: float, busy_by_unit: Mapping[str, float]) -> EnergyReport:
+        """Energy for a run of *wall_seconds* with the given busy times."""
+        if wall_seconds < 0:
+            raise ValueError("negative wall time")
+        active = 0.0
+        for unit, busy in busy_by_unit.items():
+            if busy < 0:
+                raise ValueError(f"negative busy time for {unit!r}")
+            if busy > wall_seconds * (1 + 1e-9):
+                raise ValueError(
+                    f"unit {unit!r} busy {busy:.6g}s exceeds wall time {wall_seconds:.6g}s"
+                )
+            active += self.active_power_watts(unit) * busy
+        idle = self.idle_power_watts(busy_by_unit) * wall_seconds
+        return EnergyReport(wall_seconds=wall_seconds, idle_joules=idle, active_joules=active)

@@ -1,0 +1,40 @@
+"""PCIe link model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """One PCIe link segment.
+
+    Attributes
+    ----------
+    name:
+        Identifier ("host-card0", "card0-tpu2", ...).
+    bytes_per_sec:
+        Effective sustained data rate of the segment.  For the leaf
+        (per-TPU) segment this is the paper's measured end-to-end rate
+        (≈167 MB/s, i.e. 6 ms/MB); for upstream segments it is the raw
+        multi-lane PCIe rate.
+    latency_seconds:
+        Fixed per-transfer latency of crossing this segment (switch hop,
+        setup).
+    """
+
+    name: str
+    bytes_per_sec: float
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_sec <= 0:
+            raise ValueError(f"link {self.name!r}: bandwidth must be positive")
+        if self.latency_seconds < 0:
+            raise ValueError(f"link {self.name!r}: latency must be >= 0")
+
+    def occupancy_seconds(self, nbytes: int) -> float:
+        """How long *nbytes* occupies this segment."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        return self.latency_seconds + nbytes / self.bytes_per_sec

@@ -1,0 +1,13 @@
+"""Accuracy and performance metrics used by the paper's evaluation."""
+
+from repro.metrics.errors import mape_percent, max_abs_error, rmse_percent
+from repro.metrics.summary import SpeedupRow, geomean, speedup
+
+__all__ = [
+    "SpeedupRow",
+    "geomean",
+    "mape_percent",
+    "max_abs_error",
+    "rmse_percent",
+    "speedup",
+]

@@ -1,0 +1,57 @@
+"""Error metrics matching the paper's Table 4 / Table 5 reporting.
+
+The paper reports MAPE (mean absolute percentage error) and RMSE, both
+in percent, between GPTPU results and exact CPU results.  RMSE values
+like "0.98 %" only make sense normalized, so we use range-normalized
+RMSE (RMS error divided by the reference's max magnitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(result: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(result, dtype=np.float64)
+    b = np.asarray(reference, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: result {a.shape} vs reference {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compute error metrics on empty arrays")
+    return a, b
+
+
+def mape_percent(
+    result: np.ndarray,
+    reference: np.ndarray,
+    eps: float = 1e-12,
+    floor: float = 1e-3,
+) -> float:
+    """Mean absolute percentage error, in percent.
+
+    Relative error is undefined at zero and explodes on entries far
+    below the data's own magnitude, so entries with
+    ``|reference| < max(eps, floor · max|reference|)`` are excluded.
+    If every entry is excluded the result falls back to range-normalized
+    mean error.
+    """
+    a, b = _pair(result, reference)
+    cutoff = max(eps, floor * float(np.abs(b).max()))
+    mask = np.abs(b) > cutoff
+    if not mask.any():
+        scale = max(np.abs(b).max(), eps)
+        return float(np.mean(np.abs(a - b)) / scale * 100.0)
+    return float(np.mean(np.abs(a[mask] - b[mask]) / np.abs(b[mask])) * 100.0)
+
+
+def rmse_percent(result: np.ndarray, reference: np.ndarray, eps: float = 1e-12) -> float:
+    """Range-normalized root-mean-square error, in percent."""
+    a, b = _pair(result, reference)
+    scale = max(float(np.abs(b).max()), eps)
+    return float(np.sqrt(np.mean((a - b) ** 2)) / scale * 100.0)
+
+
+def max_abs_error(result: np.ndarray, reference: np.ndarray) -> float:
+    """Largest absolute elementwise deviation."""
+    a, b = _pair(result, reference)
+    return float(np.abs(a - b).max())

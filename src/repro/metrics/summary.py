@@ -1,0 +1,52 @@
+"""Speedup and aggregate helpers for benchmark reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """Classic speedup: baseline time over accelerated time."""
+    if baseline_seconds <= 0 or accelerated_seconds <= 0:
+        raise ValueError(
+            f"speedup needs positive times, got {baseline_seconds} / {accelerated_seconds}"
+        )
+    return baseline_seconds / accelerated_seconds
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper reports both mean and geomean)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One benchmark row: name, baseline time, accelerated time."""
+
+    name: str
+    baseline_seconds: float
+    accelerated_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline over accelerated."""
+        return speedup(self.baseline_seconds, self.accelerated_seconds)
+
+
+def summarize(rows: Sequence[SpeedupRow]) -> dict:
+    """Mean/geomean speedups over a set of rows."""
+    speeds = [r.speedup for r in rows]
+    return {
+        "mean": float(np.mean(speeds)),
+        "geomean": geomean(speeds),
+        "min": min(speeds),
+        "max": max(speeds),
+    }

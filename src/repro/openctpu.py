@@ -1,0 +1,92 @@
+"""C-style OpenCtpu API — the paper's Table 2 names, verbatim.
+
+The object interface (:class:`repro.runtime.api.OpenCtpu`) is the
+idiomatic way to use this library from Python.  This module mirrors the
+paper's C function names one-for-one against a module-level default
+context, so the Fig. 3 listing ports line by line:
+
+>>> import repro.openctpu as octpu
+>>> _ = octpu.openctpu_init(num_tpus=2)
+>>> dim = octpu.openctpu_alloc_dimension(2, 64, 64)
+>>> a = octpu.openctpu_create_buffer(dim, data_a)     # doctest: +SKIP
+>>> tid = octpu.openctpu_enqueue(kernel, a, b, c)     # doctest: +SKIP
+>>> octpu.openctpu_sync()                             # doctest: +SKIP
+
+All functions operate on one process-wide context created by
+:func:`openctpu_init` (re-initializing replaces it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import RuntimeAPIError
+from repro.host.platform import Platform
+from repro.runtime.api import OpenCtpu, SyncReport
+from repro.runtime.buffers import Buffer, Dimension
+
+_context: Optional[OpenCtpu] = None
+
+#: Table 2 / Fig. 3 quantization-method flag (the only one the paper's
+#: listing uses): dynamic scaling per §6.2.2.
+SCALE = "scale"
+
+
+def openctpu_init(num_tpus: int = 8, platform: Optional[Platform] = None) -> OpenCtpu:
+    """Create (or replace) the process-wide GPTPU context."""
+    global _context
+    _context = OpenCtpu(platform or Platform.with_tpus(num_tpus))
+    return _context
+
+
+def _ctx() -> OpenCtpu:
+    if _context is None:
+        raise RuntimeAPIError("call openctpu_init() before using the OpenCtpu API")
+    return _context
+
+
+def openctpu_alloc_dimension(dimensions: int, *sizes: int) -> Dimension:
+    """Table 2: describe the dimensionality of an input/output buffer."""
+    return _ctx().alloc_dimension(dimensions, *sizes)
+
+
+def openctpu_create_buffer(dimension: Dimension, data: Optional[np.ndarray] = None) -> Buffer:
+    """Table 2: create a data buffer for TPU kernels."""
+    return _ctx().create_buffer(dimension, data)
+
+
+def openctpu_enqueue(func: Callable[..., None], *args: object) -> int:
+    """Table 2: enqueue the TPU task described in *func*; returns a task ID."""
+    return _ctx().enqueue(func, *args)
+
+
+def openctpu_invoke_operator(op: str, flags: str = SCALE, *operands, **attrs) -> np.ndarray:
+    """Table 2: invoke a supported TPU operator.
+
+    The paper's listing passes buffers positionally after the flags:
+    ``openctpu_invoke_operator(conv2D, SCALE, matrix_a, matrix_b,
+    matrix_c)`` — the final operand is the output buffer.
+    """
+    if flags != SCALE:
+        raise RuntimeAPIError(f"unsupported quantization flag {flags!r}")
+    if len(operands) < 2:
+        raise RuntimeAPIError("invoke_operator needs inputs and an output buffer")
+    *inputs, out = operands
+    if not isinstance(out, Buffer):
+        raise RuntimeAPIError("the last operand must be the output buffer")
+    if op == "conv2D" and len(inputs) == 2:
+        # The Fig. 3 kernel: conv2D over two matrices is the GEMM use.
+        attrs.setdefault("gemm", True)
+    return _ctx().invoke_operator(op, *inputs, out=out, **attrs)
+
+
+def openctpu_sync() -> SyncReport:
+    """Table 2: wait for all TPU tasks to complete."""
+    return _ctx().sync()
+
+
+def openctpu_wait(task_id: int) -> SyncReport:
+    """Table 2: block until the specified task returns."""
+    return _ctx().wait(task_id)

@@ -1,0 +1,24 @@
+"""Data-movement wrappers (Table 1: crop/ext) — LUD's partitioning tools."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.edgetpu.isa import Opcode
+from repro.runtime.api import OpenCtpu
+
+
+def tpu_crop(ctx: OpenCtpu, a, box: Tuple[int, int, int, int]) -> np.ndarray:
+    """Extract the sub-matrix ``(row0, col0, height, width)`` on-device."""
+    return ctx.invoke_operator(Opcode.CROP, np.asarray(a, dtype=np.float64), crop_box=box)
+
+
+def tpu_pad(
+    ctx: OpenCtpu, a, shape: Tuple[int, int], offset: Tuple[int, int] = (0, 0)
+) -> np.ndarray:
+    """Zero-pad a matrix to *shape*, placing it at *offset* (ext)."""
+    return ctx.invoke_operator(
+        Opcode.EXT, np.asarray(a, dtype=np.float64), ext_shape=shape, ext_offset=offset
+    )

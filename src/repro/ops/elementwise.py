@@ -1,0 +1,45 @@
+"""Pairwise and elementwise operator wrappers (Table 1: add/sub/mul/tanh/ReLu)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.edgetpu.isa import Opcode
+from repro.runtime.api import OpenCtpu
+from repro.runtime.buffers import Buffer
+
+
+def _pairwise(ctx: OpenCtpu, op: Opcode, a, b, out: Optional[Buffer], **attrs) -> np.ndarray:
+    return ctx.invoke_operator(op, np.asarray(a, dtype=np.float64),
+                               np.asarray(b, dtype=np.float64), out=out, **attrs)
+
+
+def tpu_add(ctx: OpenCtpu, a, b, out: Optional[Buffer] = None, **attrs) -> np.ndarray:
+    """Pairwise matrix addition on the device.
+
+    ``data_name=...`` keeps the first operand's tiles resident on-chip
+    across repeated calls.
+    """
+    return _pairwise(ctx, Opcode.ADD, a, b, out, **attrs)
+
+
+def tpu_sub(ctx: OpenCtpu, a, b, out: Optional[Buffer] = None, **attrs) -> np.ndarray:
+    """Pairwise matrix subtraction on the device."""
+    return _pairwise(ctx, Opcode.SUB, a, b, out, **attrs)
+
+
+def tpu_mul(ctx: OpenCtpu, a, b, out: Optional[Buffer] = None, **attrs) -> np.ndarray:
+    """Pairwise (Hadamard) matrix multiplication on the device."""
+    return _pairwise(ctx, Opcode.MUL, a, b, out, **attrs)
+
+
+def tpu_tanh(ctx: OpenCtpu, a, out: Optional[Buffer] = None, **attrs) -> np.ndarray:
+    """Elementwise tanh via the device LUT."""
+    return ctx.invoke_operator(Opcode.TANH, np.asarray(a, dtype=np.float64), out=out, **attrs)
+
+
+def tpu_relu(ctx: OpenCtpu, a, out: Optional[Buffer] = None, **attrs) -> np.ndarray:
+    """Elementwise ReLU on the device."""
+    return ctx.invoke_operator(Opcode.RELU, np.asarray(a, dtype=np.float64), out=out, **attrs)

@@ -1,0 +1,18 @@
+"""Matrix-wise reductions (Table 1: mean/max) with CPU aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edgetpu.isa import Opcode
+from repro.runtime.api import OpenCtpu
+
+
+def tpu_mean(ctx: OpenCtpu, a) -> float:
+    """Average of all matrix elements (64×64 device tiles + CPU combine)."""
+    return float(ctx.invoke_operator(Opcode.MEAN, np.asarray(a, dtype=np.float64)))
+
+
+def tpu_max(ctx: OpenCtpu, a) -> float:
+    """Maximum matrix element (64×64 device tiles + CPU combine)."""
+    return float(ctx.invoke_operator(Opcode.MAX, np.asarray(a, dtype=np.float64)))

@@ -1,0 +1,86 @@
+"""Reduction and prefix-scan via matrix operators (§10 extension).
+
+The paper's related work cites Dakkak et al., "Accelerating reduction
+and scan using tensor core units" [93], as the kind of algorithm GPTPU
+should "extend ... to work in additional application domains".  This
+module ports that matrix formulation to the Edge TPU operators:
+
+* **reduce**: the sum of ``n`` values is ``ones @ X @ ones`` — one
+  FullyConnected per direction (here: a matvec against a ones matrix,
+  then a CPU fold of the tiny remainder, §6.2.1-style);
+* **inclusive scan**: reshape x (length m²) into an m×m matrix X;
+  ``X @ U`` (U = upper-triangular ones) yields row-local prefix sums;
+  the row carries are the exclusive scan of row totals (one more small
+  triangular matvec); a broadcast ``add`` folds carries back in.
+
+On the *Edge* TPU these primitives are interconnect-bound: a scan does
+O(n^1.5) multiply-accumulates for O(n) useful work, and every byte pays
+the 6 ms/MB PCIe toll, so the CPU's single-pass ``cumsum`` wins at every
+size that fits the device (the extension benchmark measures exactly
+that).  The value of the port is the demonstrated mapping — on a Cloud-
+class part with resident data (config ``CLOUD_TPU``) the balance shifts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import RuntimeAPIError
+from repro.ops.elementwise import tpu_add
+from repro.ops.gemm import tpu_gemm, tpu_matvec
+from repro.runtime.api import OpenCtpu
+
+
+def _as_vector(x: np.ndarray) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise RuntimeAPIError(f"expected a non-empty 1-D vector, got shape {arr.shape}")
+    return arr
+
+
+def tpu_reduce_sum(ctx: OpenCtpu, x: np.ndarray) -> float:
+    """Sum of a vector via FullyConnected against a ones matrix.
+
+    The device shrinks the data by the matrix width per pass; the final
+    handful of partials folds on the host (§6.2.1's aggregation rule).
+    """
+    vec = _as_vector(x)
+    m = int(math.ceil(math.sqrt(vec.size)))
+    padded = np.zeros(m * m, dtype=np.float64)
+    padded[: vec.size] = vec
+    # Row sums: X @ ones replicates every row total; column 0 holds them.
+    ones = np.ones((m, m), dtype=np.float64)
+    row_sums = tpu_gemm(ctx, padded.reshape(m, m), ones)[:, 0]
+    cpu = ctx.platform.cpu
+    ctx.host_compute(cpu.aggregate_seconds(m), label="reduce-fold")
+    return float(row_sums.sum())
+
+
+def tpu_prefix_sum(ctx: OpenCtpu, x: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum via the triangular-matrix method [93]."""
+    vec = _as_vector(x)
+    n = vec.size
+    m = int(math.ceil(math.sqrt(n)))
+    padded = np.zeros(m * m, dtype=np.float64)
+    padded[:n] = vec
+    matrix = padded.reshape(m, m)
+
+    upper = np.triu(np.ones((m, m), dtype=np.float64))
+    # Row-local inclusive scans: (X @ U)[i, j] = sum_{k<=j} X[i, k].
+    row_scan = tpu_gemm(ctx, matrix, upper)
+    t_scan = ctx.last_task
+    # Carries: exclusive scan of the row totals (strictly-upper ones).
+    totals = row_scan[:, -1]
+    strict_upper = np.triu(np.ones((m, m), dtype=np.float64), k=1)
+    carries = tpu_matvec(ctx, totals, strict_upper)
+    t_carry = ctx.last_task
+    # Fold carries into every row (broadcast add on-device).
+    result = tpu_add(
+        ctx,
+        row_scan,
+        np.broadcast_to(carries[:, None], (m, m)),
+        depends_on=[t_scan, t_carry],
+    )
+    return result.reshape(m * m)[:n]

@@ -1,0 +1,34 @@
+"""The GPTPU runtime system (paper §4–§6).
+
+* :mod:`repro.runtime.buffers` — OpenCtpu dimension/buffer objects,
+* :mod:`repro.runtime.tiling` — sub-matrix partitioning helpers,
+* :mod:`repro.runtime.opqueue` — the task operation queue (OPQ) and the
+  lowered instruction queue (IQ),
+* :mod:`repro.runtime.tensorizer` — dynamic lowering of programmer
+  operations into optimal-shape Edge TPU instructions (§6.2),
+* :mod:`repro.runtime.scheduler` — the dataflow scheduling policy
+  (§6.1: locality rule + FCFS),
+* :mod:`repro.runtime.executor` — replays the instruction stream on the
+  DES platform, overlapping DMA, model builds, and execution,
+* :mod:`repro.runtime.api` — the OpenCtpu-style programming interface
+  (§5).
+"""
+
+from repro.runtime.api import OpenCtpu, QuantMode
+from repro.runtime.buffers import Buffer, Dimension
+from repro.runtime.opqueue import LoweredInstr, LoweredOperation, OperationRequest
+from repro.runtime.scheduler import SchedulePolicy
+from repro.runtime.tensorizer import Tensorizer, TensorizerOptions
+
+__all__ = [
+    "Buffer",
+    "Dimension",
+    "LoweredInstr",
+    "LoweredOperation",
+    "OpenCtpu",
+    "OperationRequest",
+    "QuantMode",
+    "SchedulePolicy",
+    "Tensorizer",
+    "TensorizerOptions",
+]

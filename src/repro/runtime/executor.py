@@ -1,0 +1,231 @@
+"""Replays lowered instruction streams on the DES platform.
+
+Each device runs a two-stage pipeline, the overlap §6.2.3 describes
+("overlap Edge TPU matrix-input data movements with Tensorizer"):
+
+* **front end** — host model build + inbound DMA for instruction *i+1*
+  proceed while instruction *i* executes (double buffering);
+* **back end** — the matrix unit executes instructions in order; result
+  DMA back to the host overlaps the next instruction's execution.
+
+Dispatch groups (§6.1 locality) stay whole on one device; a worker
+admits the next group once the current group's last instruction has
+executed, so groups pipeline within a device but never interleave.
+
+Per-operation CPU aggregation time (§6.2.1) is charged on the host once
+the operation's last instruction retires.  Host-only operations (no
+device instructions) are charged serially at the end of the batch —
+applications sync at their dependency boundaries, so this preserves
+ordering.  Every activity lands in the platform tracer, which the
+energy model integrates (§8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SchedulerError
+from repro.host.platform import Platform
+from repro.runtime.opqueue import LoweredInstr, LoweredOperation
+from repro.runtime.scheduler import SchedulePolicy, build_dispatch_groups
+from repro.sim import AllOf, SimEvent, Store
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Outcome of one executor run."""
+
+    #: Wall-clock makespan of the whole batch (simulated seconds).
+    makespan: float
+    #: Busy seconds per hardware unit (from the trace).
+    busy_by_unit: Dict[str, float]
+    #: Device instructions executed (bursts expanded).
+    instructions: int
+    #: Total bytes moved over PCIe.
+    bytes_transferred: int
+
+    def tpu_busy_seconds(self) -> float:
+        """Total busy time across all Edge TPUs."""
+        return sum(v for k, v in self.busy_by_unit.items() if k.startswith("tpu"))
+
+
+class Executor:
+    """Drives a batch of lowered operations to completion on a platform."""
+
+    def __init__(self, platform: Platform, policy: Optional[SchedulePolicy] = None) -> None:
+        self.platform = platform
+        self.policy = policy or SchedulePolicy()
+
+    def run(self, ops: Sequence[LoweredOperation]) -> Timeline:
+        """Execute all operations; returns the simulated timeline."""
+        if not ops:
+            raise SchedulerError("nothing to execute")
+        platform = self.platform
+        engine = platform.engine
+        start = engine.now
+        bytes_before = sum(platform.dma.bytes_moved.values())
+
+        device_ops = [op for op in ops if op.instrs]
+        # Host-only operations: pure CPU phases an application routes
+        # through the runtime so wall time and energy stay in one ledger.
+        host_ops = [op for op in ops if not op.instrs]
+
+        iq: List[LoweredInstr] = [instr for op in device_ops for instr in op.instrs]
+        groups = build_dispatch_groups(iq, self.policy)
+        queue = Store(engine, name="dispatch")
+        for group in groups:
+            queue.put(group)
+
+        remaining = {id(op): len(op.instrs) for op in device_ops}
+        op_of_instr = {id(instr): op for op in device_ops for instr in op.instrs}
+        counters = {"instructions": 0}
+        all_procs: List[SimEvent] = []
+
+        # §5 dataflow ordering.  Operators within one task serialize; an
+        # operation also waits for every task named in depends_on.  Since
+        # intra-task order is serial, waiting on a task's most recent
+        # operation implies all of its predecessors.
+        op_done = {id(op): engine.event(name=f"op-done:{op.request.task_id}") for op in device_ops}
+        gates: Dict[int, List[SimEvent]] = {}
+        last_in_task: Dict[int, LoweredOperation] = {}
+        for op in device_ops:
+            pre: List[SimEvent] = []
+            task = op.request.task_id
+            if task in last_in_task:
+                pre.append(op_done[id(last_in_task[task])])
+            for dep in op.request.depends_on:
+                if dep in last_in_task:
+                    pre.append(op_done[id(last_in_task[dep])])
+            gates[id(op)] = pre
+            last_in_task[task] = op
+
+        def instr_process(tpu_index: int, instr: LoweredInstr, wait_exec, exec_done: SimEvent):
+            # Stage 0: §5 ordering gates — earlier operators of this task
+            # and every depends_on task must have retired.
+            for gate in gates[id(op_of_instr[id(instr)])]:
+                if not gate.triggered:
+                    yield gate
+            if not self.policy.pipelining and wait_exec is not None and not wait_exec.triggered:
+                # Ablation: no double buffering — transfers wait for the
+                # previous instruction to finish executing.
+                yield wait_exec
+
+            # Stage 1: residency checks + inbound DMA + model build,
+            # overlapped with whatever the device is still executing.
+            device = platform.devices[tpu_index]
+            data_bytes = instr.data_bytes
+            if data_bytes and instr.cache_key:
+                if device.memory.ensure(instr.cache_key, max(1, data_bytes)):
+                    data_bytes = 0  # hit: chunk already on chip
+            model_bytes = instr.model_bytes
+            if model_bytes and instr.model_cache_key:
+                if device.memory.ensure(f"m:{instr.model_cache_key}", max(1, model_bytes)):
+                    model_bytes = 0
+            inbound = data_bytes + model_bytes
+            prep = []
+            if inbound:
+                prep.append(
+                    engine.process(
+                        platform.dma.transfer(tpu_index, inbound, label=instr.label),
+                        name=f"dma-in:{instr.label}",
+                    )
+                )
+            if instr.model_build_seconds > 0:
+                t0 = engine.now
+
+                def build_proc(t0=t0):
+                    yield engine.timeout(instr.model_build_seconds)
+                    platform.tracer.record(
+                        t0, engine.now, "model_build", "cpu-core", label=instr.label
+                    )
+
+                prep.append(engine.process(build_proc(), name=f"build:{instr.label}"))
+            if prep:
+                yield AllOf(engine, prep)
+
+            # Stage 2: in-order execution on the matrix unit.
+            if wait_exec is not None and not wait_exec.triggered:
+                yield wait_exec
+            t0 = engine.now
+            yield engine.timeout(instr.burst_exec_seconds)
+            exec_done.succeed()
+            platform.tracer.record(
+                t0,
+                engine.now,
+                "instruction",
+                f"tpu{tpu_index}",
+                label=instr.label,
+                opcode=instr.opcode.opname,
+                count=instr.count,
+            )
+            device.instructions_executed += instr.count
+            device.busy_seconds += instr.burst_exec_seconds
+            counters["instructions"] += instr.count
+
+            # Stage 3: results stream back, overlapping the next exec.
+            if instr.out_bytes:
+                yield engine.process(
+                    platform.dma.transfer(tpu_index, instr.out_bytes, label=f"out:{instr.label}"),
+                    name=f"dma-out:{instr.label}",
+                )
+
+            # Operation bookkeeping + CPU aggregation (§6.2.1).
+            op = op_of_instr[id(instr)]
+            remaining[id(op)] -= 1
+            if remaining[id(op)] == 0:
+                if op.cpu_seconds > 0:
+                    t0 = engine.now
+                    yield engine.timeout(op.cpu_seconds)
+                    platform.tracer.record(
+                        t0, engine.now, "cpu_aggregate", "cpu-core",
+                        label=f"task{op.request.task_id}",
+                    )
+                op_done[id(op)].succeed()
+
+        def worker(tpu_index: int):
+            prev_exec: Optional[SimEvent] = None
+            while len(queue) > 0:
+                group = yield queue.get()
+                for instr in group.instrs:
+                    exec_done = engine.event(name=f"exec:{instr.label}")
+                    proc = engine.process(
+                        instr_process(tpu_index, instr, prev_exec, exec_done),
+                        name=f"instr:{instr.label}",
+                    )
+                    all_procs.append(proc)
+                    prev_exec = exec_done
+                # Admit the next group only once this group has executed
+                # (groups pipeline, but never interleave on a device).
+                if prev_exec is not None and not prev_exec.triggered:
+                    yield prev_exec
+            # On-chip memory persists across syncs: iterative apps keep
+            # models (e.g. PageRank's adjacency tiles) resident.
+
+        workers = [
+            engine.process(worker(i), name=f"worker-tpu{i}") for i in range(platform.num_tpus)
+        ]
+
+        def drain():
+            for proc in workers:
+                yield proc
+            if all_procs:
+                yield AllOf(engine, all_procs)
+            for op in host_ops:
+                t0 = engine.now
+                yield engine.timeout(op.cpu_seconds)
+                platform.tracer.record(
+                    t0, engine.now, "cpu_host", "cpu-core",
+                    label=f"task{op.request.task_id}",
+                )
+
+        engine.run_process(drain(), name="executor-drain")
+        makespan = engine.now - start
+        busy = platform.tracer.busy_seconds(since=start)
+        total_bytes = sum(platform.dma.bytes_moved.values()) - bytes_before
+        return Timeline(
+            makespan=makespan,
+            busy_by_unit=busy,
+            instructions=counters["instructions"],
+            bytes_transferred=total_bytes,
+        )

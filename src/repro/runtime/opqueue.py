@@ -1,0 +1,135 @@
+"""Queue entry types for the runtime (paper §6.1, Fig. 4).
+
+The front-end **task operation queue (OPQ)** holds
+:class:`OperationRequest` entries — "a task ID, the requested TPU
+operation, the input and output locations, and parameters like the
+quantization method".  Tensorizer turns each into a
+:class:`LoweredOperation` whose :class:`LoweredInstr` items populate the
+back-end **instruction queue (IQ)** consumed by the scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.edgetpu.isa import Opcode
+
+
+class QuantMode(enum.Enum):
+    """Quantization method flag passed to ``openctpu_invoke_operator``.
+
+    * ``SCALE`` — the paper's default: per-tile input scales, output
+      scale from the §6.2.2 formulas.
+    * ``GLOBAL`` — one input scale derived from the whole dataset's
+      range (ablation: per-tile vs global calibration).
+    """
+
+    SCALE = "scale"
+    GLOBAL = "global"
+
+
+@dataclass
+class OperationRequest:
+    """One OPQ entry: a programmer-requested tensor operation."""
+
+    task_id: int
+    opcode: Opcode
+    inputs: Tuple[np.ndarray, ...]
+    quant: QuantMode = QuantMode.SCALE
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+    #: Stable identity of the primary input, for locality scheduling.
+    input_name: str = ""
+    #: Destination identity (the paper's "output locations").
+    output_name: str = ""
+    #: Task IDs whose operations must complete before this one starts.
+    #: §5's dataflow model: operators within one task serialize
+    #: implicitly; cross-task ordering is expressed here.
+    depends_on: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class LoweredInstr:
+    """One IQ entry: a device instruction with its modeled costs.
+
+    Functional execution already happened during lowering (results are
+    deterministic); the executor replays costs on the DES to obtain the
+    parallel timeline.
+    """
+
+    opcode: Opcode
+    task_id: int
+    #: Instructions with equal non-empty group keys share input data and
+    #: quantization and differ only in outputs — the §6.1 locality rule
+    #: sends them to one device.
+    group_key: str
+    #: On-chip residency key for the data operand; instructions with the
+    #: same key reuse the transferred chunk ("" disables caching).
+    cache_key: str
+    #: Bytes of the (quantized) data operand to DMA if not resident.
+    data_bytes: int
+    #: Bytes of the model blob to DMA (§3.3 format, includes header).
+    model_bytes: int
+    #: Host-side model-build time (Tensorizer fast path or TFLite).
+    model_build_seconds: float
+    #: Device execution latency of ONE instruction (Table 1-calibrated).
+    exec_seconds: float
+    #: Bytes of results returned to the host.
+    out_bytes: int
+    label: str = ""
+    #: Residency key for the model operand ("" = stream every time).
+    #: PageRank's adjacency tiles, for example, stay on chip across
+    #: power iterations when they fit.
+    model_cache_key: str = ""
+    #: Burst factor: this entry stands for *count* identical back-to-back
+    #: instructions on one device (kept as one IQ entry so multi-million
+    #: instruction streams replay efficiently).  ``data_bytes``,
+    #: ``model_bytes`` and ``out_bytes`` are totals for the burst;
+    #: ``exec_seconds`` is per instruction.
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("data_bytes", "model_bytes", "out_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.exec_seconds < 0 or self.model_build_seconds < 0:
+            raise ValueError("negative simulated time")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    @property
+    def burst_exec_seconds(self) -> float:
+        """Total device time for the whole burst."""
+        return self.exec_seconds * self.count
+
+
+@dataclass
+class LoweredOperation:
+    """A fully lowered OPQ entry: instructions plus the functional result."""
+
+    request: OperationRequest
+    instrs: List[LoweredInstr]
+    #: Exact functional result (float64), already dequantized/aggregated.
+    result: np.ndarray
+    #: Host CPU time for data transformation + aggregation (§6.2.1).
+    cpu_seconds: float = 0.0
+    #: Total output values clipped during device requantization.
+    saturated: int = 0
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of device instructions this operation lowered to."""
+        return sum(i.count for i in self.instrs)
+
+    @property
+    def total_exec_seconds(self) -> float:
+        """Sum of device execution latencies (no overlap)."""
+        return sum(i.burst_exec_seconds for i in self.instrs)
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Upper bound on bytes moved (ignores on-chip caching)."""
+        return sum(i.data_bytes + i.model_bytes + i.out_bytes for i in self.instrs)

@@ -1,0 +1,74 @@
+"""Dataflow task scheduling (paper §6.1).
+
+The runtime "schedules to the same Edge TPU [instructions that] share
+the same input, quantization flags, and the same task ID, but have
+different output locations"; everything else is assigned "first-come-
+first-serve ... to available Edge TPUs".
+
+Implementation: consecutive IQ entries with the same non-empty
+``group_key`` form a *dispatch group* that one device executes in order
+(this preserves the cached-chunk locality the key encodes).  Groups are
+consumed FCFS from a shared queue by per-device worker processes, which
+is exactly work-conserving first-come-first-serve over available TPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.runtime.opqueue import LoweredInstr
+
+
+@dataclass(frozen=True)
+class SchedulePolicy:
+    """Scheduler/executor knobs (ablation switches)."""
+
+    #: Honor group keys (the §6.1 locality rule).  When False, every
+    #: instruction is dispatched independently — cached chunks are then
+    #: re-transferred whenever a group migrates between devices.
+    locality: bool = True
+    #: Overlap an instruction's inbound DMA + model build with the
+    #: previous instruction's execution (§6.2.3).  When False the device
+    #: runs strictly transfer → execute → transfer, the naive runtime
+    #: the paper's overlap optimizations replace.
+    pipelining: bool = True
+
+
+@dataclass(frozen=True)
+class DispatchGroup:
+    """A run of instructions pinned to whatever device picks it up."""
+
+    instrs: tuple
+
+    @property
+    def key(self) -> str:
+        """Group key of the run ("" for singleton groups)."""
+        return self.instrs[0].group_key
+
+    @property
+    def instruction_count(self) -> int:
+        """Total device instructions, counting bursts."""
+        return sum(i.count for i in self.instrs)
+
+
+def build_dispatch_groups(
+    iq: Sequence[LoweredInstr], policy: SchedulePolicy | None = None
+) -> List[DispatchGroup]:
+    """Partition the instruction queue into FCFS dispatch groups."""
+    policy = policy or SchedulePolicy()
+    groups: List[DispatchGroup] = []
+    run: List[LoweredInstr] = []
+    run_key = None
+    for instr in iq:
+        key = instr.group_key if policy.locality else ""
+        if key and key == run_key:
+            run.append(instr)
+            continue
+        if run:
+            groups.append(DispatchGroup(tuple(run)))
+        run = [instr]
+        run_key = key or None
+    if run:
+        groups.append(DispatchGroup(tuple(run)))
+    return groups

@@ -1,0 +1,88 @@
+"""Sub-matrix partitioning helpers (paper §6.2.1).
+
+Tensorizer "dynamically partition[s] tasks into Edge TPU instructions
+working on their optimal data sizes/shapes (e.g., 128×128 matrices in
+most arithmetic instructions)".  These helpers enumerate tile views and
+reassemble results; they return *views* wherever possible (guide: use
+views, not copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of a 2-D partition."""
+
+    #: Tile indices within the grid.
+    row: int
+    col: int
+    #: Slices selecting this tile in the source matrix.
+    rows: slice
+    cols: slice
+
+    @property
+    def index(self) -> Tuple[int, int]:
+        """(row, col) grid position."""
+        return (self.row, self.col)
+
+    def shape(self) -> Tuple[int, int]:
+        """Height and width of the tile."""
+        return (
+            self.rows.stop - self.rows.start,
+            self.cols.stop - self.cols.start,
+        )
+
+
+def grid_shape(shape: Tuple[int, int], tile: int) -> Tuple[int, int]:
+    """Number of tiles along each axis for a matrix of *shape*."""
+    if tile < 1:
+        raise ValueError(f"tile size must be positive, got {tile}")
+    rows, cols = shape
+    if rows < 1 or cols < 1:
+        raise ValueError(f"matrix shape must be positive, got {shape}")
+    return (-(-rows // tile), -(-cols // tile))
+
+
+def iter_tiles(shape: Tuple[int, int], tile: int) -> Iterator[Tile]:
+    """Enumerate tiles row-major; edge tiles may be smaller than *tile*."""
+    rows, cols = shape
+    n_r, n_c = grid_shape(shape, tile)
+    for r in range(n_r):
+        r0 = r * tile
+        r1 = min(r0 + tile, rows)
+        for c in range(n_c):
+            c0 = c * tile
+            c1 = min(c0 + tile, cols)
+            yield Tile(row=r, col=c, rows=slice(r0, r1), cols=slice(c0, c1))
+
+
+def tile_count(shape: Tuple[int, int], tile: int) -> int:
+    """Total number of tiles in the partition."""
+    n_r, n_c = grid_shape(shape, tile)
+    return n_r * n_c
+
+
+def pad_to(matrix: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    """Zero-pad *matrix* up to *shape* (the ext instruction's job)."""
+    rows, cols = matrix.shape
+    if shape[0] < rows or shape[1] < cols:
+        raise ValueError(f"cannot pad {matrix.shape} down to {shape}")
+    if matrix.shape == tuple(shape):
+        return matrix
+    out = np.zeros(shape, dtype=matrix.dtype)
+    out[:rows, :cols] = matrix
+    return out
+
+
+def row_chunks(n_rows: int, chunk: int) -> Iterator[slice]:
+    """Split ``range(n_rows)`` into consecutive slices of ≤ *chunk* rows."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    for start in range(0, n_rows, chunk):
+        yield slice(start, min(start + chunk, n_rows))

@@ -1,0 +1,174 @@
+"""Event primitives for the DES kernel.
+
+An event is a one-shot waitable: it starts *pending*, is *triggered*
+exactly once with an optional value (or an exception for failure), and
+then notifies every registered callback.  Processes wait on events by
+``yield``-ing them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Engine
+
+
+class SimEvent:
+    """A one-shot waitable in simulated time.
+
+    Parameters
+    ----------
+    engine:
+        The owning :class:`~repro.sim.engine.Engine`.
+    name:
+        Optional label used in traces and error messages.
+    """
+
+    __slots__ = ("engine", "name", "_callbacks", "_triggered", "_value", "_exception")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._callbacks: List[Callable[[SimEvent], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the event failed or is pending."""
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """True if the event was triggered successfully."""
+        return self._triggered and self._exception is None
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event successfully, delivering *value* to waiters."""
+        self._trigger(value=value, exception=None)
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Trigger the event with an exception; waiters will re-raise it."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(value=None, exception=exception)
+        return self
+
+    def _trigger(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._exception = exception
+        # Callbacks run at the current simulated instant, in FIFO order.
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.engine.schedule(0.0, callback, self)
+
+    # -- waiting ------------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register *callback*; runs immediately if already triggered."""
+        if self._triggered:
+            self.engine.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Timeout(SimEvent):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(engine, name=f"timeout({delay:g})")
+        self.delay = float(delay)
+        engine.schedule(self.delay, lambda _evt: self.succeed(value), self)
+
+
+class _Condition(SimEvent):
+    """Base for events composed from several child events."""
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, engine: "Engine", events: Iterable[SimEvent], name: str) -> None:
+        super().__init__(engine, name=name)
+        self._children = list(events)
+        self._pending = 0
+        if not self._children:
+            self.succeed([])
+            return
+        for child in self._children:
+            self._pending += 1
+            child.add_callback(self._child_done)
+
+    def _child_done(self, child: SimEvent) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered.
+
+    Succeeds with the list of child values (in construction order); fails
+    with the first child failure.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[SimEvent]) -> None:
+        super().__init__(engine, events, name="all_of")
+
+    def _child_done(self, child: SimEvent) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child._exception)  # noqa: SLF001 - kernel internals
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers.
+
+    Succeeds with ``(index, value)`` of the first successful child; fails
+    if the first child to trigger failed.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[SimEvent]) -> None:
+        super().__init__(engine, events, name="any_of")
+
+    def _child_done(self, child: SimEvent) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child._exception)  # noqa: SLF001 - kernel internals
+            return
+        self.succeed((self._children.index(child), child.value))

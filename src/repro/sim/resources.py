@@ -1,0 +1,159 @@
+"""Contended resources and FIFO stores for the DES kernel.
+
+These model the shared hardware in the GPTPU machine: a PCIe link is a
+``Resource(capacity=1)``, an Edge TPU's instruction port is a resource,
+and the runtime's operation queue (OPQ) and instruction queue (IQ) are
+``Store`` instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        grant = yield resource.request()
+        try:
+            yield engine.timeout(busy_time)
+        finally:
+            resource.release(grant)
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name or f"resource(cap={capacity})"
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+        #: Cumulative (grant-count, busy-seconds) statistics for reporting.
+        self.total_grants = 0
+        self._busy_since: Optional[float] = None
+        self.busy_seconds = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held grants."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a grant."""
+        return len(self._waiters)
+
+    def request(self) -> SimEvent:
+        """Return an event that triggers (with this resource) when granted."""
+        evt = self.engine.event(name=f"{self.name}.request")
+        if self._in_use < self.capacity:
+            self._grant(evt)
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self, grant: Any = None) -> None:
+        """Release one grant, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without a matching request")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_seconds += self.engine.now - self._busy_since
+            self._busy_since = None
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, evt: SimEvent) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.engine.now
+        self._in_use += 1
+        self.total_grants += 1
+        evt.succeed(self)
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are granted in (priority, FIFO) order.
+
+    Lower priority values are served first.
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
+        super().__init__(engine, capacity, name)
+        self._pq: List[Tuple[float, int, SimEvent]] = []
+        self._pq_seq = itertools.count()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pq)
+
+    def request(self, priority: float = 0.0) -> SimEvent:  # type: ignore[override]
+        evt = self.engine.event(name=f"{self.name}.request(p={priority})")
+        if self._in_use < self.capacity:
+            self._grant(evt)
+        else:
+            heapq.heappush(self._pq, (priority, next(self._pq_seq), evt))
+        return evt
+
+    def release(self, grant: Any = None) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without a matching request")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_seconds += self.engine.now - self._busy_since
+            self._busy_since = None
+        if self._pq:
+            _prio, _seq, evt = heapq.heappop(self._pq)
+            self._grant(evt)
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    ``put`` never blocks (the OPQ/IQ in the paper are software queues in
+    host memory); ``get`` returns an event that triggers with the oldest
+    item once one is available.
+    """
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        #: Total number of items ever put, for reporting.
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue *item*, waking the oldest blocked getter if any."""
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Return an event that triggers with the next item."""
+        evt = self.engine.event(name=f"{self.name}.get")
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def peek_all(self) -> Tuple[Any, ...]:
+        """Snapshot of queued items (oldest first) without removing them."""
+        return tuple(self._items)

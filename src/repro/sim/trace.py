@@ -1,0 +1,148 @@
+"""Structured tracing for simulations.
+
+The executor emits one :class:`TraceRecord` per modeled activity (DMA
+transfer, instruction execution, model build, CPU aggregation).  Traces
+drive the benchmark reports and make scheduling decisions inspectable in
+tests (e.g. asserting that the locality rule kept same-input instructions
+on one device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timed activity in the simulation."""
+
+    #: Activity start, simulated seconds.
+    start: float
+    #: Activity end, simulated seconds.
+    end: float
+    #: Category, e.g. ``"transfer"``, ``"instruction"``, ``"model_build"``,
+    #: ``"cpu_aggregate"``.
+    kind: str
+    #: Which hardware unit performed it, e.g. ``"tpu0"``, ``"cpu"``.
+    unit: str
+    #: Free-form label (opcode, buffer name, ...).
+    label: str = ""
+    #: Extra key/values (bytes moved, tile shape, task id, ...).
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Length of the activity in simulated seconds."""
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects during one simulation run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def record(
+        self,
+        start: float,
+        end: float,
+        kind: str,
+        unit: str,
+        label: str = "",
+        **meta: object,
+    ) -> None:
+        """Append one activity record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"trace record ends before it starts ({start} > {end})")
+        self._records.append(TraceRecord(start, end, kind, unit, label, dict(meta)))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def by_kind(self, kind: str) -> Tuple[TraceRecord, ...]:
+        """All records of one activity category, in emission order."""
+        return tuple(r for r in self._records if r.kind == kind)
+
+    def by_unit(self, unit: str) -> Tuple[TraceRecord, ...]:
+        """All records attributed to one hardware unit."""
+        return tuple(r for r in self._records if r.unit == unit)
+
+    def busy_seconds(self, since: float = 0.0) -> Dict[str, float]:
+        """Busy time per unit as the union of its activity intervals.
+
+        Activities on one unit may overlap (a device's DMA engine runs
+        while its matrix unit executes), so durations are merged, not
+        summed — a unit is "active" whenever at least one of its
+        activities is in flight, which is what the power model needs.
+
+        *since* restricts the tally to records starting at or after that
+        simulated time — used to account one ``sync()`` window at a time.
+        """
+        by_unit: Dict[str, List[Tuple[float, float]]] = {}
+        for rec in self._records:
+            if rec.start >= since:
+                by_unit.setdefault(rec.unit, []).append((rec.start, rec.end))
+        out: Dict[str, float] = {}
+        for unit, intervals in by_unit.items():
+            intervals.sort()
+            total = 0.0
+            cur_start, cur_end = intervals[0]
+            for s, e in intervals[1:]:
+                if s > cur_end:
+                    total += cur_end - cur_start
+                    cur_start, cur_end = s, e
+                else:
+                    cur_end = max(cur_end, e)
+            total += cur_end - cur_start
+            out[unit] = total
+        return out
+
+    def span(self) -> Optional[Tuple[float, float]]:
+        """(earliest start, latest end) across all records, or None."""
+        if not self._records:
+            return None
+        return (
+            min(r.start for r in self._records),
+            max(r.end for r in self._records),
+        )
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+    def to_chrome_trace(self) -> List[Dict[str, object]]:
+        """Export records as Chrome trace-event objects.
+
+        Load the JSON dump in ``chrome://tracing`` / Perfetto to see the
+        simulated timeline: one lane per hardware unit, one complete
+        ("X") event per activity, microsecond timestamps.
+        """
+        events: List[Dict[str, object]] = []
+        for rec in self._records:
+            events.append(
+                {
+                    "name": rec.label or rec.kind,
+                    "cat": rec.kind,
+                    "ph": "X",
+                    "ts": rec.start * 1e6,
+                    "dur": rec.duration * 1e6,
+                    "pid": 0,
+                    "tid": rec.unit,
+                    "args": dict(rec.meta),
+                }
+            )
+        return events
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write the Chrome trace JSON to *path*."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": self.to_chrome_trace()}, fh)

@@ -1,0 +1,31 @@
+"""Shared fixtures for application tests.
+
+Apps run at reduced sizes here (tests exercise correctness, not the
+paper-scale performance shape — the benchmarks do that).
+"""
+
+import pytest
+
+from repro.host.platform import Platform
+from repro.runtime.api import OpenCtpu
+
+#: Reduced problem sizes per app for fast, deterministic tests.
+SMALL_PARAMS = {
+    "backprop": {"batch": 64, "n_in": 128, "n_hidden": 64, "n_out": 8},
+    "blackscholes": {"n_options": 32 * 32},
+    "gaussian": {"n": 160},
+    "gemm": {"n": 96},
+    "hotspot3d": {"n": 96, "layers": 2, "iterations": 3},
+    "lud": {"n": 160},
+    "pagerank": {"n": 192, "iterations": 8},
+}
+
+
+@pytest.fixture()
+def platform():
+    return Platform.with_tpus(2)
+
+
+@pytest.fixture()
+def ctx(platform):
+    return OpenCtpu(platform)

@@ -1,0 +1,99 @@
+"""Cross-cutting tests every application must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, all_applications
+from repro.host.platform import Platform
+from repro.metrics import rmse_percent
+from repro.runtime.api import OpenCtpu
+
+from tests.apps.conftest import SMALL_PARAMS
+
+APP_ITEMS = sorted(APPLICATIONS.items())
+
+
+def test_registry_has_the_seven_table3_benchmarks():
+    assert set(APPLICATIONS) == {
+        "backprop",
+        "blackscholes",
+        "gaussian",
+        "gemm",
+        "hotspot3d",
+        "lud",
+        "pagerank",
+    }
+
+
+def test_registry_metadata_complete():
+    for app in APPLICATIONS.values():
+        assert app.name and app.category and app.paper_input
+        assert app.default_params()
+
+
+def test_all_applications_returns_fresh_instances():
+    a, b = all_applications(), all_applications()
+    assert a.keys() == b.keys()
+    assert all(a[k] is not b[k] for k in a)
+
+
+@pytest.mark.parametrize("name,app", APP_ITEMS, ids=[n for n, _ in APP_ITEMS])
+class TestEveryApp:
+    def test_generation_is_deterministic(self, name, app):
+        params = SMALL_PARAMS[name]
+        i1 = app.generate(seed=7, **params)
+        i2 = app.generate(seed=7, **params)
+        assert i1.keys() == i2.keys()
+        for key in i1:
+            np.testing.assert_array_equal(i1[key], i2[key])
+
+    def test_different_seeds_differ(self, name, app):
+        params = SMALL_PARAMS[name]
+        i1 = app.generate(seed=1, **params)
+        i2 = app.generate(seed=2, **params)
+        assert any(
+            not np.array_equal(i1[k], i2[k]) for k in i1 if i1[k].size > 1
+        )
+
+    def test_gptpu_tracks_cpu_baseline(self, name, app):
+        params = SMALL_PARAMS[name]
+        inputs = app.generate(seed=3, **params)
+        platform = Platform.with_tpus(2)
+        ctx = OpenCtpu(platform)
+        cpu_res = app.run_cpu(inputs, platform.cpu)
+        gptpu_res = app.run_gptpu(inputs, ctx)
+        assert gptpu_res.value.shape == cpu_res.value.shape
+        # The quantized path stays within ~1.5 % range-normalized RMSE of
+        # the exact baseline (Table 4's headline property).
+        assert rmse_percent(gptpu_res.value, cpu_res.value) < 1.5
+
+    def test_times_and_energy_are_positive(self, name, app):
+        params = SMALL_PARAMS[name]
+        inputs = app.generate(seed=4, **params)
+        platform = Platform.with_tpus(1)
+        ctx = OpenCtpu(platform)
+        cpu_res = app.run_cpu(inputs, platform.cpu)
+        gptpu_res = app.run_gptpu(inputs, ctx)
+        assert cpu_res.seconds > 0
+        assert gptpu_res.wall_seconds > 0
+        assert gptpu_res.energy.total_joules > 0
+        assert gptpu_res.instructions > 0
+        assert gptpu_res.bytes_transferred > 0
+        assert gptpu_res.energy_delay_product == pytest.approx(
+            gptpu_res.energy.total_joules * gptpu_res.wall_seconds
+        )
+
+    def test_runs_are_reproducible(self, name, app):
+        params = SMALL_PARAMS[name]
+        inputs = app.generate(seed=5, **params)
+        r1 = app.run_gptpu(inputs, OpenCtpu(Platform.with_tpus(2)))
+        r2 = app.run_gptpu(inputs, OpenCtpu(Platform.with_tpus(2)))
+        np.testing.assert_array_equal(r1.value, r2.value)
+        assert r1.wall_seconds == pytest.approx(r2.wall_seconds)
+
+    def test_more_tpus_never_slower(self, name, app):
+        params = SMALL_PARAMS[name]
+        inputs = app.generate(seed=6, **params)
+        t1 = app.run_gptpu(inputs, OpenCtpu(Platform.with_tpus(1))).wall_seconds
+        t4 = app.run_gptpu(inputs, OpenCtpu(Platform.with_tpus(4))).wall_seconds
+        assert t4 <= t1 * 1.05

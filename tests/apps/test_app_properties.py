@@ -1,0 +1,111 @@
+"""Property-based tests on application semantics (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import GaussianApp, HotSpot3DApp, LUDApp, PageRankApp
+from repro.apps.lud import make_dd_matrix, packed_lu_cpu
+from repro.apps.pagerank import make_link_matrix
+from repro.host.platform import Platform
+from repro.runtime.api import OpenCtpu
+
+
+class TestPageRankProperties:
+    @given(st.integers(16, 128), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_link_matrices_always_column_stochastic(self, n, seed):
+        link = make_link_matrix(n, seed)
+        np.testing.assert_allclose(link.sum(axis=0), 1.0, atol=1e-12)
+        assert (link >= 0).all()
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_rank_mass_conserved_through_iterations(self, seed):
+        app = PageRankApp()
+        inputs = app.generate(seed=seed, n=96, iterations=12)
+        platform = Platform.with_tpus(1)
+        rank = app.run_cpu(inputs, platform.cpu).value
+        assert rank.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_more_iterations_converge_further(self):
+        app = PageRankApp()
+        base = app.generate(seed=3, n=128, iterations=40)
+        platform = Platform.with_tpus(1)
+        converged = app.run_cpu(base, platform.cpu).value
+        short = dict(base, iterations=np.array(3))
+        mid = dict(base, iterations=np.array(12))
+        err_short = np.abs(app.run_cpu(short, platform.cpu).value - converged).max()
+        err_mid = np.abs(app.run_cpu(mid, platform.cpu).value - converged).max()
+        assert err_mid < err_short
+
+
+class TestLinearAlgebraProperties:
+    @given(st.integers(8, 64), st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_lu_reconstructs_any_dd_matrix(self, n, seed):
+        a = make_dd_matrix(n, seed)
+        packed = packed_lu_cpu(a)
+        l = np.tril(packed, -1) + np.eye(n)
+        np.testing.assert_allclose(l @ np.triu(packed), a, rtol=1e-8)
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=8, deadline=None)
+    def test_gaussian_gptpu_residual_small_for_any_seed(self, seed):
+        app = GaussianApp()
+        inputs = app.generate(seed=seed, n=128)
+        ctx = OpenCtpu(Platform.with_tpus(1))
+        x = app.run_gptpu(inputs, ctx).value
+        residual = np.abs(inputs["a"] @ x - inputs["b"]).max()
+        # Diagonally dominant + blocked elimination: residual stays tiny
+        # relative to the matrix scale (diag ~ n/2).
+        assert residual < 0.05
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=6, deadline=None)
+    def test_lud_reconstruction_tracks_input(self, seed):
+        app = LUDApp()
+        inputs = app.generate(seed=seed, n=128)
+        ctx = OpenCtpu(Platform.with_tpus(1))
+        out = app.run_gptpu(inputs, ctx).value
+        rel = np.abs(out - inputs["a"]).max() / np.abs(inputs["a"]).max()
+        assert rel < 0.01
+
+
+class TestHotSpotProperties:
+    @given(st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_zero_power_cools_toward_uniformity(self, seed):
+        app = HotSpot3DApp()
+        inputs = app.generate(seed=seed, n=48, layers=2, iterations=8)
+        inputs["power"][:] = 0.0
+        platform = Platform.with_tpus(1)
+        out = app.run_cpu(inputs, platform.cpu).value
+        assert out.std() < inputs["temps"].std()
+
+    def test_uniform_temperature_decays_geometrically(self):
+        from repro.apps.hotspot3d import STENCIL
+
+        app = HotSpot3DApp()
+        iterations = 5
+        inputs = app.generate(seed=0, n=32, layers=2, iterations=iterations)
+        inputs["temps"][:] = 55.0
+        inputs["power"][:] = 0.0
+        platform = Platform.with_tpus(1)
+        out = app.run_cpu(inputs, platform.cpu).value
+        # The in-plane stencil sums to 0.95 (5 % ambient heat loss per
+        # step) and the vertical term vanishes on a uniform field, so the
+        # whole chip cools by exactly that factor each iteration.
+        expect = 55.0 * float(STENCIL.sum()) ** iterations
+        np.testing.assert_allclose(out, expect, rtol=1e-9)
+
+    def test_symmetry_preserved(self):
+        app = HotSpot3DApp()
+        inputs = app.generate(seed=1, n=32, layers=2, iterations=3)
+        # Symmetrize inputs; the float solution must stay symmetric.
+        inputs["temps"] = (inputs["temps"] + inputs["temps"][:, ::-1, :]) / 2
+        inputs["power"] = (inputs["power"] + inputs["power"][:, ::-1, :]) / 2
+        platform = Platform.with_tpus(1)
+        out = app.run_cpu(inputs, platform.cpu).value
+        np.testing.assert_allclose(out, out[:, ::-1, :], atol=1e-9)

@@ -1,0 +1,69 @@
+"""Tests for the application base plumbing (report aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import GPTPUResult, aggregate_reports
+from repro.host.energy import EnergyReport
+from repro.host.platform import Platform
+from repro.ops.elementwise import tpu_add
+from repro.runtime.api import OpenCtpu
+
+
+def make_report(wall, idle, active, instrs=1, nbytes=10):
+    from repro.runtime.api import SyncReport
+    from repro.runtime.executor import Timeline
+
+    timeline = Timeline(
+        makespan=wall, busy_by_unit={}, instructions=instrs, bytes_transferred=nbytes
+    )
+    energy = EnergyReport(wall_seconds=wall, idle_joules=idle, active_joules=active)
+    return SyncReport(timeline=timeline, energy=energy)
+
+
+class TestAggregateReports:
+    def test_sums_all_components(self):
+        value = np.ones(3)
+        result = aggregate_reports(
+            value,
+            [make_report(1.0, 40.0, 2.0, instrs=5, nbytes=100),
+             make_report(2.0, 80.0, 4.0, instrs=7, nbytes=200)],
+        )
+        assert result.wall_seconds == pytest.approx(3.0)
+        assert result.energy.idle_joules == pytest.approx(120.0)
+        assert result.energy.active_joules == pytest.approx(6.0)
+        assert result.instructions == 12
+        assert result.bytes_transferred == 300
+        assert result.energy_delay_product == pytest.approx(126.0 * 3.0)
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError, match="at least once"):
+            aggregate_reports(np.zeros(1), [])
+
+    def test_value_coerced_to_float64(self):
+        result = aggregate_reports(np.array([1, 2], dtype=np.int32),
+                                   [make_report(1.0, 1.0, 1.0)])
+        assert result.value.dtype == np.float64
+
+
+class TestCollectHelper:
+    def test_collect_runs_final_sync_if_pending(self):
+        from repro.apps.base import Application
+
+        ctx = OpenCtpu(Platform.with_tpus(1))
+        a = np.random.default_rng(0).uniform(0, 4, (16, 16))
+        tpu_add(ctx, a, a)
+        assert ctx.pending_operations == 1
+        result = Application._collect(ctx, a + a, [])
+        assert ctx.pending_operations == 0
+        assert result.wall_seconds > 0
+
+    def test_collect_without_pending_uses_existing_reports(self):
+        from repro.apps.base import Application
+
+        ctx = OpenCtpu(Platform.with_tpus(1))
+        a = np.random.default_rng(1).uniform(0, 4, (16, 16))
+        tpu_add(ctx, a, a)
+        reports = [ctx.sync()]
+        result = Application._collect(ctx, a + a, reports)
+        assert result.wall_seconds == pytest.approx(reports[0].wall_seconds)

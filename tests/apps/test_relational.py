@@ -1,0 +1,79 @@
+"""Tests for the relational-analytics extension application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.relational import EXTENSIONS, RelationalApp
+from repro.host.platform import Platform
+from repro.metrics import rmse_percent
+from repro.runtime.api import OpenCtpu
+
+PARAMS = {"rows": 4096, "groups": 32, "measures": 16}
+
+
+@pytest.fixture()
+def app():
+    return RelationalApp()
+
+
+def test_registered_as_extension_not_core_app(app):
+    from repro.apps import APPLICATIONS
+
+    assert "relational" in EXTENSIONS
+    assert "relational" not in APPLICATIONS
+
+
+def test_cpu_result_is_a_correct_group_by(app):
+    inputs = app.generate(seed=1, **PARAMS)
+    platform = Platform.with_tpus(1)
+    out = app.run_cpu(inputs, platform.cpu).value
+    assert out.shape == (PARAMS["groups"], PARAMS["measures"])
+    # Manual check for one group.
+    g = 3
+    mask = (inputs["group_of_row"] == g) & (inputs["selected_groups"][inputs["group_of_row"]] > 0)
+    np.testing.assert_allclose(out[g], inputs["measures"][mask].sum(axis=0), rtol=1e-10)
+
+
+def test_unselected_groups_aggregate_to_zero(app):
+    inputs = app.generate(seed=2, **PARAMS)
+    platform = Platform.with_tpus(1)
+    out = app.run_cpu(inputs, platform.cpu).value
+    dropped = np.where(inputs["selected_groups"] == 0)[0]
+    assert dropped.size > 0
+    np.testing.assert_array_equal(out[dropped], 0.0)
+
+
+def test_gptpu_matches_cpu(app):
+    inputs = app.generate(seed=3, **PARAMS)
+    platform = Platform.with_tpus(2)
+    ctx = OpenCtpu(platform)
+    cpu = app.run_cpu(inputs, platform.cpu)
+    gptpu = app.run_gptpu(inputs, ctx)
+    assert gptpu.value.shape == cpu.value.shape
+    assert rmse_percent(gptpu.value, cpu.value) < 1.0
+
+
+def test_gptpu_uses_mul_and_gemm(app):
+    inputs = app.generate(seed=4, **PARAMS)
+    ctx = OpenCtpu(Platform.with_tpus(1))
+    seen = set()
+    original = ctx.tensorizer.lower
+
+    def spy(request):
+        seen.add(request.opcode.opname)
+        return original(request)
+
+    ctx.tensorizer.lower = spy
+    app.run_gptpu(inputs, ctx)
+    assert {"mul", "conv2D"} <= seen
+
+
+def test_memory_bound_boundary_holds(app):
+    """The §8.2 applicability boundary: a single-pass aggregation does
+    not beat the CPU through the PCIe toll (see module docstring)."""
+    inputs = app.generate(seed=5, rows=1 << 15, groups=64, measures=32)
+    platform = Platform.with_tpus(1)
+    ctx = OpenCtpu(platform)
+    cpu = app.run_cpu(inputs, platform.cpu)
+    gptpu = app.run_gptpu(inputs, ctx)
+    assert gptpu.wall_seconds > cpu.seconds

@@ -1,0 +1,86 @@
+"""Tests for the comparison baselines (OpenBLAS proxy, FBGEMM, OpenMP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import blas_gemm, fbgemm_gemm, fbgemm_seconds, openmp_run
+from repro.baselines.fbgemm import ACC_SATURATION
+from repro.host.cpu import CPUCoreModel
+
+
+class TestBlasGemm:
+    def test_value_is_exact(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.uniform(size=(20, 30)), rng.uniform(size=(30, 10))
+        result = blas_gemm(a, b)
+        np.testing.assert_allclose(result.value, a @ b, rtol=1e-12)
+
+    def test_time_follows_2mnk(self):
+        cpu = CPUCoreModel()
+        result = blas_gemm(np.ones((10, 20)), np.ones((20, 30)), cpu)
+        assert result.seconds == pytest.approx(2 * 10 * 20 * 30 / cpu.config.sgemm_flops)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            blas_gemm(np.ones((3, 4)), np.ones((5, 6)))
+
+
+class TestFBGemm:
+    def test_small_values_exact(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, (64, 64)).astype(float)
+        b = rng.integers(0, 3, (64, 64)).astype(float)
+        np.testing.assert_array_equal(fbgemm_gemm(a, b), a @ b)
+
+    def test_large_values_saturate(self):
+        n = 64
+        a = np.full((n, n), 100.0)
+        b = np.full((n, n), 100.0)
+        out = fbgemm_gemm(a, b)
+        # True value 640 000 clamps at the 16-bit ceiling.
+        assert (out == ACC_SATURATION).all()
+
+    def test_saturation_threshold_is_16_bits(self):
+        assert ACC_SATURATION == 2**16 - 1
+
+    def test_inputs_clipped_to_quantized_range(self):
+        a = np.array([[300.0]])
+        b = np.array([[1.0]])
+        assert fbgemm_gemm(a, b)[0, 0] == 255  # u8 clip on the activation side
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            fbgemm_gemm(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_seconds_model(self):
+        t = fbgemm_seconds(1024, 1024, 1024)
+        assert t > 0
+        assert fbgemm_seconds(2048, 1024, 1024) == pytest.approx(2 * t)
+        with pytest.raises(ValueError):
+            fbgemm_seconds(-1, 2, 3)
+
+    def test_faster_than_float_blas(self):
+        cpu = CPUCoreModel()
+        float_t = blas_gemm(np.ones((256, 256)), np.ones((256, 256)), cpu).seconds
+        int8_t = fbgemm_seconds(256, 256, 256)
+        assert int8_t < float_t
+
+    @given(st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_corruption_below_threshold(self, max_value):
+        # With n=16 and values <= 12, dot products stay below 65535:
+        # 16 * 12 * 12 = 2304.
+        rng = np.random.default_rng(max_value)
+        a = rng.integers(0, max_value + 1, (16, 16)).astype(float)
+        b = rng.integers(0, max_value + 1, (16, 16)).astype(float)
+        np.testing.assert_array_equal(fbgemm_gemm(a, b), a @ b)
+
+
+class TestOpenMP:
+    def test_eight_core_run_matches_paper_scaling(self):
+        assert openmp_run(27.0, 8) == pytest.approx(10.0, rel=1e-6)
+
+    def test_one_core_is_identity(self):
+        assert openmp_run(5.0, 1) == pytest.approx(5.0)

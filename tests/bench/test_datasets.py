@@ -1,0 +1,40 @@
+"""Tests for the Table 3 dataset descriptors."""
+
+import pytest
+
+from repro.apps import APPLICATIONS
+from repro.bench.datasets import TABLE3, scale_factor
+
+
+def test_table3_covers_every_application():
+    assert set(TABLE3) == set(APPLICATIONS)
+
+
+def test_paper_sizes_match_table3():
+    # Table 3's "Input Data Size" column.
+    assert TABLE3["backprop"].paper_bytes == 512 * 1024**2
+    assert TABLE3["blackscholes"].paper_gib == pytest.approx(9.0)
+    assert TABLE3["gemm"].paper_gib == pytest.approx(1.0)
+    assert TABLE3["pagerank"].paper_gib == pytest.approx(4.0)
+    assert TABLE3["lud"].paper_bytes == TABLE3["gaussian"].paper_bytes == 64 * 1024**2
+
+
+def test_categories_match_table3():
+    assert TABLE3["blackscholes"].category == "Finance"
+    assert TABLE3["pagerank"].category == "Graph"
+    assert TABLE3["hotspot3d"].category == "Physics Simulation"
+    assert TABLE3["backprop"].category == "Pattern Recognition"
+    for name in ("gemm", "lud", "gaussian"):
+        assert TABLE3[name].category == "Linear Algebra"
+
+
+def test_scaled_params_match_app_defaults():
+    for name, spec in TABLE3.items():
+        assert dict(spec.scaled_params) == APPLICATIONS[name].default_params(), name
+
+
+def test_scale_factors_are_substantial_downscales():
+    for name in TABLE3:
+        factor = scale_factor(name)
+        assert factor > 10, name  # everything scaled down at least 10x
+        assert factor < 1e6, name

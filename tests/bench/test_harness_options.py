@@ -1,0 +1,38 @@
+"""Harness pass-through tests: options, policy, and quant reach the run."""
+
+import pytest
+
+from repro.bench.harness import run_app
+from repro.runtime.opqueue import QuantMode
+from repro.runtime.scheduler import SchedulePolicy
+from repro.runtime.tensorizer import TensorizerOptions
+
+PARAMS = {"n": 256}
+
+
+def test_tensorizer_options_change_the_run():
+    fast = run_app("gemm", params=PARAMS,
+                   options=TensorizerOptions(fast_model_builder=True))
+    slow = run_app("gemm", params=PARAMS,
+                   options=TensorizerOptions(fast_model_builder=False))
+    assert slow.gptpu.wall_seconds > fast.gptpu.wall_seconds
+
+
+def test_policy_reaches_the_executor():
+    piped = run_app("gemm", params=PARAMS, policy=SchedulePolicy(pipelining=True))
+    serial = run_app("gemm", params=PARAMS, policy=SchedulePolicy(pipelining=False))
+    assert serial.gptpu.wall_seconds >= piped.gptpu.wall_seconds
+
+
+def test_quant_mode_reaches_the_tensorizer():
+    per_tile = run_app("gemm", params=PARAMS, quant=QuantMode.SCALE)
+    global_ = run_app("gemm", params=PARAMS, quant=QuantMode.GLOBAL)
+    # Same workload, same timing model; only calibration differs.
+    assert per_tile.gptpu.instructions == global_.gptpu.instructions
+    assert per_tile.rmse_percent <= global_.rmse_percent + 0.5
+
+
+def test_seed_changes_the_dataset():
+    r1 = run_app("gemm", params=PARAMS, seed=1)
+    r2 = run_app("gemm", params=PARAMS, seed=2)
+    assert r1.rmse_percent != pytest.approx(r2.rmse_percent, abs=1e-12)

@@ -1,0 +1,139 @@
+"""Tests for the simulated Edge TPU device (execute + requantize + timing)."""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu.device import EdgeTPUDevice
+from repro.edgetpu.isa import Instruction, Opcode
+from repro.edgetpu.quantize import QuantParams, params_for_data, quantize
+
+
+def i8(values):
+    return np.asarray(values, dtype=np.int8)
+
+
+@pytest.fixture()
+def device():
+    return EdgeTPUDevice("tpu-test")
+
+
+class TestExecution:
+    def test_relu_round_trips_exactly(self, device):
+        p = QuantParams(1.0)
+        instr = Instruction(Opcode.RELU, i8([[-3, 4], [0, -1]]), p)
+        result = device.execute(instr)
+        np.testing.assert_array_equal(result.output, [[0, 4], [0, 0]])
+        assert result.saturated == 0
+        np.testing.assert_array_equal(result.dequantized(), [[0, 4], [0, 0]])
+
+    def test_fully_connected_with_output_scale(self, device):
+        # raw: [1,2,3] @ [[1],[1],[1]] = 6
+        p = QuantParams(1.0)
+        instr = Instruction(
+            Opcode.FULLY_CONNECTED,
+            i8([1, 2, 3]),
+            p,
+            model=i8([[1], [1], [1]]),
+            model_params=p,
+            out_params=QuantParams(scale=10.0),
+        )
+        result = device.execute(instr)
+        assert result.output.tolist() == [60]
+        assert result.dequantized().tolist() == [6.0]
+        assert result.macs == 3
+
+    def test_arithmetic_without_out_params_raises(self, device):
+        p = QuantParams(1.0)
+        instr = Instruction(Opcode.MUL, i8([[2]]), p, model=i8([[3]]), model_params=p)
+        with pytest.raises(ValueError, match="output quantization"):
+            device.execute(instr)
+
+    def test_saturation_counted_when_scale_too_aggressive(self, device):
+        p = QuantParams(1.0)
+        instr = Instruction(
+            Opcode.MUL,
+            i8([[100]]),
+            p,
+            model=i8([[100]]),
+            model_params=p,
+            out_params=QuantParams(scale=1.0),  # 10000 does not fit in int8
+        )
+        result = device.execute(instr)
+        assert result.saturated == 1
+        assert result.output[0, 0] == 127
+
+    def test_conservative_scale_never_saturates(self, device):
+        rng = np.random.default_rng(0)
+        raw_a = rng.uniform(0, 4, (16, 16))
+        raw_b = rng.uniform(0, 4, (16, 16))
+        pa, pb = params_for_data(raw_a), params_for_data(raw_b)
+        from repro.edgetpu.quantize import output_quant_params
+
+        instr = Instruction(
+            Opcode.FULLY_CONNECTED,
+            quantize(raw_a[0], pa),
+            pa,
+            model=quantize(raw_b, pb),
+            model_params=pb,
+            out_params=output_quant_params("FullyConnected", 0.0, 4.0, n=16),
+        )
+        result = device.execute(instr)
+        assert result.saturated == 0
+        # Dequantized output approximates the float product row.
+        expect = raw_a[0] @ raw_b
+        rel = np.abs(result.dequantized() - expect) / np.abs(expect).max()
+        assert rel.max() < 0.05
+
+    def test_wide_output_returns_accumulator(self, device):
+        p = QuantParams(1.0)
+        instr = Instruction(
+            Opcode.MUL,
+            i8([[100]]),
+            p,
+            model=i8([[100]]),
+            model_params=p,
+            attrs={"wide_output": True},
+        )
+        result = device.execute(instr)
+        assert result.output.dtype == np.int64
+        assert result.output[0, 0] == 10000
+        assert result.dequantized()[0, 0] == 10000.0
+
+    def test_tanh_uses_fixed_lut_scale(self, device):
+        p = QuantParams(scale=127 / 4.0)
+        instr = Instruction(Opcode.TANH, quantize(np.array([[4.0]]), p), p)
+        result = device.execute(instr)
+        assert result.out_params.scale == pytest.approx(127.0)
+        assert result.dequantized()[0, 0] == pytest.approx(np.tanh(4.0), abs=0.02)
+
+    def test_mean_returns_input_scaled_scalar(self, device):
+        p = QuantParams(1.0)
+        instr = Instruction(Opcode.MEAN, i8([[2, 4], [6, 8]]), p)
+        result = device.execute(instr)
+        assert result.dequantized()[0, 0] == pytest.approx(5.0)
+
+
+class TestAccounting:
+    def test_latency_and_counters_accumulate(self, device):
+        p = QuantParams(1.0)
+        instr = Instruction(Opcode.RELU, i8(np.zeros((4, 4))), p)
+        r1 = device.execute(instr)
+        r2 = device.execute(instr)
+        assert device.instructions_executed == 2
+        assert device.busy_seconds == pytest.approx(r1.seconds + r2.seconds)
+        assert r1.seconds > 0
+
+    def test_latency_is_at_least_issue_floor(self, device):
+        p = QuantParams(1.0)
+        instr = Instruction(Opcode.CONV2D, i8([[1, 2], [3, 4]]), p, model=i8([[1]]),
+                            model_params=p, out_params=QuantParams(1.0))
+        result = device.execute(instr)
+        assert result.seconds >= device.timing.issue_floor_seconds(Opcode.CONV2D)
+
+    def test_memory_is_8mb(self, device):
+        assert device.memory.capacity_bytes == 8 * 1024 * 1024
+
+    def test_out_elems_property(self, device):
+        p = QuantParams(1.0)
+        result = device.execute(Instruction(Opcode.RELU, i8(np.zeros((3, 5))), p))
+        assert result.out_elems == 15

@@ -1,0 +1,141 @@
+"""Tests for the §3.3 reverse-engineered model binary format."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ModelFormatError
+from repro.edgetpu.model_format import (
+    HEADER_SIZE,
+    MAGIC,
+    ModelBlob,
+    parse_model,
+    serialize_model,
+)
+from repro.edgetpu.quantize import QuantParams
+
+
+def make_matrix(rows=4, cols=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-128, 128, size=(rows, cols)).astype(np.int8)
+
+
+class TestStructuralInvariants:
+    """Each documented fact of §3.3, verified at the byte level."""
+
+    def test_header_is_120_bytes_and_magic_leads(self):
+        blob = serialize_model(make_matrix(), QuantParams(2.0))
+        assert blob[: len(MAGIC)] == MAGIC
+        assert HEADER_SIZE == 120
+
+    def test_last_4_header_bytes_hold_data_size_le(self):
+        matrix = make_matrix(5, 7)
+        blob = serialize_model(matrix, QuantParams(1.0))
+        (size,) = struct.unpack_from("<I", blob, HEADER_SIZE - 4)
+        assert size == 35
+
+    def test_data_section_is_row_major_int8(self):
+        matrix = make_matrix(3, 4, seed=1)
+        blob = serialize_model(matrix, QuantParams(1.0))
+        section = np.frombuffer(blob, dtype=np.int8, count=12, offset=HEADER_SIZE)
+        np.testing.assert_array_equal(section, matrix.ravel(order="C"))
+
+    def test_metadata_holds_dims_and_scale_le(self):
+        matrix = make_matrix(6, 2)
+        blob = serialize_model(matrix, QuantParams(0.125))
+        rows, cols, scale = struct.unpack_from("<IIf", blob, HEADER_SIZE + 12)
+        assert (rows, cols) == (6, 2)
+        assert scale == pytest.approx(0.125)
+
+    def test_total_length_is_header_plus_data_plus_metadata(self):
+        matrix = make_matrix(10, 10)
+        blob = serialize_model(matrix, QuantParams(1.0))
+        assert len(blob) == HEADER_SIZE + 100 + 12
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_data_and_scale(self):
+        matrix = make_matrix(8, 5, seed=3)
+        parsed = parse_model(serialize_model(matrix, QuantParams(3.5)))
+        np.testing.assert_array_equal(parsed.data, matrix)
+        assert parsed.params.scale == pytest.approx(3.5)
+
+    def test_blob_nbytes_matches_serialized_length(self):
+        matrix = make_matrix(4, 4)
+        blob = ModelBlob(matrix, QuantParams(1.0))
+        assert blob.nbytes == len(serialize_model(matrix, QuantParams(1.0)))
+
+    @given(
+        arrays(
+            np.int8,
+            st.tuples(st.integers(1, 20), st.integers(1, 20)),
+            elements=st.integers(-128, 127),
+        ),
+        st.floats(9.999999974752427e-07, 1e6, allow_nan=False, width=32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_round_trip(self, matrix, scale):
+        parsed = parse_model(serialize_model(matrix, QuantParams(float(scale))))
+        np.testing.assert_array_equal(parsed.data, matrix)
+        assert parsed.params.scale == pytest.approx(scale, rel=1e-6)
+
+    def test_parsed_data_is_independent_copy(self):
+        matrix = make_matrix(2, 2)
+        blob = serialize_model(matrix, QuantParams(1.0))
+        parsed = parse_model(blob)
+        parsed.data[0, 0] = 42  # must not raise (not a read-only view)
+        assert parse_model(blob).data[0, 0] == matrix[0, 0]
+
+
+class TestValidation:
+    def test_wrong_magic_rejected(self):
+        blob = bytearray(serialize_model(make_matrix(), QuantParams(1.0)))
+        blob[0] ^= 0xFF
+        with pytest.raises(ModelFormatError, match="magic"):
+            parse_model(bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        blob = serialize_model(make_matrix(), QuantParams(1.0))
+        with pytest.raises(ModelFormatError):
+            parse_model(blob[:-1])
+        with pytest.raises(ModelFormatError, match="too short"):
+            parse_model(blob[:50])
+
+    def test_wrong_version_rejected(self):
+        blob = bytearray(serialize_model(make_matrix(), QuantParams(1.0)))
+        struct.pack_into("<I", blob, len(MAGIC), 99)
+        with pytest.raises(ModelFormatError, match="version"):
+            parse_model(bytes(blob))
+
+    def test_dims_not_covering_data_rejected(self):
+        blob = bytearray(serialize_model(make_matrix(4, 3), QuantParams(1.0)))
+        struct.pack_into("<II", blob, HEADER_SIZE + 12, 5, 5)
+        with pytest.raises(ModelFormatError, match="dimensions"):
+            parse_model(bytes(blob))
+
+    def test_invalid_scale_rejected(self):
+        blob = bytearray(serialize_model(make_matrix(2, 2), QuantParams(1.0)))
+        struct.pack_into("<f", blob, HEADER_SIZE + 4 + 8, -1.0)
+        with pytest.raises(ModelFormatError, match="scaling factor"):
+            parse_model(bytes(blob))
+
+    def test_serialize_rejects_wrong_dtype_and_shape(self):
+        with pytest.raises(ModelFormatError, match="int8"):
+            serialize_model(np.ones((2, 2), dtype=np.float32), QuantParams(1.0))
+        with pytest.raises(ModelFormatError, match="2-D"):
+            serialize_model(np.ones(4, dtype=np.int8), QuantParams(1.0))
+        with pytest.raises(ModelFormatError, match="positive"):
+            serialize_model(np.empty((0, 3), dtype=np.int8), QuantParams(1.0))
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_property_garbage_never_crashes_parser(self, junk):
+        # Any input either parses as a model or raises ModelFormatError.
+        try:
+            parse_model(junk)
+        except ModelFormatError:
+            pass

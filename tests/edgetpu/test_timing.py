@@ -1,0 +1,107 @@
+"""Tests for the Table 1-calibrated timing model."""
+
+import pytest
+
+from repro.config import TABLE1_OPS, TABLE1_RPS, EdgeTPUConfig
+from repro.edgetpu.isa import Opcode
+from repro.edgetpu.timing import TimingModel
+
+
+@pytest.fixture()
+def timing():
+    return TimingModel(EdgeTPUConfig())
+
+
+class TestInstructionLatency:
+    def test_issue_floor_matches_table1_ops(self, timing):
+        for op in Opcode:
+            assert timing.issue_floor_seconds(op) == pytest.approx(1.0 / TABLE1_OPS[op.opname])
+
+    def test_optimal_shape_latency_equals_inverse_ops(self, timing):
+        # At the op's optimal output size, latency == 1/OPS, so the §3.2
+        # measurement loop recovers Table 1 exactly.
+        for op in Opcode:
+            optimal = timing.optimal_out_elems(op)
+            latency = timing.instruction_seconds(op, optimal)
+            assert latency == pytest.approx(1.0 / TABLE1_OPS[op.opname], rel=0.01), op
+
+    def test_conv2d_optimal_tile_is_128x128(self, timing):
+        # RPS/OPS for conv2D recovers the 128x128 matrix unit (§3.3).
+        assert timing.optimal_out_elems(Opcode.CONV2D) == pytest.approx(128 * 128, rel=0.01)
+
+    def test_fc_optimal_output_is_128_vector(self, timing):
+        assert timing.optimal_out_elems(Opcode.FULLY_CONNECTED) == pytest.approx(128, rel=0.01)
+
+    def test_small_instructions_pay_the_floor(self, timing):
+        tiny = timing.instruction_seconds(Opcode.CONV2D, out_elems=1)
+        assert tiny == pytest.approx(timing.issue_floor_seconds(Opcode.CONV2D))
+
+    def test_oversized_output_charged_by_rps(self, timing):
+        big = 10 * timing.optimal_out_elems(Opcode.ADD)
+        latency = timing.instruction_seconds(Opcode.ADD, big)
+        assert latency == pytest.approx(big / TABLE1_RPS["add"], rel=0.01)
+
+    def test_mac_heavy_instruction_charged_by_mac_rate(self, timing):
+        # A GEMM-style conv2D with 64x64 kernels: MACs dominate.
+        macs = 10**9
+        latency = timing.instruction_seconds(Opcode.CONV2D, out_elems=1000, macs=macs)
+        assert latency == pytest.approx(macs / timing.config.sustained_macs_per_sec)
+
+    def test_negative_work_rejected(self, timing):
+        with pytest.raises(ValueError):
+            timing.instruction_seconds(Opcode.ADD, -1)
+        with pytest.raises(ValueError):
+            timing.instruction_seconds(Opcode.ADD, 1, macs=-1)
+
+    def test_mean_and_max_produce_one_result(self, timing):
+        # Table 1: OPS == RPS for mean/max — one result per instruction.
+        assert timing.optimal_out_elems(Opcode.MEAN) == 1
+        assert timing.optimal_out_elems(Opcode.MAX) == 1
+
+
+class TestTransfers:
+    def test_one_megabyte_is_about_6ms(self, timing):
+        # §3.2: "transmitting 1 MB of data to an Edge TPU takes around 6 ms".
+        assert timing.transfer_seconds(1024 * 1024) == pytest.approx(6e-3, rel=0.05)
+
+    def test_eight_megabytes_is_about_48ms(self, timing):
+        # §3.2: "8 MB ... takes 48 ms".
+        assert timing.transfer_seconds(8 * 1024 * 1024) == pytest.approx(48e-3, rel=0.05)
+
+    def test_transfer_scales_linearly(self, timing):
+        t1 = timing.transfer_seconds(1024 * 1024)
+        t4 = timing.transfer_seconds(4 * 1024 * 1024)
+        assert t4 / t1 == pytest.approx(4.0, rel=0.05)
+
+    def test_zero_bytes_is_free(self, timing):
+        assert timing.transfer_seconds(0) == 0.0
+
+    def test_negative_bytes_rejected(self, timing):
+        with pytest.raises(ValueError):
+            timing.transfer_seconds(-1)
+
+    def test_transfer_slower_than_any_instruction(self, timing):
+        # §3.2: "The latency of copying data ... is significantly longer
+        # than any Edge TPU instruction."
+        slowest_instr = max(timing.issue_floor_seconds(op) for op in Opcode)
+        assert timing.transfer_seconds(timing.config.onchip_memory_bytes) > slowest_instr
+
+
+class TestModelCreation:
+    def test_tflite_2k_matches_paper(self, timing):
+        assert timing.tflite_compile_seconds(2048 * 2048) == pytest.approx(2.7, rel=0.01)
+
+    def test_tensorizer_2k_matches_paper(self, timing):
+        assert timing.tensorizer_build_seconds(2048 * 2048) == pytest.approx(1.8e-3, rel=0.01)
+
+    def test_tensorizer_speedup_near_1500x(self, timing):
+        ratio = timing.tflite_compile_seconds(2048 * 2048) / timing.tensorizer_build_seconds(
+            2048 * 2048
+        )
+        assert ratio == pytest.approx(1500, rel=0.05)
+
+    def test_tensorizer_faster_than_transfer(self, timing):
+        # §6.2.3: model creation is "shorter than the latency of data
+        # transfer", enabling overlap.
+        elems = 2048 * 2048
+        assert timing.tensorizer_build_seconds(elems) < timing.transfer_seconds(elems)

@@ -1,0 +1,75 @@
+"""Tests for the energy model (paper §8.1)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.host.energy import EnergyModel, EnergyReport
+
+
+@pytest.fixture()
+def model():
+    return EnergyModel(SystemConfig())
+
+
+class TestPowerLookup:
+    def test_cpu_core_power(self, model):
+        assert model.active_power_watts("cpu-core") == pytest.approx(11.0)
+        assert model.active_power_watts("cpu-core3") == pytest.approx(11.0)
+
+    def test_tpu_power_within_measured_band(self, model):
+        # §8.1: each active Edge TPU adds 0.9 W to 1.4 W.
+        p = model.active_power_watts("tpu5")
+        assert 0.9 <= p <= 1.4
+
+    def test_gpu_power_from_table6(self, model):
+        assert model.active_power_watts("gpu:RTX 2080") == pytest.approx(215.0)
+        assert model.active_power_watts("gpu:Jetson Nano") == pytest.approx(10.0)
+
+    def test_unknown_units_rejected(self, model):
+        with pytest.raises(KeyError):
+            model.active_power_watts("fpga0")
+        with pytest.raises(KeyError):
+            model.active_power_watts("gpu:Voodoo2")
+
+
+class TestEnergyReports:
+    def test_idle_energy_is_40w_times_wall(self, model):
+        report = model.report(10.0, {})
+        assert report.idle_joules == pytest.approx(400.0)
+        assert report.active_joules == 0.0
+        assert report.total_joules == pytest.approx(400.0)
+
+    def test_active_energy_sums_units(self, model):
+        report = model.report(10.0, {"cpu-core": 10.0, "tpu0": 5.0})
+        assert report.active_joules == pytest.approx(11.0 * 10 + 1.2 * 5)
+
+    def test_edp_is_energy_times_delay(self, model):
+        report = model.report(2.0, {"cpu-core": 2.0})
+        assert report.energy_delay_product == pytest.approx(report.total_joules * 2.0)
+
+    def test_eight_tpus_cheaper_than_one_core(self, model):
+        # Fig. 8(a) framing: 8 Edge TPUs "consume similar active power as
+        # a single RyZen core" — 8 x 1.2 W vs 6.5-12.5 W.
+        tpus = model.report(1.0, {f"tpu{i}": 1.0 for i in range(8)})
+        core = model.report(1.0, {"cpu-core": 1.0})
+        assert tpus.active_joules <= core.active_joules * 1.05
+
+    def test_gpu_idle_power_added_when_present(self, model):
+        base = model.report(1.0, {})
+        with_gpu = model.report(1.0, {"gpu:Jetson Nano": 0.5})
+        assert with_gpu.idle_joules == pytest.approx(base.idle_joules + 0.5)
+
+    def test_busy_cannot_exceed_wall(self, model):
+        with pytest.raises(ValueError, match="exceeds wall time"):
+            model.report(1.0, {"cpu-core": 2.0})
+
+    def test_negative_inputs_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.report(-1.0, {})
+        with pytest.raises(ValueError):
+            model.report(1.0, {"tpu0": -0.1})
+
+    def test_report_dataclass_fields(self):
+        report = EnergyReport(wall_seconds=2.0, idle_joules=80.0, active_joules=20.0)
+        assert report.total_joules == 100.0
+        assert report.energy_delay_product == 200.0

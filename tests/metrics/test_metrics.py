@@ -1,0 +1,98 @@
+"""Tests for error metrics and speedup summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import geomean, mape_percent, max_abs_error, rmse_percent, speedup
+from repro.metrics.summary import SpeedupRow, summarize
+
+
+class TestMAPE:
+    def test_exact_match_is_zero(self):
+        ref = np.array([1.0, 2.0, 3.0])
+        assert mape_percent(ref, ref) == 0.0
+
+    def test_known_value(self):
+        assert mape_percent(np.array([1.1]), np.array([1.0])) == pytest.approx(10.0)
+
+    def test_zero_reference_entries_excluded(self):
+        result = np.array([0.5, 2.2])
+        reference = np.array([0.0, 2.0])
+        assert mape_percent(result, reference) == pytest.approx(10.0)
+
+    def test_all_zero_reference_falls_back_to_range(self):
+        val = mape_percent(np.array([0.1, 0.0]), np.zeros(2))
+        assert np.isfinite(val)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mape_percent(np.zeros(2), np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mape_percent(np.array([]), np.array([]))
+
+
+class TestRMSE:
+    def test_exact_match_is_zero(self):
+        ref = np.array([1.0, -2.0])
+        assert rmse_percent(ref, ref) == 0.0
+
+    def test_normalized_by_reference_max(self):
+        # error 1 everywhere, reference max 10 -> 10%.
+        result = np.array([11.0, 1.0])
+        reference = np.array([10.0, 0.0])
+        expected = np.sqrt(np.mean([1.0, 1.0])) / 10 * 100
+        assert rmse_percent(result, reference) == pytest.approx(expected)
+
+    @given(
+        arrays(np.float64, (16,), elements=st.floats(-100, 100, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_rmse_nonnegative_and_zero_iff_equal(self, ref):
+        assert rmse_percent(ref, ref) == 0.0
+        shifted = ref + 1.0
+        assert rmse_percent(shifted, ref) > 0.0
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 5.0]), np.array([1.5, 4.0])) == 1.0
+
+
+class TestSpeedup:
+    def test_basic_ratio(self):
+        assert speedup(10.0, 4.0) == pytest.approx(2.5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, -1.0)
+
+    def test_geomean_known(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_below_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geomean(values) < np.mean(values)
+
+    def test_geomean_validates(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_summarize_rows(self):
+        rows = [
+            SpeedupRow("a", 10.0, 5.0),
+            SpeedupRow("b", 10.0, 2.0),
+        ]
+        summary = summarize(rows)
+        assert summary["mean"] == pytest.approx(3.5)
+        assert summary["geomean"] == pytest.approx(np.sqrt(10.0))
+        assert summary["min"] == 2.0 and summary["max"] == 5.0
+
+    def test_row_speedup_property(self):
+        assert SpeedupRow("x", 6.0, 3.0).speedup == 2.0

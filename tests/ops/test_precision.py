@@ -1,0 +1,109 @@
+"""Tests for precision-enhanced GEMM (the §10 iterative-portions claim)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import RuntimeAPIError
+from repro.host.platform import Platform
+from repro.metrics import rmse_percent
+from repro.ops import split_residual, tpu_gemm, tpu_gemm_precise
+from repro.runtime.api import OpenCtpu
+
+
+@pytest.fixture()
+def ctx():
+    return OpenCtpu(Platform.with_tpus(2))
+
+
+def rand(shape, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 4.0, shape)
+
+
+class TestSplitResidual:
+    def test_reconstruction_is_exact(self):
+        m = rand((32, 32), 1)
+        coarse, residual = split_residual(m)
+        np.testing.assert_allclose(coarse + residual, m, atol=0, rtol=0)
+
+    def test_residual_much_smaller_than_input(self):
+        m = rand((64, 64), 2)
+        _, residual = split_residual(m)
+        # Residual magnitude is bounded by half a quantization step.
+        assert np.abs(residual).max() <= np.abs(m).max() / 127
+
+    def test_coarse_is_8bit_representable(self):
+        from repro.edgetpu.quantize import params_for_data, quantize, dequantize
+
+        m = rand((16, 16), 3)
+        coarse, _ = split_residual(m)
+        params = params_for_data(m)
+        np.testing.assert_allclose(dequantize(quantize(coarse, params), params), coarse,
+                                   atol=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuntimeAPIError):
+            split_residual(np.empty((0, 3)))
+
+    @given(arrays(np.float64, (6, 6), elements=st.floats(-100, 100, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_property_exact_reconstruction(self, m):
+        coarse, residual = split_residual(m + 1.0)  # avoid all-zero degenerate
+        np.testing.assert_allclose(coarse + residual, m + 1.0, rtol=0, atol=1e-12)
+
+
+class TestPreciseGemm:
+    def test_matches_float_product(self, ctx):
+        a, b = rand((96, 96), 4), rand((96, 96), 5)
+        out = tpu_gemm_precise(ctx, a, b, k_split=4)
+        assert rmse_percent(out, a @ b) < 0.5
+
+    def test_k_split_improves_over_plain_gemm(self, ctx):
+        a, b = rand((256, 256), 6), rand((256, 256), 7)
+        ref = a @ b
+        plain = rmse_percent(tpu_gemm(ctx, a, b), ref)
+        precise = rmse_percent(tpu_gemm_precise(ctx, a, b, k_split=8), ref)
+        assert precise < plain * 0.7
+
+    def test_accuracy_monotone_in_k_split(self, ctx):
+        a, b = rand((192, 192), 8), rand((192, 192), 9)
+        ref = a @ b
+        errors = [
+            rmse_percent(tpu_gemm_precise(ctx, a, b, k_split=s), ref) for s in (1, 4, 8)
+        ]
+        assert errors[2] < errors[0]
+        assert errors[1] < errors[0]
+
+    def test_cost_scales_with_precision(self, ctx):
+        """The §10 trade: more portions, more instructions, more time."""
+        a, b = rand((128, 128), 10), rand((128, 128), 11)
+        from repro.bench.harness import run_app  # noqa: F401 (doc cross-ref)
+
+        ctx1 = OpenCtpu(Platform.with_tpus(1))
+        tpu_gemm_precise(ctx1, a, b, k_split=1)
+        t1 = ctx1.sync().timeline
+        ctx4 = OpenCtpu(Platform.with_tpus(1))
+        tpu_gemm_precise(ctx4, a, b, k_split=4)
+        t4 = ctx4.sync().timeline
+        assert t4.instructions > t1.instructions
+        assert t4.makespan > t1.makespan
+
+    def test_input_split_runs_more_gemms(self, ctx):
+        a, b = rand((64, 64), 12), rand((64, 64), 13)
+        before = ctx.pending_operations
+        tpu_gemm_precise(ctx, a, b, k_split=1, input_split=True)
+        # coarse*coarse + two cross terms + residual*residual (+ host op).
+        assert ctx.pending_operations - before >= 4
+
+    def test_k_split_larger_than_n_clamped(self, ctx):
+        a, b = rand((8, 4), 14), rand((4, 8), 15)
+        out = tpu_gemm_precise(ctx, a, b, k_split=100)
+        assert rmse_percent(out, a @ b) < 2.0
+
+    def test_invalid_arguments_rejected(self, ctx):
+        with pytest.raises(RuntimeAPIError):
+            tpu_gemm_precise(ctx, rand((4, 4)), rand((5, 4)))
+        with pytest.raises(RuntimeAPIError):
+            tpu_gemm_precise(ctx, rand((4, 4)), rand((4, 4)), k_split=0)

@@ -1,0 +1,83 @@
+"""Tests for the reduction/scan extension ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeAPIError
+from repro.host.platform import Platform
+from repro.metrics import rmse_percent
+from repro.ops.scan import tpu_prefix_sum, tpu_reduce_sum
+from repro.runtime.api import OpenCtpu
+
+
+@pytest.fixture()
+def ctx():
+    return OpenCtpu(Platform.with_tpus(2))
+
+
+class TestReduceSum:
+    def test_matches_numpy(self, ctx):
+        x = np.random.default_rng(0).uniform(0, 4, 5000)
+        total = tpu_reduce_sum(ctx, x)
+        assert total == pytest.approx(x.sum(), rel=0.01)
+
+    def test_perfect_square_lengths(self, ctx):
+        x = np.ones(64 * 64)
+        assert tpu_reduce_sum(ctx, x) == pytest.approx(4096.0, rel=0.01)
+
+    def test_single_element(self, ctx):
+        assert tpu_reduce_sum(ctx, np.array([7.0])) == pytest.approx(7.0, rel=0.02)
+
+    def test_invalid_input_rejected(self, ctx):
+        with pytest.raises(RuntimeAPIError):
+            tpu_reduce_sum(ctx, np.zeros((2, 2)))
+        with pytest.raises(RuntimeAPIError):
+            tpu_reduce_sum(ctx, np.array([]))
+
+
+class TestPrefixSum:
+    def test_matches_cumsum(self, ctx):
+        x = np.random.default_rng(1).uniform(0, 4, 4000)
+        scan = tpu_prefix_sum(ctx, x)
+        assert scan.shape == x.shape
+        assert rmse_percent(scan, np.cumsum(x)) < 1.0
+
+    def test_monotone_up_to_quantization(self, ctx):
+        x = np.random.default_rng(2).uniform(0.1, 1.0, 900)
+        scan = tpu_prefix_sum(ctx, x)
+        assert scan[-1] > scan[0]
+        # The final device add requantizes at ~total/127 steps, so local
+        # dips up to a couple of steps are the expected 8-bit behaviour;
+        # anything larger would be an algorithmic error.
+        step = 2.1 * scan[-1] / 127
+        assert np.sum(np.diff(scan) < -2 * step) == 0
+
+    def test_final_element_is_the_total(self, ctx):
+        x = np.random.default_rng(3).uniform(0, 2, 2500)
+        scan = tpu_prefix_sum(ctx, x)
+        assert scan[-1] == pytest.approx(x.sum(), rel=0.02)
+
+    def test_non_square_length_padding(self, ctx):
+        x = np.random.default_rng(4).uniform(0, 4, 1000)  # 1000 < 32^2
+        scan = tpu_prefix_sum(ctx, x)
+        assert scan.size == 1000
+        assert rmse_percent(scan, np.cumsum(x)) < 1.0
+
+    @given(st.integers(4, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_property_any_length_works(self, n, ):
+        ctx = OpenCtpu(Platform.with_tpus(1))
+        x = np.linspace(0.1, 1.0, n)
+        scan = tpu_prefix_sum(ctx, x)
+        assert scan.size == n
+        assert rmse_percent(scan, np.cumsum(x)) < 2.0
+
+    def test_scan_uses_the_device(self, ctx):
+        x = np.random.default_rng(5).uniform(0, 4, 1024)
+        before = ctx.pending_operations
+        tpu_prefix_sum(ctx, x)
+        assert ctx.pending_operations - before >= 3  # gemm + matvec + add
+        report = ctx.sync()
+        assert report.timeline.instructions > 0

@@ -1,0 +1,115 @@
+"""Property-based tests on the runtime's core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.edgetpu.isa import Opcode
+from repro.host.platform import Platform
+from repro.metrics import rmse_percent
+from repro.runtime import OpenCtpu
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.runtime.tensorizer import Tensorizer
+
+finite = st.floats(-1e4, 1e4, allow_nan=False, width=64)
+small_shape = st.tuples(st.integers(1, 40), st.integers(1, 40))
+
+
+def make_request(op, *inputs, **attrs):
+    return OperationRequest(
+        task_id=0,
+        opcode=op,
+        inputs=tuple(np.asarray(x, dtype=np.float64) for x in inputs),
+        quant=QuantMode.SCALE,
+        attrs=attrs,
+    )
+
+
+class TestLoweringProperties:
+    @given(arrays(np.float64, small_shape, elements=finite))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_error_bounded_by_output_step(self, a):
+        """For any finite matrix, add's error stays within the output
+        quantization step plus both inputs' steps."""
+        tz = Tensorizer()
+        lowered = tz.lower(make_request(Opcode.ADD, a, a))
+        ref = a + a
+        bound = max(np.abs(ref).max(), 1e-12)
+        # measured-bound output scale => step <= 2*1.05*bound/254;
+        # inputs contribute up to one step each.
+        assert np.abs(lowered.result - ref).max() <= bound * (3 * 1.05 / 127) + 1e-9
+
+    @given(
+        st.integers(2, 24),
+        st.integers(2, 24),
+        st.integers(2, 24),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gemm_rmse_sub_percent_for_uniform_data(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0.0, 4.0, (m, n))
+        b = rng.uniform(0.0, 4.0, (n, k))
+        tz = Tensorizer()
+        lowered = tz.lower(make_request(Opcode.CONV2D, a, b, gemm=True))
+        assert lowered.result.shape == (m, k)
+        assert rmse_percent(lowered.result, a @ b) < 1.5
+
+    @given(arrays(np.float64, small_shape, elements=finite))
+    @settings(max_examples=30, deadline=None)
+    def test_lowering_is_deterministic(self, a):
+        r1 = Tensorizer().lower(make_request(Opcode.RELU, a))
+        r2 = Tensorizer().lower(make_request(Opcode.RELU, a))
+        np.testing.assert_array_equal(r1.result, r2.result)
+        assert [i.exec_seconds for i in r1.instrs] == [i.exec_seconds for i in r2.instrs]
+
+    @given(arrays(np.float64, small_shape, elements=finite))
+    @settings(max_examples=30, deadline=None)
+    def test_instruction_bytes_cover_the_input(self, a):
+        """Pairwise lowering ships exactly one int8 byte per element per
+        operand (plus model headers)."""
+        tz = Tensorizer()
+        lowered = tz.lower(make_request(Opcode.MUL, a, a))
+        data_bytes = sum(i.data_bytes for i in lowered.instrs)
+        out_bytes = sum(i.out_bytes for i in lowered.instrs)
+        assert data_bytes == a.size
+        assert out_bytes == a.size
+
+    @given(st.integers(1, 300), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_reduction_mean_within_one_step(self, n_elems, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0.0, 10.0, (max(1, n_elems // 7 + 1), 7))
+        tz = Tensorizer()
+        lowered = tz.lower(make_request(Opcode.MEAN, a))
+        step = a.max() / 127 if a.max() > 0 else 1e-12
+        assert abs(float(lowered.result) - a.mean()) <= step + 1e-9
+
+
+class TestEndToEndProperties:
+    @given(st.integers(1, 8), st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_results_independent_of_tpu_count(self, tpus, seed):
+        """Functional results never depend on the machine size."""
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0, 4, (48, 48))
+        ref_ctx = OpenCtpu(Platform.with_tpus(1))
+        ref = ref_ctx.invoke_operator("conv2D", a, a, gemm=True)
+        ctx = OpenCtpu(Platform.with_tpus(tpus))
+        out = ctx.invoke_operator("conv2D", a, a, gemm=True)
+        np.testing.assert_array_equal(ref, out)
+
+    @given(st.sampled_from(["add", "sub", "mul", "tanh", "ReLu"]), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_every_elementwise_op_shape_preserving(self, opname, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-2, 2, (19, 23))
+        ctx = OpenCtpu(Platform.with_tpus(1))
+        if opname in ("add", "sub", "mul"):
+            out = ctx.invoke_operator(opname, a, a)
+        else:
+            out = ctx.invoke_operator(opname, a)
+        assert out.shape == a.shape
+        assert np.all(np.isfinite(out))

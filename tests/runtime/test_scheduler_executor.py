@@ -1,0 +1,180 @@
+"""Tests for dispatch grouping (§6.1) and the DES executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.edgetpu.isa import Opcode
+from repro.host.platform import Platform
+from repro.runtime.executor import Executor
+from repro.runtime.opqueue import LoweredInstr, LoweredOperation, OperationRequest, QuantMode
+from repro.runtime.scheduler import SchedulePolicy, build_dispatch_groups
+from repro.runtime.tensorizer import Tensorizer
+
+
+def instr(group="", cache="", exec_s=1e-3, data=1000, out=100, count=1, task=0, label=""):
+    return LoweredInstr(
+        opcode=Opcode.ADD,
+        task_id=task,
+        group_key=group,
+        cache_key=cache,
+        data_bytes=data,
+        model_bytes=0,
+        model_build_seconds=0.0,
+        exec_seconds=exec_s,
+        out_bytes=out,
+        label=label,
+        count=count,
+    )
+
+
+def operation(instrs, cpu_seconds=0.0, task=0):
+    req = OperationRequest(task_id=task, opcode=Opcode.ADD, inputs=(np.zeros((2, 2)),),
+                           quant=QuantMode.SCALE)
+    return LoweredOperation(req, list(instrs), np.zeros((2, 2)), cpu_seconds=cpu_seconds)
+
+
+class TestDispatchGroups:
+    def test_consecutive_same_key_groups_together(self):
+        iq = [instr(group="g1"), instr(group="g1"), instr(group="g2")]
+        groups = build_dispatch_groups(iq)
+        assert [len(g.instrs) for g in groups] == [2, 1]
+        assert groups[0].key == "g1"
+
+    def test_empty_keys_are_singletons(self):
+        iq = [instr(), instr(), instr()]
+        groups = build_dispatch_groups(iq)
+        assert [len(g.instrs) for g in groups] == [1, 1, 1]
+
+    def test_locality_off_breaks_groups(self):
+        iq = [instr(group="g1"), instr(group="g1")]
+        groups = build_dispatch_groups(iq, SchedulePolicy(locality=False))
+        assert [len(g.instrs) for g in groups] == [1, 1]
+
+    def test_interleaved_keys_do_not_merge(self):
+        iq = [instr(group="a"), instr(group="b"), instr(group="a")]
+        groups = build_dispatch_groups(iq)
+        assert [g.key for g in groups] == ["a", "b", "a"]
+
+    def test_instruction_count_expands_bursts(self):
+        groups = build_dispatch_groups([instr(group="g", count=5), instr(group="g")])
+        assert groups[0].instruction_count == 6
+
+
+class TestExecutor:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SchedulerError):
+            Executor(Platform.with_tpus(1)).run([])
+
+    def test_single_instruction_timeline(self):
+        platform = Platform.with_tpus(1)
+        op = operation([instr(exec_s=2e-3, data=1024 * 1024, out=0)])
+        timeline = Executor(platform).run([op])
+        # ~6 ms transfer + 2 ms execute.
+        assert timeline.makespan == pytest.approx(8e-3, rel=0.1)
+        assert timeline.instructions == 1
+        assert timeline.bytes_transferred == 1024 * 1024
+
+    def test_independent_instrs_spread_across_tpus(self):
+        op = operation([instr(exec_s=10e-3, data=0, out=0) for _ in range(4)])
+        t1 = Executor(Platform.with_tpus(1)).run([op]).makespan
+        t4 = Executor(Platform.with_tpus(4)).run([op]).makespan
+        assert t1 == pytest.approx(40e-3, rel=0.05)
+        assert t4 == pytest.approx(10e-3, rel=0.05)
+
+    def test_grouped_instrs_stay_on_one_device(self):
+        platform = Platform.with_tpus(4)
+        op = operation([instr(group="g", exec_s=5e-3, data=0, out=0) for _ in range(4)])
+        timeline = Executor(platform).run([op])
+        # All four serialized on one TPU.
+        assert timeline.makespan == pytest.approx(20e-3, rel=0.05)
+        busy_tpus = [u for u in timeline.busy_by_unit if u.startswith("tpu")]
+        assert len(busy_tpus) == 1
+
+    def test_cache_key_avoids_repeat_transfers(self):
+        platform = Platform.with_tpus(1)
+        shared = [
+            instr(group="g", cache="chunkA", exec_s=1e-3, data=1024 * 1024, out=0)
+            for _ in range(3)
+        ]
+        timeline = Executor(platform).run([operation(shared)])
+        # Chunk transferred once (~6 ms), then 3 x 1 ms executes.
+        assert timeline.bytes_transferred == 1024 * 1024
+        assert timeline.makespan == pytest.approx(9e-3, rel=0.1)
+
+    def test_no_cache_key_transfers_every_time(self):
+        platform = Platform.with_tpus(1)
+        uncached = [instr(exec_s=1e-3, data=1024 * 1024, out=0) for _ in range(3)]
+        timeline = Executor(platform).run([operation(uncached)])
+        assert timeline.bytes_transferred == 3 * 1024 * 1024
+
+    def test_locality_off_migrates_and_retransfers(self):
+        # With locality off, the cached chunk lands on several devices.
+        ops = [
+            operation(
+                [instr(group="g", cache="chunkA", exec_s=20e-3, data=1024 * 1024, out=0)
+                 for _ in range(4)]
+            )
+        ]
+        on = Executor(Platform.with_tpus(4), SchedulePolicy(locality=True)).run(ops)
+        ops2 = [
+            operation(
+                [instr(group="g", cache="chunkA", exec_s=20e-3, data=1024 * 1024, out=0)
+                 for _ in range(4)]
+            )
+        ]
+        off = Executor(Platform.with_tpus(4), SchedulePolicy(locality=False)).run(ops2)
+        assert on.bytes_transferred == 1024 * 1024
+        assert off.bytes_transferred == 4 * 1024 * 1024
+
+    def test_burst_occupies_device_for_count_times_exec(self):
+        platform = Platform.with_tpus(1)
+        timeline = Executor(platform).run([operation([instr(exec_s=1e-3, count=10, data=0, out=0)])])
+        assert timeline.makespan == pytest.approx(10e-3, rel=0.05)
+        assert timeline.instructions == 10
+
+    def test_cpu_aggregation_charged_after_last_instr(self):
+        platform = Platform.with_tpus(1)
+        op = operation([instr(exec_s=1e-3, data=0, out=0)], cpu_seconds=5e-3)
+        timeline = Executor(platform).run([op])
+        assert timeline.makespan == pytest.approx(6e-3, rel=0.05)
+        assert timeline.busy_by_unit.get("cpu-core", 0) == pytest.approx(5e-3, rel=0.05)
+
+    def test_model_build_overlaps_transfer(self):
+        platform = Platform.with_tpus(1)
+        fast_build = LoweredInstr(
+            opcode=Opcode.ADD, task_id=0, group_key="", cache_key="",
+            data_bytes=1024 * 1024, model_bytes=0, model_build_seconds=3e-3,
+            exec_seconds=1e-3, out_bytes=0,
+        )
+        timeline = Executor(platform).run([operation([fast_build])])
+        # Build (3 ms) hides under the 6 ms transfer; total ~7 ms.
+        assert timeline.makespan == pytest.approx(7e-3, rel=0.1)
+
+    def test_output_transfer_included(self):
+        platform = Platform.with_tpus(1)
+        op = operation([instr(exec_s=1e-3, data=0, out=1024 * 1024)])
+        timeline = Executor(platform).run([op])
+        assert timeline.makespan == pytest.approx(7e-3, rel=0.1)
+
+    def test_tpu_busy_seconds_helper(self):
+        platform = Platform.with_tpus(2)
+        op = operation([instr(exec_s=4e-3, data=0, out=0) for _ in range(2)])
+        timeline = Executor(platform).run([op])
+        assert timeline.tpu_busy_seconds() == pytest.approx(8e-3, rel=0.05)
+
+
+class TestEndToEndRuntimeScaling:
+    def test_gemm_scales_with_tpus(self):
+        """Fig. 8 mechanism: more TPUs shorten the same instruction stream."""
+        rng = np.random.default_rng(0)
+        a, b = rng.uniform(0, 4, (256, 256)), rng.uniform(0, 4, (256, 256))
+        times = {}
+        for n in (1, 4):
+            platform = Platform.with_tpus(n)
+            tz = Tensorizer(platform.config.edgetpu, cpu=platform.cpu)
+            lowered = tz.lower(
+                OperationRequest(0, Opcode.CONV2D, (a, b), QuantMode.SCALE, {"gemm": True})
+            )
+            times[n] = Executor(platform).run([lowered]).makespan
+        assert times[1] / times[4] > 2.0

@@ -1,0 +1,332 @@
+"""Tests for Tensorizer lowering (paper §6.2, §7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorizerError
+from repro.edgetpu.isa import Opcode
+from repro.metrics import mape_percent, rmse_percent
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.runtime.tensorizer import Tensorizer, TensorizerOptions
+
+
+@pytest.fixture()
+def tz():
+    return Tensorizer()
+
+
+def request(op, *inputs, task_id=0, quant=QuantMode.SCALE, **attrs):
+    return OperationRequest(
+        task_id=task_id,
+        opcode=op,
+        inputs=tuple(np.asarray(x, dtype=np.float64) for x in inputs),
+        quant=quant,
+        attrs=attrs,
+    )
+
+
+def rand(shape, lo=0.0, hi=4.0, seed=0):
+    return np.random.default_rng(seed).uniform(lo, hi, shape)
+
+
+class TestPairwise:
+    @pytest.mark.parametrize(
+        "op,fn",
+        [
+            (Opcode.ADD, np.add),
+            (Opcode.SUB, np.subtract),
+            (Opcode.MUL, np.multiply),
+        ],
+    )
+    def test_result_close_to_float(self, tz, op, fn):
+        a, b = rand((200, 150), seed=1), rand((200, 150), seed=2)
+        lowered = tz.lower(request(op, a, b))
+        assert rmse_percent(lowered.result, fn(a, b)) < 1.0
+
+    def test_tiles_into_128_submatrices(self, tz):
+        a = rand((256, 256))
+        lowered = tz.lower(request(Opcode.ADD, a, a))
+        assert lowered.instruction_count == 4
+        assert all(i.opcode is Opcode.ADD for i in lowered.instrs)
+
+    def test_edge_tiles_handled(self, tz):
+        a, b = rand((130, 5), seed=3), rand((130, 5), seed=4)
+        lowered = tz.lower(request(Opcode.SUB, a, b))
+        assert lowered.instruction_count == 2
+        assert lowered.result.shape == (130, 5)
+
+    def test_mismatched_shapes_rejected(self, tz):
+        with pytest.raises(TensorizerError):
+            tz.lower(request(Opcode.ADD, rand((4, 4)), rand((4, 5))))
+
+    def test_pairwise_never_saturates_with_eq6_scale(self, tz):
+        a = rand((100, 100), -10, 10, seed=5)
+        b = rand((100, 100), -10, 10, seed=6)
+        lowered = tz.lower(request(Opcode.ADD, a, b))
+        assert lowered.saturated == 0
+
+    def test_global_quant_mode_uses_one_scale(self, tz):
+        # GLOBAL on data with one outlier tile: local tiles lose accuracy.
+        a = rand((256, 256), 0, 1, seed=7)
+        a[200, 200] = 100.0
+        b = rand((256, 256), 0, 1, seed=8)
+        per_tile = tz.lower(request(Opcode.ADD, a, b, quant=QuantMode.SCALE))
+        global_ = tz.lower(request(Opcode.ADD, a, b, quant=QuantMode.GLOBAL))
+        ref = a + b
+        assert mape_percent(per_tile.result, ref) <= mape_percent(global_.result, ref)
+
+
+class TestUnary:
+    def test_relu_matches_float(self, tz):
+        a = rand((140, 140), -5, 5, seed=9)
+        lowered = tz.lower(request(Opcode.RELU, a))
+        assert rmse_percent(lowered.result, np.maximum(a, 0)) < 1.0
+
+    def test_tanh_matches_float(self, tz):
+        a = rand((64, 64), -2, 2, seed=10)
+        lowered = tz.lower(request(Opcode.TANH, a))
+        assert np.abs(lowered.result - np.tanh(a)).max() < 0.03
+
+    def test_unary_has_no_model(self, tz):
+        lowered = tz.lower(request(Opcode.RELU, rand((64, 64))))
+        assert all(i.model_bytes == 0 for i in lowered.instrs)
+
+
+class TestReductions:
+    def test_mean_uses_64_tiles_and_cpu_aggregation(self, tz):
+        a = rand((128, 128), seed=11)
+        lowered = tz.lower(request(Opcode.MEAN, a))
+        assert lowered.instruction_count == 4  # 2x2 grid of 64x64
+        assert lowered.cpu_seconds > 0
+        assert float(lowered.result) == pytest.approx(a.mean(), rel=0.02)
+
+    def test_max_is_nearly_exact(self, tz):
+        a = rand((200, 90), 0, 7, seed=12)
+        lowered = tz.lower(request(Opcode.MAX, a))
+        # max is exact up to input quantization (half a step).
+        assert float(lowered.result) == pytest.approx(a.max(), rel=0.01)
+
+    def test_uneven_mean_weighting(self, tz):
+        # Non-divisible shape: edge tiles must be weighted by size.
+        a = np.zeros((65, 65))
+        a[:64, :64] = 1.0  # mean = 4096/4225
+        lowered = tz.lower(request(Opcode.MEAN, a))
+        assert float(lowered.result) == pytest.approx(4096 / 4225, abs=0.01)
+
+
+class TestMatvec:
+    def test_matvec_matches_float(self, tz):
+        vec = rand((256,), seed=13)
+        mat = rand((256, 192), seed=14)
+        lowered = tz.lower(request(Opcode.FULLY_CONNECTED, vec, mat))
+        assert lowered.result.shape == (192,)
+        assert rmse_percent(lowered.result, vec @ mat) < 1.5
+
+    def test_matvec_instruction_count(self, tz):
+        vec = rand((256,), seed=15)
+        mat = rand((256, 256), seed=16)
+        lowered = tz.lower(request(Opcode.FULLY_CONNECTED, vec, mat))
+        assert lowered.instruction_count == 4  # 2 k-tiles x 2 col-tiles
+
+    def test_model_cache_key_propagates(self, tz):
+        vec = rand((128,), seed=17)
+        mat = rand((128, 128), seed=18)
+        lowered = tz.lower(request(Opcode.FULLY_CONNECTED, vec, mat, model_name="adj"))
+        assert all(i.model_cache_key.startswith("adj:") for i in lowered.instrs)
+
+    def test_dimension_mismatch_rejected(self, tz):
+        with pytest.raises(TensorizerError):
+            tz.lower(request(Opcode.FULLY_CONNECTED, rand((8,)), rand((9, 4))))
+
+
+class TestGemmConv2D:
+    """§7.1.2: the strided-conv2D GEMM."""
+
+    def test_result_close_to_float_gemm(self, tz):
+        a, b = rand((96, 96), seed=19), rand((96, 96), seed=20)
+        lowered = tz.lower(request(Opcode.CONV2D, a, b, gemm=True))
+        assert rmse_percent(lowered.result, a @ b) < 1.0
+
+    def test_rectangular_gemm(self, tz):
+        a, b = rand((60, 100), seed=21), rand((100, 30), seed=22)
+        lowered = tz.lower(request(Opcode.CONV2D, a, b, gemm=True))
+        assert lowered.result.shape == (60, 30)
+        assert rmse_percent(lowered.result, a @ b) < 1.0
+
+    def test_integer_inputs_stay_sub_percent(self, tz):
+        # Table 5 scenario: positive integers up to 128 quantize exactly.
+        rng = np.random.default_rng(23)
+        a = rng.integers(0, 128, (64, 64)).astype(float)
+        b = rng.integers(0, 128, (64, 64)).astype(float)
+        lowered = tz.lower(request(Opcode.CONV2D, a, b, gemm=True))
+        assert rmse_percent(lowered.result, a @ b) < 1.0
+
+    def test_lowering_matches_device_conv2d_semantics(self, tz):
+        """The blocked matmul lowering must equal literally running the
+        §7.1.2 algorithm through the conv2D instruction."""
+        import math
+
+        from repro.edgetpu import functional
+        from repro.edgetpu.quantize import params_for_data, quantize
+
+        rng = np.random.default_rng(24)
+        m, n, k = 8, 10, 6
+        a = rng.uniform(0, 3, (m, n))
+        b = rng.uniform(0, 3, (n, k))
+        s = math.isqrt(n)
+        if s * s < n:
+            s += 1
+        pa, pb = params_for_data(a), params_for_data(b)
+        qa, qb = quantize(a, pa), quantize(b, pb)
+        # Reshape rows of A into s x s sub-matrices stacked vertically.
+        data = np.zeros((m * s, s), dtype=np.int8)
+        for i in range(m):
+            padded = np.zeros(s * s, dtype=np.int8)
+            padded[:n] = qa[i]
+            data[i * s : (i + 1) * s] = padded.reshape(s, s)
+        # Columns of B become kernels.
+        kernels = np.zeros((k, s, s), dtype=np.int8)
+        for j in range(k):
+            padded = np.zeros(s * s, dtype=np.int8)
+            padded[:n] = qb[:, j]
+            kernels[j] = padded.reshape(s, s)
+        conv = functional.conv2d(data, kernels, pa.scale, pb.scale, stride=(s, s))
+        via_conv2d = conv.acc[:, :, 0].T / conv.acc_scale  # (m, k)
+        ref = (qa.astype(np.int64) @ qb.astype(np.int64)) / (pa.scale * pb.scale)
+        np.testing.assert_allclose(via_conv2d, ref, rtol=1e-12)
+
+    def test_chunking_creates_parallel_groups(self, tz):
+        a, b = rand((512, 512), seed=25), rand((512, 512), seed=26)
+        lowered = tz.lower(request(Opcode.CONV2D, a, b, gemm=True))
+        groups = {i.group_key for i in lowered.instrs}
+        assert len(groups) >= 8  # enough chunks to feed 8 TPUs
+
+    def test_cache_keys_reused_within_chunk(self, tz):
+        opts = TensorizerOptions(min_gemm_chunks=2)
+        tz2 = Tensorizer(options=opts)
+        a, b = rand((256, 256), seed=27), rand((256, 256), seed=28)
+        lowered = tz2.lower(request(Opcode.CONV2D, a, b, gemm=True))
+        by_key = {}
+        for i in lowered.instrs:
+            by_key.setdefault(i.cache_key, 0)
+            by_key[i.cache_key] += 1
+        assert max(by_key.values()) > 1  # several kernel batches per chunk
+
+    def test_kernel_batching_reduces_instruction_count(self):
+        a, b = rand((256, 256), seed=29), rand((256, 256), seed=30)
+        batched = Tensorizer(options=TensorizerOptions(kernel_batching=True)).lower(
+            request(Opcode.CONV2D, a, b, gemm=True)
+        )
+        single = Tensorizer(options=TensorizerOptions(kernel_batching=False)).lower(
+            request(Opcode.CONV2D, a, b, gemm=True)
+        )
+        assert batched.instruction_count < single.instruction_count
+        # Batching changes per-kernel quantization grouping slightly;
+        # both must stay faithful to the float product.
+        ref = a @ b
+        assert rmse_percent(batched.result, ref) < 1.0
+        assert rmse_percent(single.result, ref) < 1.0
+
+    def test_transformation_charged_to_cpu(self, tz):
+        lowered = tz.lower(request(Opcode.CONV2D, rand((64, 64)), rand((64, 64)), gemm=True))
+        assert lowered.cpu_seconds > 0
+
+    def test_inner_dim_mismatch_rejected(self, tz):
+        with pytest.raises(TensorizerError):
+            tz.lower(request(Opcode.CONV2D, rand((8, 9)), rand((8, 4)), gemm=True))
+
+
+class TestGemmFullyConnected:
+    """§7.1.1: GEMM through FullyConnected — functional twin, slower."""
+
+    def test_result_close_to_float_gemm(self, tz):
+        a, b = rand((96, 96), seed=31), rand((96, 96), seed=32)
+        lowered = tz.lower(request(Opcode.FULLY_CONNECTED, a, b))
+        assert rmse_percent(lowered.result, a @ b) < 1.0
+
+    def test_instruction_count_is_m_rows_times_tiles(self, tz):
+        a, b = rand((100, 256), seed=33), rand((256, 256), seed=34)
+        lowered = tz.lower(request(Opcode.FULLY_CONNECTED, a, b))
+        # 100 rows x 2 k-tiles x 2 col-tiles.
+        assert lowered.instruction_count == 400
+
+    def test_fc_gemm_much_slower_than_conv2d_gemm(self, tz):
+        """§7.1.3: conv2D-based GEMM beats the FullyConnected version by
+        a large factor (43x at 4K in the paper)."""
+        a, b = rand((256, 256), seed=35), rand((256, 256), seed=36)
+        fc = tz.lower(request(Opcode.FULLY_CONNECTED, a, b))
+        conv = tz.lower(request(Opcode.CONV2D, a, b, gemm=True))
+        assert fc.total_exec_seconds > 5 * conv.total_exec_seconds
+
+
+class TestConv2DStencil:
+    def test_matches_scipy_valid_correlation(self, tz):
+        from scipy.signal import correlate2d
+
+        a = rand((200, 180), seed=37)
+        kern = np.array([[0.1, 0.2, 0.1], [0.2, 0.4, 0.2], [0.1, 0.2, 0.1]])
+        lowered = tz.lower(request(Opcode.CONV2D, a, kern))
+        ref = correlate2d(a, kern, mode="valid")
+        assert rmse_percent(lowered.result, ref) < 1.5
+
+    def test_halo_tiles_stitch_without_seams(self, tz):
+        from scipy.signal import correlate2d
+
+        a = rand((300, 300), seed=38)  # forces multiple tiles
+        kern = np.ones((3, 3)) / 9
+        lowered = tz.lower(request(Opcode.CONV2D, a, kern))
+        ref = correlate2d(a, kern, mode="valid")
+        # Per-element error bounded (no tile-boundary artifacts).
+        assert np.abs(lowered.result - ref).max() < 0.15
+        assert lowered.instruction_count > 1
+
+    def test_kernel_too_large_rejected(self, tz):
+        with pytest.raises(TensorizerError):
+            tz.lower(request(Opcode.CONV2D, rand((4, 4)), rand((5, 5))))
+
+
+class TestDataMovement:
+    def test_crop(self, tz):
+        a = rand((16, 16), seed=39)
+        lowered = tz.lower(request(Opcode.CROP, a, crop_box=(2, 3, 4, 5)))
+        assert lowered.result.shape == (4, 5)
+        assert rmse_percent(lowered.result, a[2:6, 3:8]) < 1.0
+
+    def test_ext(self, tz):
+        a = rand((4, 4), seed=40)
+        lowered = tz.lower(request(Opcode.EXT, a, ext_shape=(8, 8), ext_offset=(2, 2)))
+        assert lowered.result.shape == (8, 8)
+        assert lowered.result[0, 0] == 0.0
+
+    def test_missing_attrs_rejected(self, tz):
+        with pytest.raises(TensorizerError):
+            tz.lower(request(Opcode.CROP, rand((4, 4))))
+        with pytest.raises(TensorizerError):
+            tz.lower(request(Opcode.EXT, rand((4, 4))))
+
+
+class TestCosts:
+    def test_every_model_build_is_costed(self, tz):
+        a, b = rand((256, 256), seed=41), rand((256, 256), seed=42)
+        before = tz.stats.models_built
+        lowered = tz.lower(request(Opcode.ADD, a, b))
+        assert tz.stats.models_built - before == len(lowered.instrs)
+        assert all(i.model_build_seconds > 0 for i in lowered.instrs)
+
+    def test_fast_builder_orders_of_magnitude_cheaper(self):
+        a, b = rand((256, 256), seed=43), rand((256, 256), seed=44)
+        fast = Tensorizer(options=TensorizerOptions(fast_model_builder=True)).lower(
+            request(Opcode.ADD, a, b)
+        )
+        slow = Tensorizer(options=TensorizerOptions(fast_model_builder=False)).lower(
+            request(Opcode.ADD, a, b)
+        )
+        fast_build = sum(i.model_build_seconds for i in fast.instrs)
+        slow_build = sum(i.model_build_seconds for i in slow.instrs)
+        assert slow_build > 100 * fast_build
+
+    def test_stats_accumulate(self, tz):
+        tz.lower(request(Opcode.RELU, rand((64, 64), seed=45)))
+        tz.lower(request(Opcode.MEAN, rand((64, 64), seed=46)))
+        assert tz.stats.operations_lowered == 2
+        assert tz.stats.instructions_emitted >= 2

@@ -1,0 +1,177 @@
+"""Additional DES kernel tests: failures, interrupts, tracing edge cases."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine
+from repro.sim.trace import Tracer
+
+
+class TestFailurePropagation:
+    def test_event_fail_raises_in_waiter(self):
+        eng = Engine()
+        gate = eng.event("gate")
+
+        def failer():
+            yield eng.timeout(1.0)
+            gate.fail(RuntimeError("device lost"))
+
+        def waiter():
+            try:
+                yield gate
+            except RuntimeError as exc:
+                return f"caught: {exc}"
+
+        eng.process(failer())
+        assert eng.run_process(waiter()) == "caught: device lost"
+
+    def test_fail_requires_an_exception(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            eng.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_value_of_failed_event_reraises(self):
+        eng = Engine()
+        evt = eng.event()
+        evt.fail(ValueError("bad"))
+        with pytest.raises(ValueError, match="bad"):
+            _ = evt.value
+
+    def test_all_of_fails_with_first_child_failure(self):
+        eng = Engine()
+
+        def ok():
+            yield eng.timeout(2.0)
+            return "fine"
+
+        def bad():
+            yield eng.timeout(1.0)
+            raise OSError("boom")
+
+        def waiter():
+            try:
+                yield AllOf(eng, [eng.process(ok()), eng.process(bad())])
+            except OSError:
+                return eng.now
+
+        assert eng.run_process(waiter()) == 1.0
+
+    def test_any_of_fails_if_first_completion_failed(self):
+        eng = Engine()
+
+        def bad():
+            yield eng.timeout(1.0)
+            raise OSError("early failure")
+
+        def slow():
+            yield eng.timeout(5.0)
+
+        def waiter():
+            try:
+                yield AnyOf(eng, [eng.process(slow()), eng.process(bad())])
+            except OSError:
+                return "failed-first"
+
+        assert eng.run_process(waiter()) == "failed-first"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_a_sleeping_process(self):
+        eng = Engine()
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except SimulationError as exc:
+                return (eng.now, str(exc))
+
+        proc = eng.process(sleeper())
+
+        def killer():
+            yield eng.timeout(2.0)
+            proc.interrupt("shutdown requested")
+
+        eng.process(killer())
+        eng.run()
+        assert proc.value == (2.0, "shutdown requested")
+
+    def test_uncaught_interrupt_fails_the_process(self):
+        eng = Engine()
+
+        def sleeper():
+            yield eng.timeout(100.0)
+
+        proc = eng.process(sleeper())
+
+        def killer():
+            yield eng.timeout(1.0)
+            proc.interrupt()
+
+        eng.process(killer())
+
+        def supervisor():
+            # Waits on the sleeper from the start, so the interrupt's
+            # failure is delivered here instead of surfacing unobserved.
+            try:
+                yield proc
+            except SimulationError:
+                return "observed"
+
+        assert eng.run_process(supervisor()) == "observed"
+
+    def test_unobserved_interrupt_surfaces_immediately(self):
+        eng = Engine()
+
+        def sleeper():
+            yield eng.timeout(100.0)
+
+        proc = eng.process(sleeper())
+
+        def killer():
+            yield eng.timeout(1.0)
+            proc.interrupt("nobody is watching")
+
+        eng.process(killer())
+        with pytest.raises(SimulationError, match="nobody is watching"):
+            eng.run()
+
+
+class TestTracerEdgeCases:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().record(2.0, 1.0, "x", "u")
+
+    def test_busy_seconds_merges_overlaps(self):
+        tracer = Tracer()
+        tracer.record(0.0, 2.0, "a", "u")
+        tracer.record(1.0, 3.0, "b", "u")
+        tracer.record(5.0, 6.0, "c", "u")
+        assert tracer.busy_seconds()["u"] == pytest.approx(4.0)
+
+    def test_busy_seconds_since_boundary(self):
+        tracer = Tracer()
+        tracer.record(0.0, 1.0, "a", "u")
+        tracer.record(1.0, 2.0, "b", "u")
+        assert tracer.busy_seconds(since=1.0)["u"] == pytest.approx(1.0)
+
+    def test_span_and_len(self):
+        tracer = Tracer()
+        assert tracer.span() is None
+        tracer.record(1.0, 2.0, "a", "u")
+        tracer.record(0.5, 1.5, "b", "v")
+        assert tracer.span() == (0.5, 2.0)
+        assert len(tracer) == 2
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(0.0, 1.0, "a", "u")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.busy_seconds() == {}
+
+    def test_by_unit_and_by_kind(self):
+        tracer = Tracer()
+        tracer.record(0.0, 1.0, "transfer", "tpu0")
+        tracer.record(0.0, 1.0, "instruction", "tpu1")
+        assert len(tracer.by_unit("tpu0")) == 1
+        assert len(tracer.by_kind("instruction")) == 1

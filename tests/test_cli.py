@@ -1,0 +1,116 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_characterize_prints_table1(capsys):
+    assert main(["characterize"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    for opname in ("conv2D", "FullyConnected", "ReLu"):
+        assert opname in out
+    assert "Data exchange" in out
+
+
+def test_run_single_app(capsys):
+    assert main(["run", "gemm", "--param", "n=96"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "RMSE" in out
+    assert "PCIe bytes" in out
+
+
+def test_run_with_tpus_and_seed(capsys):
+    assert main(["run", "gemm", "--tpus", "4", "--param", "n=96", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "GPTPU (4 TPU)" in out
+
+
+def test_run_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "crysis"])
+
+
+def test_bad_param_rejected():
+    with pytest.raises(SystemExit, match="key=value"):
+        main(["run", "gemm", "--param", "n"])
+    with pytest.raises(SystemExit, match="integers"):
+        main(["run", "gemm", "--param", "n=abc"])
+
+
+def test_table3_lists_all_benchmarks(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    for name in ("GEMM", "PageRank", "HotSpot3D", "BlackScholes"):
+        assert name in out
+    assert "GiB" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+class TestChromeTraceExport:
+    def test_events_have_trace_format_fields(self):
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
+        tracer.record(0.0, 1e-3, "instruction", "tpu0", label="conv", opcode="conv2D")
+        events = tracer.to_chrome_trace()
+        assert len(events) == 1
+        evt = events[0]
+        assert evt["ph"] == "X"
+        assert evt["ts"] == 0.0
+        assert evt["dur"] == pytest.approx(1000.0)
+        assert evt["tid"] == "tpu0"
+        assert evt["args"]["opcode"] == "conv2D"
+
+    def test_save_round_trips_json(self, tmp_path):
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
+        tracer.record(0.0, 2e-3, "transfer", "tpu1", nbytes=1024)
+        path = tmp_path / "trace.json"
+        tracer.save_chrome_trace(str(path))
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == 1
+        assert data["traceEvents"][0]["args"]["nbytes"] == 1024
+
+    def test_real_run_produces_loadable_trace(self, tmp_path):
+        import numpy as np
+
+        from repro.host.platform import Platform
+        from repro.ops import tpu_gemm
+        from repro.runtime.api import OpenCtpu
+
+        platform = Platform.with_tpus(2)
+        ctx = OpenCtpu(platform)
+        rng = np.random.default_rng(0)
+        tpu_gemm(ctx, rng.uniform(0, 4, (96, 96)), rng.uniform(0, 4, (96, 96)))
+        ctx.sync()
+        path = tmp_path / "gemm.json"
+        platform.tracer.save_chrome_trace(str(path))
+        events = json.loads(path.read_text())["traceEvents"]
+        kinds = {e["cat"] for e in events}
+        assert {"transfer", "instruction", "model_build"} <= kinds
+
+
+def test_report_command_bundles_results(capsys, tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "test_alpha.txt").write_text("alpha table\n")
+    (results / "test_beta.txt").write_text("beta table\n")
+    out_file = tmp_path / "report.md"
+    assert main(["report", "--results-dir", str(results), "--output", str(out_file)]) == 0
+    body = out_file.read_text()
+    assert "## test_alpha" in body and "beta table" in body
+
+
+def test_report_command_requires_results():
+    with pytest.raises(SystemExit, match="not found"):
+        main(["report", "--results-dir", "/nonexistent/dir"])

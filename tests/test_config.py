@@ -1,0 +1,107 @@
+"""Tests for the calibration constants and config variants."""
+
+import pytest
+
+from repro.config import (
+    CLOUD_TPU,
+    DEFAULT_CONFIG,
+    TABLE1_OPS,
+    TABLE1_RPS,
+    EdgeTPUConfig,
+    SystemConfig,
+)
+from repro.edgetpu.isa import Opcode
+from repro.edgetpu.timing import TimingModel
+
+
+class TestTable1Constants:
+    def test_covers_all_opcodes(self):
+        names = {op.opname for op in Opcode}
+        assert set(TABLE1_OPS) == names
+        assert set(TABLE1_RPS) == names
+
+    def test_constants_are_readonly(self):
+        with pytest.raises(TypeError):
+            TABLE1_OPS["conv2D"] = 1.0  # type: ignore[index]
+
+    def test_paper_values_spot_check(self):
+        assert TABLE1_OPS["conv2D"] == pytest.approx(10268.80)
+        assert TABLE1_RPS["ReLu"] == pytest.approx(4_043_196_115.38)
+
+
+class TestEdgeTPUConfig:
+    def test_paper_static_facts(self):
+        cfg = EdgeTPUConfig()
+        assert cfg.onchip_memory_bytes == 8 * 1024 * 1024  # §2.2
+        assert cfg.peak_tops == 4.0  # §1
+        assert cfg.tdp_watts == 2.0
+        assert cfg.matrix_unit_dim == 128  # §3.3
+        assert cfg.reduction_tile_dim == 64  # §6.2.1
+
+    def test_perf_per_watt_matches_section_2_2(self):
+        # "2 TOPS/W v.s. 0.36 TOPS/W"
+        assert EdgeTPUConfig().peak_tops_per_watt == pytest.approx(2.0)
+        assert CLOUD_TPU.peak_tops_per_watt == pytest.approx(0.36)
+
+    def test_cloud_tpu_matrix_unit_is_256(self):
+        # §3.3: "in contrast to the Cloud TPU matrix unit, which is
+        # designed for 256x256x8-bit matrices".
+        assert CLOUD_TPU.matrix_unit_dim == 256
+
+    def test_rate_scale_speeds_up_instructions(self):
+        edge = TimingModel(EdgeTPUConfig())
+        cloud = TimingModel(CLOUD_TPU)
+        for op in (Opcode.CONV2D, Opcode.ADD):
+            assert cloud.issue_floor_seconds(op) < edge.issue_floor_seconds(op)
+        assert cloud.instruction_seconds(Opcode.CONV2D, 16384, macs=10**9) < \
+            edge.instruction_seconds(Opcode.CONV2D, 16384, macs=10**9)
+
+    def test_edge_cheaper_per_watt_than_cloud(self):
+        # The paper's reason (2) + (3) for choosing Edge TPUs.
+        assert EdgeTPUConfig().peak_tops_per_watt > 5 * CLOUD_TPU.peak_tops_per_watt
+
+
+class TestSystemConfig:
+    def test_prototype_defaults(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.num_edge_tpus == 8  # §3.1
+        assert cfg.tpus_per_card == 4  # Fig. 1
+        assert cfg.idle_power_watts == 40.0  # §8.1
+        assert cfg.interconnect == "pcie"
+
+    def test_with_tpus_is_a_copy(self):
+        cfg = SystemConfig()
+        small = cfg.with_tpus(2)
+        assert small.num_edge_tpus == 2
+        assert cfg.num_edge_tpus == 8
+
+    def test_cpu_power_in_measured_band(self):
+        # §8.1: a loaded Matisse core consumes 6.5 W to 12.5 W.
+        assert 6.5 <= SystemConfig().cpu.core_active_power_watts <= 12.5
+
+    def test_tpu_power_in_measured_band(self):
+        # §8.1: each active Edge TPU adds 0.9 W to 1.4 W.
+        assert 0.9 <= SystemConfig().edgetpu.active_power_watts <= 1.4
+
+
+class TestCloudVariantEndToEnd:
+    def test_cloud_platform_runs_apps_faster(self):
+        from repro.bench.harness import run_app
+        from repro.config import CLOUD_TPU
+
+        edge = run_app("gemm", params={"n": 512})
+        cloud = run_app("gemm", params={"n": 512},
+                        config=SystemConfig(edgetpu=CLOUD_TPU))
+        assert cloud.gptpu.wall_seconds < edge.gptpu.wall_seconds
+        # Results identical: rate_scale changes time, not math.
+        assert cloud.rmse_percent == pytest.approx(edge.rmse_percent)
+
+    def test_characterization_scales_with_rate(self):
+        from repro.bench.characterize import characterize_op
+        from repro.config import CLOUD_TPU
+        from repro.edgetpu.device import EdgeTPUDevice
+        from repro.edgetpu.isa import Opcode
+
+        edge_row = characterize_op(Opcode.CONV2D)
+        cloud_row = characterize_op(Opcode.CONV2D, EdgeTPUDevice("cloud", CLOUD_TPU))
+        assert cloud_row.ops == pytest.approx(edge_row.ops * 22.5, rel=0.01)

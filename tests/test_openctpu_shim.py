@@ -1,0 +1,82 @@
+"""Tests for the C-style Table 2 API shim — the Fig. 3 listing, ported."""
+
+import numpy as np
+import pytest
+
+import repro.openctpu as octpu
+from repro.errors import RuntimeAPIError
+from repro.metrics import rmse_percent
+
+
+@pytest.fixture(autouse=True)
+def fresh_context():
+    octpu.openctpu_init(num_tpus=2)
+    yield
+
+
+def test_fig3_listing_ports_line_by_line():
+    """The paper's full code sample through the C-style names."""
+    size = 64
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0, 4, (size, size))
+    b = rng.uniform(0, 4, (size, size))
+
+    matrix_a_d = octpu.openctpu_alloc_dimension(2, size, size)
+    matrix_b_d = octpu.openctpu_alloc_dimension(2, size, size)
+    matrix_c_d = octpu.openctpu_alloc_dimension(2, size, size)
+    tensor_a = octpu.openctpu_create_buffer(matrix_a_d, a)
+    tensor_b = octpu.openctpu_create_buffer(matrix_b_d, b)
+    tensor_c = octpu.openctpu_create_buffer(matrix_c_d)
+
+    def kernel(matrix_a, matrix_b, matrix_c):
+        octpu.openctpu_invoke_operator("conv2D", octpu.SCALE, matrix_a, matrix_b, matrix_c)
+
+    task = octpu.openctpu_enqueue(kernel, tensor_a, tensor_b, tensor_c)
+    octpu.openctpu_sync()
+
+    assert rmse_percent(tensor_c.require_data(), a @ b) < 1.0
+    assert isinstance(task, int)
+
+
+def test_wait_on_task():
+    size = 32
+    a = np.ones((size, size))
+    dim = octpu.openctpu_alloc_dimension(2, size, size)
+    buf_a = octpu.openctpu_create_buffer(dim, a)
+    buf_c = octpu.openctpu_create_buffer(dim)
+
+    def kernel(x, c):
+        octpu.openctpu_invoke_operator("add", octpu.SCALE, x, x, c)
+
+    task = octpu.openctpu_enqueue(kernel, buf_a, buf_c)
+    report = octpu.openctpu_wait(task)
+    assert report.wall_seconds > 0
+    np.testing.assert_allclose(buf_c.require_data(), 2.0, rtol=0.02)
+
+
+def test_uninitialized_context_rejected():
+    octpu._context = None
+    with pytest.raises(RuntimeAPIError, match="openctpu_init"):
+        octpu.openctpu_alloc_dimension(1, 4)
+
+
+def test_bad_flags_rejected():
+    dim = octpu.openctpu_alloc_dimension(2, 4, 4)
+    buf = octpu.openctpu_create_buffer(dim, np.ones((4, 4)))
+    out = octpu.openctpu_create_buffer(dim)
+    with pytest.raises(RuntimeAPIError, match="quantization flag"):
+        octpu.openctpu_invoke_operator("add", "EXACT", buf, buf, out)
+
+
+def test_output_must_be_a_buffer():
+    dim = octpu.openctpu_alloc_dimension(2, 4, 4)
+    buf = octpu.openctpu_create_buffer(dim, np.ones((4, 4)))
+    with pytest.raises(RuntimeAPIError, match="output buffer"):
+        octpu.openctpu_invoke_operator("add", octpu.SCALE, buf, np.ones((4, 4)))
+
+
+def test_reinit_replaces_platform():
+    first = octpu._context
+    octpu.openctpu_init(num_tpus=4)
+    assert octpu._context is not first
+    assert octpu._context.platform.num_tpus == 4
