@@ -104,7 +104,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    from repro.bench.profile import format_profile, profile_trace
+    from repro.bench.profile import format_profile, format_tensorizer_stats, profile_trace
     from repro.host.platform import Platform
     from repro.runtime.api import OpenCtpu
     from repro.apps import all_applications
@@ -119,6 +119,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     app.run_gptpu(inputs, ctx)
     print(f"{args.app} on {args.tpus} Edge TPU(s):\n")
     print(format_profile(profile_trace(platform.tracer)))
+    print()
+    print(format_tensorizer_stats(ctx.tensorizer.stats))
     if args.trace:
         platform.tracer.save_chrome_trace(args.trace)
         print(f"\nChrome trace written to {args.trace}")

@@ -15,7 +15,7 @@ throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -177,6 +177,196 @@ def tanh(data: np.ndarray, scale: float) -> OpResult:
 def relu(data: np.ndarray, scale: float) -> OpResult:
     """Elementwise ReLU (Table 1: "Leave only non-zero values") — exact."""
     return OpResult(acc=np.maximum(data.astype(np.int64), 0), acc_scale=scale, macs=0)
+
+
+# ---------------------------------------------------------------------------
+# Batched kernels (vectorized Tensorizer path)
+# ---------------------------------------------------------------------------
+#
+# Each batched kernel executes one instruction per slice of a stacked
+# (n_tiles, ...) operand with a single NumPy dispatch.  Accumulator
+# semantics are unchanged — the same int64 (or exactly-representable
+# float64-integer) arithmetic as the scalar kernels above, so results
+# are bit-identical per tile — and MAC accounting follows the same
+# rules, computed from the *actual* (unpadded) tile geometry supplied by
+# the caller.
+
+
+@dataclass(frozen=True)
+class BatchedOpResult:
+    """Raw outcome of a batch of instructions before requantization."""
+
+    #: Wide integer accumulator stack, leading axis = tile index.
+    acc: np.ndarray
+    #: Per-tile factors such that acc[i] = raw_result[i] * acc_scales[i].
+    acc_scales: np.ndarray
+    #: Per-tile multiply-accumulate counts (actual tile sizes).
+    macs: np.ndarray
+
+
+def pairwise_batched(
+    op: Opcode,
+    a: np.ndarray,
+    b: np.ndarray,
+    a_scales: np.ndarray,
+    b_scales: np.ndarray,
+    sizes: np.ndarray,
+) -> BatchedOpResult:
+    """Batched add / sub / mul over two ``(n, t, t)`` int8 stacks."""
+    if a.shape != b.shape:
+        raise UnsupportedInstructionError(f"pairwise shapes differ: {a.shape} vs {b.shape}")
+    wa = a.astype(np.int64)
+    wb = b.astype(np.int64)
+    if op is Opcode.MUL:
+        return BatchedOpResult(acc=wa * wb, acc_scales=a_scales * b_scales, macs=sizes)
+    if not np.allclose(a_scales, b_scales, rtol=1e-12):
+        raise UnsupportedInstructionError(
+            f"{op.opname} requires operands quantized with one scale; requantize first"
+        )
+    acc = wa + wb if op is Opcode.ADD else wa - wb
+    return BatchedOpResult(acc=acc, acc_scales=np.asarray(a_scales), macs=np.zeros_like(sizes))
+
+
+def relu_batched(data: np.ndarray, scales: np.ndarray) -> BatchedOpResult:
+    """Batched elementwise ReLU — exact, like :func:`relu`."""
+    zeros = np.zeros(data.shape[0], dtype=np.int64)
+    return BatchedOpResult(
+        acc=np.maximum(data.astype(np.int64), 0),
+        acc_scales=np.asarray(scales, dtype=np.float64),
+        macs=zeros,
+    )
+
+
+def tanh_batched(data: np.ndarray, scales: np.ndarray) -> BatchedOpResult:
+    """Batched tanh through per-tile 256-entry lookup tables.
+
+    Builds one ``(n, 256)`` LUT block — the same
+    ``rint(tanh(level / scale) * 127)`` entries :func:`tanh` computes per
+    tile — then gathers.
+    """
+    scales = np.asarray(scales, dtype=np.float64)
+    levels = np.arange(-128, 128, dtype=np.int64)
+    luts = np.rint(np.tanh(levels[None, :] / scales[:, None]) * QMAX).astype(np.int64)
+    n = data.shape[0]
+    gather = (np.arange(n)[:, None, None], data.astype(np.int64) + 128)
+    return BatchedOpResult(
+        acc=luts[gather],
+        acc_scales=np.full(n, float(QMAX)),
+        macs=np.zeros(n, dtype=np.int64),
+    )
+
+
+def mean_batched(
+    data: np.ndarray, scales: np.ndarray, sizes: np.ndarray
+) -> BatchedOpResult:
+    """Batched matrix-mean: exact int64 sums, scale folds in tile size.
+
+    ``sizes`` carries each tile's actual element count; zero padding in
+    the stack adds nothing to the sums.
+    """
+    totals = data.astype(np.int64).sum(axis=(1, 2))
+    return BatchedOpResult(
+        acc=totals[:, None, None],
+        acc_scales=np.asarray(scales, dtype=np.float64) * sizes,
+        macs=np.asarray(sizes, dtype=np.int64),
+    )
+
+
+def max_batched(
+    data: np.ndarray, scales: np.ndarray, sizes: np.ndarray
+) -> BatchedOpResult:
+    """Batched matrix-max — exact.
+
+    The caller must have replaced any stack padding with the int8
+    minimum (see :func:`repro.runtime.tiling.fill_padding`) so padding
+    cannot win over all-negative tiles.
+    """
+    return BatchedOpResult(
+        acc=data.astype(np.int64).max(axis=(1, 2))[:, None, None],
+        acc_scales=np.asarray(scales, dtype=np.float64),
+        macs=np.asarray(sizes, dtype=np.int64),
+    )
+
+
+#: Largest inner-dimension slab for which a float32 GEMM on int8-ranged
+#: operands is exact: every partial sum is bounded by 1024 * 128² = 2^24,
+#: and float32 represents all integers of magnitude <= 2^24 exactly.
+_F32_EXACT_SLAB = 1024
+
+
+def f32_slab_starts(n: int) -> range:
+    """Slab start offsets :func:`f32_slab_products` uses for inner dim *n*."""
+    return range(0, n, _F32_EXACT_SLAB)
+
+
+def f32_slab_products(a32: np.ndarray, b32: np.ndarray, out: Optional[list] = None) -> list:
+    """Exact float32 partial products over <=1024-column inner-dim slabs.
+
+    Operands hold int8-ranged integers stored as float32.  Each slab's
+    partial sums are bounded by 1024 * 128² = 2^24, below which float32
+    represents every integer exactly — for any summation order the BLAS
+    kernel chooses — so each returned ``(m, k)`` partial is exact.  The
+    caller sums the partials in float64 (also exact: integer magnitudes
+    stay far below 2^53) to recover the full product bit-for-bit.
+
+    ``out``, when given, must hold one preallocated ``(m, k)`` float32
+    array per slab (see :func:`f32_slab_starts`); the products are
+    written in place so repeated same-shape calls skip reallocation.
+    """
+    n = a32.shape[1]
+    starts = f32_slab_starts(n)
+    if out is None:
+        out = [None] * len(starts)
+    return [
+        np.matmul(
+            a32[:, k0 : min(k0 + _F32_EXACT_SLAB, n)],
+            b32[k0 : min(k0 + _F32_EXACT_SLAB, n)],
+            **({} if dst is None else {"out": dst}),
+        )
+        for k0, dst in zip(starts, out)
+    ]
+
+
+def integer_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact matrix product of int8-ranged integer-valued float matrices.
+
+    Equals the int64 (or float64) product bit-for-bit, but runs on the
+    ~2× faster BLAS single-precision path via :func:`f32_slab_products`.
+    """
+    parts = f32_slab_products(a.astype(np.float32), b.astype(np.float32))
+    out = parts[0].astype(np.float64)
+    for p in parts[1:]:
+        out += p
+    return out
+
+
+def fully_connected_batched(
+    vecs: np.ndarray,
+    weights: np.ndarray,
+    vec_scales: np.ndarray,
+    weight_scales: np.ndarray,
+    vec_sizes: np.ndarray,
+    out_sizes: np.ndarray,
+) -> BatchedOpResult:
+    """Batched FullyConnected: ``(n, t)`` vectors times ``(n, t, t)`` weights.
+
+    The accumulation runs as a float64 batched matmul — every operand is
+    an integer with magnitude far below 2^53, so the products and sums
+    are exact and bit-identical to the scalar int64 path regardless of
+    summation order or zero padding of the inner dimension.
+    """
+    if vecs.shape[0] != weights.shape[0] or vecs.shape[1] != weights.shape[1]:
+        raise UnsupportedInstructionError(
+            f"batch mismatch: vecs {vecs.shape} vs weights {weights.shape}"
+        )
+    acc = np.matmul(
+        vecs.astype(np.float64)[:, None, :], weights.astype(np.float64)
+    )[:, 0, :].astype(np.int64)
+    return BatchedOpResult(
+        acc=acc,
+        acc_scales=np.asarray(vec_scales, dtype=np.float64) * weight_scales,
+        macs=np.asarray(vec_sizes, dtype=np.int64) * np.asarray(out_sizes, dtype=np.int64),
+    )
 
 
 def execute(instr: Instruction) -> OpResult:

@@ -99,6 +99,100 @@ def quantization_rmse(data: np.ndarray, params: QuantParams) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Batched (per-tile-vectorized) quantization
+# ---------------------------------------------------------------------------
+#
+# The vectorized Tensorizer path stacks all same-shape tiles of an
+# operand into one (n_tiles, t, t) array and quantizes them with one
+# NumPy call instead of one Python call per tile.  Every helper below is
+# bit-for-bit equivalent to mapping its scalar counterpart over the
+# stack: the same IEEE-754 operations are applied elementwise, only the
+# dispatch is batched.
+
+
+def batch_max_abs(stacked: np.ndarray) -> np.ndarray:
+    """Per-tile ``max |x|`` over a ``(n, ...)`` stack — the Eq. 4 input bound.
+
+    Equals ``max(abs(lo), abs(hi))`` of each tile's :func:`data_range`.
+    Zero padding cannot change the result (absolute values are >= 0).
+    """
+    arr = np.asarray(stacked, dtype=np.float64)
+    if arr.size == 0:
+        raise QuantizationError("cannot derive quantization parameters from empty data")
+    # max|x| == max(max, -min): two reductions, no np.abs temporary.
+    # NaN propagates through max and ±inf survives negation, so
+    # validating the (tiny) reduced vector covers the whole stack.
+    axes = tuple(range(1, arr.ndim))
+    max_abs = np.maximum(arr.max(axis=axes), -arr.min(axis=axes))
+    if not np.all(np.isfinite(max_abs)):
+        raise QuantizationError("data contains non-finite values")
+    return max_abs
+
+
+def scales_for_ranges(max_abs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`params_for_range`: one scale per tile.
+
+    Identical semantics per element: ``f = 127 / max_abs``, falling back
+    to ``1.0`` for zero ranges and denormal-range data.
+    """
+    max_abs = np.asarray(max_abs, dtype=np.float64)
+    if not np.all(np.isfinite(max_abs)) or np.any(max_abs < 0):
+        raise QuantizationError("max_abs must be finite and >= 0")
+    safe = np.where(max_abs > 0, max_abs, 1.0)
+    with np.errstate(over="ignore"):
+        scales = QMAX / safe
+    scales = np.where(max_abs > 0, scales, 1.0)
+    return np.where(np.isfinite(scales), scales, 1.0)
+
+
+def quantize_batched(
+    stacked: np.ndarray, scales: np.ndarray, assume_finite: bool = False
+) -> np.ndarray:
+    """Quantize a tile stack with per-tile scales in one call.
+
+    ``scales`` has shape ``(n,)`` and broadcasts over each tile; the
+    result is bit-identical to :func:`quantize` applied per tile.
+    ``assume_finite=True`` skips the non-finite check for callers that
+    already validated the stack (e.g. via :func:`batch_max_abs`).
+    """
+    arr = np.asarray(stacked, dtype=np.float64)
+    if not assume_finite and not np.all(np.isfinite(arr)):
+        raise QuantizationError("data contains non-finite values")
+    scales = np.asarray(scales, dtype=np.float64)
+    expand = (slice(None),) + (None,) * (arr.ndim - 1)
+    q = arr * scales[expand]
+    np.rint(q, out=q)
+    np.clip(q, QMIN, QMAX, out=q)
+    return q.astype(np.int8)
+
+
+def requantize_batched(
+    acc: np.ndarray, acc_scales: np.ndarray, out_scales: np.ndarray
+) -> Tuple[np.ndarray, int]:
+    """Rescale a stack of wide accumulators into int8 at per-tile scales.
+
+    Mirrors :meth:`repro.edgetpu.device.EdgeTPUDevice._requantize` — the
+    same ``rescale = out/acc`` division, ``rint`` and clip — batched over
+    the leading axis.  Returns the int8 stack and the total number of
+    saturated (clipped) values.
+    """
+    acc_scales = np.asarray(acc_scales, dtype=np.float64)
+    out_scales = np.asarray(out_scales, dtype=np.float64)
+    rescale = out_scales / acc_scales
+    expand = (slice(None),) + (None,) * (acc.ndim - 1)
+    q = np.rint(acc * rescale[expand])
+    saturated = int(np.count_nonzero((q < QMIN) | (q > QMAX)))
+    return np.clip(q, QMIN, QMAX).astype(np.int8), saturated
+
+
+def dequantize_batched(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Recover raw values of a tile stack: ``raw = q / f`` per tile."""
+    scales = np.asarray(scales, dtype=np.float64)
+    expand = (slice(None),) + (None,) * (q.ndim - 1)
+    return np.asarray(q, dtype=np.float64) / scales[expand]
+
+
+# ---------------------------------------------------------------------------
 # §6.2.2 scaling-factor rules (Eqs. 4–8)
 # ---------------------------------------------------------------------------
 

@@ -18,32 +18,50 @@ Implements paper §6.2 in full:
   1.8 ms/2K² Tensorizer builder (or the 2.7 s TFLite flow when the fast
   path is disabled — the paper's motivating baseline).
 
-Lowering executes each instruction *functionally* on a scratch device
-(exact int8 semantics, including output requantization), so accuracy
-results are real; the timing metadata is replayed on the DES by the
-executor to obtain the parallel timeline.
+Lowering executes each instruction *functionally* with exact int8
+semantics (including output requantization), so accuracy results are
+real; the timing metadata is replayed on the DES by the executor to
+obtain the parallel timeline.
+
+Two execution strategies produce that functional result:
+
+* the **scalar path** (``TensorizerOptions.vectorized=False``) dispatches
+  one Python/scratch-device call per tile — the reference oracle;
+* the **vectorized path** (the default) stacks all same-shape tiles of
+  an operand into one ``(n_tiles, t, t)`` array and runs each lowering
+  rule as a handful of batched NumPy kernels (see
+  ``docs/performance.md``).  Both paths emit byte-for-byte identical
+  ``LoweredInstr`` streams and bit-identical results; the property tests
+  in ``tests/runtime/test_vectorized_equivalence.py`` enforce it.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import EdgeTPUConfig
-from repro.errors import TensorizerError
+from repro.errors import QuantizationError, TensorizerError
+from repro.edgetpu import functional
 from repro.edgetpu.device import EdgeTPUDevice
 from repro.edgetpu.isa import Instruction, Opcode
 from repro.edgetpu.model_format import HEADER_SIZE
 from repro.edgetpu.quantize import (
+    QMAX,
+    QMIN,
     QuantParams,
+    batch_max_abs,
     data_range,
+    dequantize_batched,
     output_quant_params,
-    params_for_data,
     params_for_range,
     quantize,
+    quantize_batched,
+    requantize_batched,
+    scales_for_ranges,
 )
 from repro.edgetpu.timing import TimingModel
 from repro.host.cpu import CPUCoreModel
@@ -53,10 +71,21 @@ from repro.runtime.opqueue import (
     OperationRequest,
     QuantMode,
 )
-from repro.runtime.tiling import iter_tiles
+from repro.runtime.tiling import (
+    fill_padding,
+    grid_shape,
+    iter_tiles,
+    scatter_tiles,
+    stack_tiles,
+    tile_sizes,
+)
 
 #: Serialized-model overhead beyond the data section (§3.3 header + metadata).
 MODEL_OVERHEAD_BYTES = HEADER_SIZE + 12
+
+#: Quant-param memo bound; ranges seen per run are few (repeated chunks,
+#: iterative apps), but pathological streams must not grow without bound.
+_QUANT_CACHE_MAX = 65536
 
 
 @dataclass(frozen=True)
@@ -87,6 +116,10 @@ class TensorizerOptions:
     #: Minimum number of row chunks a GEMM is split into, so small
     #: problems still expose parallelism to multiple TPUs.
     min_gemm_chunks: int = 32
+    #: Lower tiles through the batched NumPy kernels (one dispatch per
+    #: operand stack) instead of one scratch-device call per tile.  Both
+    #: paths are bit-identical; False keeps the scalar reference oracle.
+    vectorized: bool = True
 
 
 @dataclass
@@ -98,6 +131,15 @@ class TensorizerStats:
     models_built: int = 0
     model_build_seconds: float = 0.0
     saturated_values: int = 0
+    #: Tiles (or GEMM chunk×kernel-batch pieces) processed by lowering.
+    tiles_lowered: int = 0
+    #: Batched NumPy kernel invocations on stacked tiles (vectorized path).
+    batched_dispatches: int = 0
+    #: Per-tile scratch executions / per-piece loop bodies (scalar path).
+    scalar_dispatches: int = 0
+    #: Quant-param memo hits/misses (per-(range) QuantParams reuse).
+    quant_cache_hits: int = 0
+    quant_cache_misses: int = 0
 
 
 class Tensorizer:
@@ -121,6 +163,10 @@ class Tensorizer:
         self._scratch = EdgeTPUDevice("tensorizer-scratch", self.tpu_config, self.timing)
         self.stats = TensorizerStats()
         self._op_seq = 0
+        self._quant_cache: Dict[float, QuantParams] = {}
+        self._global_params: Optional[QuantParams] = None
+        # Last-used conv2D-GEMM scratch buffers: (geometry key, dict).
+        self._gemm_scratch: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # public entry point
@@ -128,21 +174,49 @@ class Tensorizer:
 
     def lower(self, request: OperationRequest) -> LoweredOperation:
         """Lower one OPQ entry into instructions plus its exact result."""
+        self._normalize_inputs(request)
+        self._global_params = None  # per-operation GLOBAL-params memo
         op = request.opcode
+        vec = self.options.vectorized
         if op.is_pairwise:
-            lowered = self._lower_pairwise(request)
+            lowered = (
+                self._lower_pairwise_batched(request)
+                if vec
+                else self._lower_pairwise_scalar(request)
+            )
         elif op.is_elementwise_unary:
-            lowered = self._lower_unary(request)
+            lowered = (
+                self._lower_unary_batched(request)
+                if vec
+                else self._lower_unary_scalar(request)
+            )
         elif op.is_reduction:
-            lowered = self._lower_reduction(request)
+            lowered = (
+                self._lower_reduction_batched(request)
+                if vec
+                else self._lower_reduction_scalar(request)
+            )
         elif op is Opcode.FULLY_CONNECTED:
             data = request.inputs[0]
-            lowered = (
-                self._lower_matvec(request) if data.ndim == 1 else self._lower_gemm_fc(request)
-            )
+            if data.ndim == 1:
+                lowered = (
+                    self._lower_matvec_batched(request)
+                    if vec
+                    else self._lower_matvec_scalar(request)
+                )
+            else:
+                lowered = (
+                    self._lower_gemm_fc_batched(request)
+                    if vec
+                    else self._lower_gemm_fc_scalar(request)
+                )
         elif op is Opcode.CONV2D:
             if request.attrs.get("gemm", False):
-                lowered = self._lower_gemm_conv2d(request)
+                lowered = (
+                    self._lower_gemm_conv2d_batched(request)
+                    if vec
+                    else self._lower_gemm_conv2d_scalar(request)
+                )
             else:
                 lowered = self._lower_conv2d_stencil(request)
         elif op is Opcode.CROP:
@@ -161,6 +235,21 @@ class Tensorizer:
     # shared helpers
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _normalize_inputs(request: OperationRequest) -> None:
+        """Convert operands to C-contiguous float64 exactly once.
+
+        Every lowering rule (and, in GLOBAL mode, every per-tile range
+        scan) used to re-run ``np.asarray(x, dtype=np.float64)`` on the
+        full operands; converting up front makes all later ``asarray``
+        calls free and keeps tile slices views of one buffer.
+        """
+        request.inputs = tuple(
+            np.ascontiguousarray(x, dtype=np.float64) for x in request.inputs
+        )
+        for arr in request.inputs:
+            assert arr.flags.c_contiguous, "normalized operand must be C-contiguous"
+
     def _model_build_seconds(self, elems: int) -> float:
         """Cost of creating one model blob (fast path or TFLite)."""
         if self.options.fast_model_builder:
@@ -176,26 +265,88 @@ class Tensorizer:
         """Serialized size of a model with *elems* int8 weights."""
         return elems + MODEL_OVERHEAD_BYTES
 
+    def _params_for_range(self, max_abs: float) -> QuantParams:
+        """Memoized :func:`params_for_range` (per-range QuantParams).
+
+        Iterative apps (PageRank power iterations, backprop epochs)
+        re-lower chunks with recurring value ranges; the memo returns
+        the previously built params instead of recomputing them.
+        """
+        key = float(max_abs)
+        hit = self._quant_cache.get(key)
+        if hit is not None:
+            self.stats.quant_cache_hits += 1
+            return hit
+        self.stats.quant_cache_misses += 1
+        params = params_for_range(key)
+        if len(self._quant_cache) >= _QUANT_CACHE_MAX:
+            self._quant_cache.clear()
+        self._quant_cache[key] = params
+        return params
+
+    def _params_for_data(self, data: np.ndarray) -> QuantParams:
+        """:func:`params_for_data` routed through the per-range memo."""
+        if data.size == 0:
+            raise QuantizationError("cannot derive quantization parameters from empty data")
+        if not np.all(np.isfinite(data)):
+            raise QuantizationError("data contains non-finite values")
+        return self._params_for_range(float(np.max(np.abs(data))))
+
     def _input_params(self, request: OperationRequest, *tiles: np.ndarray) -> QuantParams:
         """Input quantization: per-tile (SCALE) or whole-dataset (GLOBAL)."""
         if request.quant is QuantMode.GLOBAL:
-            lo, hi = data_range(*request.inputs)
-            return params_for_range(max(abs(lo), abs(hi)))
+            if self._global_params is None:
+                lo, hi = data_range(*request.inputs)
+                self._global_params = self._params_for_range(max(abs(lo), abs(hi)))
+            return self._global_params
         lo, hi = data_range(*tiles)
-        return params_for_range(max(abs(lo), abs(hi)))
+        return self._params_for_range(max(abs(lo), abs(hi)))
+
+    def _input_scales(self, request: OperationRequest, stacked: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_input_params`: one scale per stacked tile.
+
+        Zero padding in the stack cannot change a tile's ``max |x|``, so
+        scales match the scalar per-tile (unpadded) computation exactly.
+        """
+        if request.quant is QuantMode.GLOBAL:
+            return np.full(stacked.shape[0], self._input_params(request).scale)
+        return scales_for_ranges(batch_max_abs(stacked))
 
     def _output_params(
         self, opname: str, measured_bound: float, lo: float, hi: float, n: int = 1
     ) -> QuantParams:
         """Output scale per §6.2.2: measured Eq. 4 bound or Eqs. 5-8."""
         if self.options.scaling_rule == "measured" and measured_bound > 0:
-            return params_for_range(measured_bound * 1.05)
+            return self._params_for_range(measured_bound * 1.05)
         return output_quant_params(opname, lo, hi, n)
+
+    def _output_scales(
+        self,
+        opname: str,
+        measured: np.ndarray,
+        lo: float,
+        hi: float,
+        ns: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`_output_params`: one output scale per tile.
+
+        ``ns`` broadcasts against ``measured``; the Eqs. 5-8 fallback is
+        evaluated once per distinct inner dimension.
+        """
+        measured = np.asarray(measured, dtype=np.float64)
+        ns_arr = np.broadcast_to(np.asarray(ns, dtype=np.int64), measured.shape)
+        fallback = np.empty_like(measured)
+        for n in np.unique(ns_arr):
+            fallback[ns_arr == n] = output_quant_params(opname, lo, hi, int(n)).scale
+        if self.options.scaling_rule != "measured":
+            return fallback
+        meas_scales = scales_for_ranges(measured * 1.05)
+        return np.where(measured > 0, meas_scales, fallback)
 
     def _require_2d_pair(self, request: OperationRequest) -> Tuple[np.ndarray, np.ndarray]:
         if len(request.inputs) != 2:
             raise TensorizerError(f"{request.opcode.opname} needs two inputs")
-        a, b = (np.asarray(x, dtype=np.float64) for x in request.inputs)
+        a, b = request.inputs  # normalized to float64 by lower()
         if a.ndim != 2 or b.ndim != 2:
             raise TensorizerError(
                 f"{request.opcode.opname} operates on 2-D matrices, got {a.shape} and {b.shape}"
@@ -206,7 +357,7 @@ class Tensorizer:
     # pair-wise operators: add / sub / mul (§6.2.1 rule 1)
     # ------------------------------------------------------------------
 
-    def _lower_pairwise(self, request: OperationRequest) -> LoweredOperation:
+    def _lower_pairwise_scalar(self, request: OperationRequest) -> LoweredOperation:
         a, b = self._require_2d_pair(request)
         if a.shape != b.shape:
             raise TensorizerError(f"pairwise shapes differ: {a.shape} vs {b.shape}")
@@ -242,6 +393,8 @@ class Tensorizer:
                 task_id=request.task_id,
             )
             execd = self._scratch.execute(instr)
+            self.stats.tiles_lowered += 1
+            self.stats.scalar_dispatches += 1
             saturated += execd.saturated
             result[t.rows, t.cols] = execd.dequantized()
             elems = ta.size
@@ -261,14 +414,72 @@ class Tensorizer:
             )
         return LoweredOperation(request, instrs, result, saturated=saturated)
 
+    def _lower_pairwise_batched(self, request: OperationRequest) -> LoweredOperation:
+        a, b = self._require_2d_pair(request)
+        if a.shape != b.shape:
+            raise TensorizerError(f"pairwise shapes differ: {a.shape} vs {b.shape}")
+        op = request.opcode
+        tile = self.options.arithmetic_tile
+        lo, hi = data_range(a, b)
+        data_name = str(request.attrs.get("data_name", ""))
+        float_op = {Opcode.ADD: np.add, Opcode.SUB: np.subtract, Opcode.MUL: np.multiply}[op]
+
+        sa, tiles = stack_tiles(a, tile)
+        sb, _ = stack_tiles(b, tile)
+        sizes = tile_sizes(tiles)
+        # Input scales (§6.2.2): padding zeros cannot change a max |x|.
+        if request.quant is QuantMode.GLOBAL:
+            a_scales = b_scales = self._input_scales(request, sa)
+        elif op is Opcode.MUL:
+            a_scales = scales_for_ranges(batch_max_abs(sa))
+            b_scales = scales_for_ranges(batch_max_abs(sb))
+        else:
+            # add/sub share one scale so integer addition is aligned.
+            a_scales = b_scales = scales_for_ranges(
+                np.maximum(batch_max_abs(sa), batch_max_abs(sb))
+            )
+        # Measured Eq. 4 bound on the raw (pre-quantization) outputs;
+        # op(0, 0) == 0 for add/sub/mul, so padding never wins the max.
+        measured = np.abs(float_op(sa, sb)).max(axis=(1, 2))
+        out_scales = self._output_scales(op.opname, measured, lo, hi, np.int64(1))
+
+        qa = quantize_batched(sa, a_scales, assume_finite=True)
+        qb = quantize_batched(sb, b_scales, assume_finite=True)
+        batched = functional.pairwise_batched(op, qa, qb, a_scales, b_scales, sizes)
+        q_out, saturated = requantize_batched(batched.acc, batched.acc_scales, out_scales)
+        result = scatter_tiles(dequantize_batched(q_out, out_scales), a.shape, tile)
+        self.stats.tiles_lowered += len(tiles)
+        self.stats.batched_dispatches += 1
+
+        instrs: List[LoweredInstr] = []
+        for i, t in enumerate(tiles):
+            elems = int(sizes[i])
+            instrs.append(
+                LoweredInstr(
+                    opcode=op,
+                    task_id=request.task_id,
+                    group_key="",
+                    cache_key=f"{data_name}:t{t.index}" if data_name else "",
+                    data_bytes=elems,
+                    model_bytes=self._model_bytes(elems),
+                    model_build_seconds=self._model_build_seconds(elems),
+                    exec_seconds=self.timing.instruction_seconds(
+                        op, elems, int(batched.macs[i])
+                    ),
+                    out_bytes=elems,
+                    label=f"{op.opname}@{t.index}",
+                )
+            )
+        return LoweredOperation(request, instrs, result, saturated=saturated)
+
     # ------------------------------------------------------------------
     # element-wise unary operators: tanh / ReLu (§6.2.1 rule 1)
     # ------------------------------------------------------------------
 
-    def _lower_unary(self, request: OperationRequest) -> LoweredOperation:
+    def _lower_unary_scalar(self, request: OperationRequest) -> LoweredOperation:
         if len(request.inputs) != 1:
             raise TensorizerError(f"{request.opcode.opname} takes one input")
-        a = np.asarray(request.inputs[0], dtype=np.float64)
+        a = request.inputs[0]
         if a.ndim != 2:
             raise TensorizerError(f"{request.opcode.opname} operates on a 2-D matrix")
         op = request.opcode
@@ -281,6 +492,8 @@ class Tensorizer:
             pa = self._input_params(request, ta)
             instr = Instruction(op, quantize(ta, pa), pa, task_id=request.task_id)
             execd = self._scratch.execute(instr)
+            self.stats.tiles_lowered += 1
+            self.stats.scalar_dispatches += 1
             saturated += execd.saturated
             result[t.rows, t.cols] = execd.dequantized()
             instrs.append(
@@ -299,14 +512,63 @@ class Tensorizer:
             )
         return LoweredOperation(request, instrs, result, saturated=saturated)
 
+    def _lower_unary_batched(self, request: OperationRequest) -> LoweredOperation:
+        if len(request.inputs) != 1:
+            raise TensorizerError(f"{request.opcode.opname} takes one input")
+        a = request.inputs[0]
+        if a.ndim != 2:
+            raise TensorizerError(f"{request.opcode.opname} operates on a 2-D matrix")
+        op = request.opcode
+        tile = self.options.arithmetic_tile
+
+        sa, tiles = stack_tiles(a, tile)
+        sizes = tile_sizes(tiles)
+        scales = self._input_scales(request, sa)
+        qa = quantize_batched(sa, scales, assume_finite=True)
+        if op is Opcode.TANH:
+            batched = functional.tanh_batched(qa, scales)
+        else:
+            batched = functional.relu_batched(qa, scales)
+        # The device requantizes these ops losslessly at the accumulator
+        # scale (out/acc == 1.0 exactly), mirroring its default out_params.
+        q_out, saturated = requantize_batched(
+            batched.acc, batched.acc_scales, batched.acc_scales
+        )
+        result = scatter_tiles(
+            dequantize_batched(q_out, batched.acc_scales), a.shape, tile
+        )
+        self.stats.tiles_lowered += len(tiles)
+        self.stats.batched_dispatches += 1
+
+        instrs: List[LoweredInstr] = []
+        for i, t in enumerate(tiles):
+            elems = int(sizes[i])
+            instrs.append(
+                LoweredInstr(
+                    opcode=op,
+                    task_id=request.task_id,
+                    group_key="",
+                    cache_key="",
+                    data_bytes=elems,
+                    model_bytes=0,
+                    model_build_seconds=0.0,
+                    exec_seconds=self.timing.instruction_seconds(
+                        op, elems, int(batched.macs[i])
+                    ),
+                    out_bytes=elems,
+                    label=f"{op.opname}@{t.index}",
+                )
+            )
+        return LoweredOperation(request, instrs, result, saturated=saturated)
+
     # ------------------------------------------------------------------
     # matrix-wise reductions: mean / max (§6.2.1 rule 2)
     # ------------------------------------------------------------------
 
-    def _lower_reduction(self, request: OperationRequest) -> LoweredOperation:
+    def _lower_reduction_scalar(self, request: OperationRequest) -> LoweredOperation:
         if len(request.inputs) != 1:
             raise TensorizerError(f"{request.opcode.opname} takes one input")
-        a = np.asarray(request.inputs[0], dtype=np.float64)
+        a = request.inputs[0]
         if a.ndim != 2:
             raise TensorizerError(f"{request.opcode.opname} operates on a 2-D matrix")
         op = request.opcode
@@ -319,6 +581,8 @@ class Tensorizer:
             pa = self._input_params(request, ta)
             instr = Instruction(op, quantize(ta, pa), pa, task_id=request.task_id)
             execd = self._scratch.execute(instr)
+            self.stats.tiles_lowered += 1
+            self.stats.scalar_dispatches += 1
             partials.append(float(execd.dequantized()[0, 0]))
             weights.append(ta.size)
             instrs.append(
@@ -347,17 +611,107 @@ class Tensorizer:
             request, instrs, np.array(value), cpu_seconds=cpu_seconds
         )
 
+    def _lower_reduction_batched(self, request: OperationRequest) -> LoweredOperation:
+        if len(request.inputs) != 1:
+            raise TensorizerError(f"{request.opcode.opname} takes one input")
+        a = request.inputs[0]
+        if a.ndim != 2:
+            raise TensorizerError(f"{request.opcode.opname} operates on a 2-D matrix")
+        op = request.opcode
+        tile = self.options.reduction_tile
+
+        sa, tiles = stack_tiles(a, tile)
+        sizes = tile_sizes(tiles)
+        scales = self._input_scales(request, sa)
+        qa = quantize_batched(sa, scales, assume_finite=True)
+        if op is Opcode.MEAN:
+            # Zero padding adds nothing to the exact int64 sums; the
+            # per-tile effective scale folds in the *actual* tile size.
+            batched = functional.mean_batched(qa, scales, sizes)
+            out_scales = scales  # device MEAN default: the input scale
+        else:
+            # Zero padding would win a max over all-negative tiles:
+            # refill it with the int8 minimum first.
+            fill_padding(qa, a.shape, tile, QMIN)
+            batched = functional.max_batched(qa, scales, sizes)
+            out_scales = batched.acc_scales  # lossless, out/acc == 1.0
+        q_out, _ = requantize_batched(batched.acc, batched.acc_scales, out_scales)
+        partial_arr = dequantize_batched(q_out, out_scales)[:, 0, 0]
+        partials = [float(v) for v in partial_arr]
+        weights = [int(s) for s in sizes]
+        self.stats.tiles_lowered += len(tiles)
+        self.stats.batched_dispatches += 1
+
+        instrs: List[LoweredInstr] = []
+        for i, t in enumerate(tiles):
+            elems = int(sizes[i])
+            instrs.append(
+                LoweredInstr(
+                    opcode=op,
+                    task_id=request.task_id,
+                    group_key="",
+                    cache_key="",
+                    data_bytes=elems,
+                    model_bytes=0,
+                    model_build_seconds=0.0,
+                    exec_seconds=self.timing.instruction_seconds(
+                        op, 1, int(batched.macs[i])
+                    ),
+                    out_bytes=1,
+                    label=f"{op.opname}@{t.index}",
+                )
+            )
+        if op is Opcode.MEAN:
+            value = float(np.average(partials, weights=weights))
+        else:
+            value = float(np.max(partials))
+        cpu_seconds = self.cpu.aggregate_seconds(len(partials))
+        return LoweredOperation(
+            request, instrs, np.array(value), cpu_seconds=cpu_seconds
+        )
+
     # ------------------------------------------------------------------
     # FullyConnected on a vector (matrix-vector product)
     # ------------------------------------------------------------------
 
-    def _lower_matvec(self, request: OperationRequest) -> LoweredOperation:
-        vec = np.asarray(request.inputs[0], dtype=np.float64)
-        mat = np.asarray(request.inputs[1], dtype=np.float64)
+    def _check_matvec(self, request: OperationRequest) -> Tuple[np.ndarray, np.ndarray]:
+        vec, mat = request.inputs[0], request.inputs[1]
         if vec.ndim != 1 or mat.ndim != 2 or mat.shape[0] != vec.shape[0]:
             raise TensorizerError(
                 f"matvec expects (n,) x (n, m), got {vec.shape} x {mat.shape}"
             )
+        return vec, mat
+
+    def _matvec_instr(
+        self,
+        request: OperationRequest,
+        t,
+        seg_size: int,
+        out_size: int,
+        model_elems: int,
+        exec_seconds: float,
+    ) -> LoweredInstr:
+        """One matvec IQ entry; shared by both paths so fields agree."""
+        return LoweredInstr(
+            opcode=Opcode.FULLY_CONNECTED,
+            task_id=request.task_id,
+            group_key=f"task{request.task_id}:{request.input_name}:col{t.col}",
+            cache_key="",
+            data_bytes=seg_size,
+            model_bytes=self._model_bytes(model_elems),
+            model_build_seconds=self._model_build_seconds(model_elems),
+            exec_seconds=exec_seconds,
+            out_bytes=out_size,
+            label=f"FC@{t.index}",
+            model_cache_key=(
+                f"{request.attrs['model_name']}:{t.index}"
+                if "model_name" in request.attrs
+                else ""
+            ),
+        )
+
+    def _lower_matvec_scalar(self, request: OperationRequest) -> LoweredOperation:
+        vec, mat = self._check_matvec(request)
         tile = self.options.arithmetic_tile
         lo, hi = data_range(vec, mat)
         instrs: List[LoweredInstr] = []
@@ -388,37 +742,122 @@ class Tensorizer:
                 task_id=request.task_id,
             )
             execd = self._scratch.execute(instr)
+            self.stats.tiles_lowered += 1
+            self.stats.scalar_dispatches += 1
             saturated += execd.saturated
             result[t.cols] += execd.dequantized()
-            model_elems = wt.size
             instrs.append(
-                LoweredInstr(
-                    opcode=Opcode.FULLY_CONNECTED,
-                    task_id=request.task_id,
-                    group_key=f"task{request.task_id}:{request.input_name}:col{t.col}",
-                    cache_key="",
-                    data_bytes=seg.size,
-                    model_bytes=self._model_bytes(model_elems),
-                    model_build_seconds=self._model_build_seconds(model_elems),
-                    exec_seconds=execd.seconds,
-                    out_bytes=execd.out_elems,
-                    label=f"FC@{t.index}",
-                    model_cache_key=(
-                        f"{request.attrs['model_name']}:{t.index}"
-                        if "model_name" in request.attrs
-                        else ""
-                    ),
+                self._matvec_instr(
+                    request, t, seg.size, execd.out_elems, wt.size, execd.seconds
                 )
             )
         # CPU sums the k-partials in wide registers (§6.2.1).
         cpu_seconds = self.cpu.aggregate_seconds(mat.shape[1] * n_ktiles)
         return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
 
+    def _lower_matvec_batched(self, request: OperationRequest) -> LoweredOperation:
+        vec, mat = self._check_matvec(request)
+        tile = self.options.arithmetic_tile
+        lo, hi = data_range(vec, mat)
+        n_ktiles = -(-vec.shape[0] // tile)
+
+        smat, tiles = self._stack_with_stats(mat, tile)
+        n_r, n_c = grid_shape(mat.shape, tile)
+        # Vector segments, zero-padded to the tile length per k-tile row.
+        vpad = np.zeros(n_r * tile, dtype=np.float64)
+        vpad[: vec.shape[0]] = vec
+        vseg = vpad.reshape(n_r, tile)
+
+        if request.quant is QuantMode.GLOBAL:
+            g = self._input_params(request).scale
+            seg_scales = np.full(n_r, g)
+            wt_scales = np.full(len(tiles), g)
+        else:
+            seg_scales = scales_for_ranges(batch_max_abs(vseg))
+            wt_scales = scales_for_ranges(batch_max_abs(smat))
+        q_vseg = quantize_batched(vseg, seg_scales, assume_finite=True)
+        q_mat = quantize_batched(smat, wt_scales, assume_finite=True)
+
+        rows_idx = np.array([t.row for t in tiles], dtype=np.intp)
+        seg_sizes = np.array([t.shape()[0] for t in tiles], dtype=np.int64)
+        out_sizes = np.array([t.shape()[1] for t in tiles], dtype=np.int64)
+        # Measured Eq. 4 bounds stay per-tile on the *raw* views: a true
+        # float64 GEMV is BLAS-order-sensitive, so batching it would not
+        # be bit-identical (the integer accumulations below are).
+        measured = np.array(
+            [float(np.abs(vec[t.rows] @ mat[t.rows, t.cols]).max()) for t in tiles]
+        )
+        out_scales = self._output_scales(
+            Opcode.FULLY_CONNECTED.opname, measured, lo, hi, seg_sizes
+        )
+
+        batched = functional.fully_connected_batched(
+            q_vseg[rows_idx],
+            q_mat,
+            seg_scales[rows_idx],
+            wt_scales,
+            seg_sizes,
+            out_sizes,
+        )
+        q_out, saturated = requantize_batched(batched.acc, batched.acc_scales, out_scales)
+        deq = dequantize_batched(q_out, out_scales)
+        self.stats.batched_dispatches += 1
+
+        result = np.zeros(mat.shape[1], dtype=np.float64)
+        instrs: List[LoweredInstr] = []
+        for i, t in enumerate(tiles):
+            # Row-major accumulation order matches the scalar loop
+            # (float += is order-sensitive).
+            result[t.cols] += deq[i, : int(out_sizes[i])]
+            instrs.append(
+                self._matvec_instr(
+                    request,
+                    t,
+                    int(seg_sizes[i]),
+                    int(out_sizes[i]),
+                    int(seg_sizes[i] * out_sizes[i]),
+                    self.timing.instruction_seconds(
+                        Opcode.FULLY_CONNECTED, int(out_sizes[i]), int(batched.macs[i])
+                    ),
+                )
+            )
+        cpu_seconds = self.cpu.aggregate_seconds(mat.shape[1] * n_ktiles)
+        return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
+
+    def _stack_with_stats(self, matrix: np.ndarray, tile: int):
+        stacked, tiles = stack_tiles(matrix, tile)
+        self.stats.tiles_lowered += len(tiles)
+        return stacked, tiles
+
     # ------------------------------------------------------------------
     # GEMM via FullyConnected (§7.1.1) — the slow path of Fig. 6
     # ------------------------------------------------------------------
 
-    def _lower_gemm_fc(self, request: OperationRequest) -> LoweredOperation:
+    def _gemm_fc_instr(
+        self,
+        request: OperationRequest,
+        t,
+        m: int,
+        a_block_elems: int,
+        model_elems: int,
+        exec_seconds: float,
+        out_width: int,
+    ) -> LoweredInstr:
+        return LoweredInstr(
+            opcode=Opcode.FULLY_CONNECTED,
+            task_id=request.task_id,
+            group_key=f"task{request.task_id}:fcgemm:{t.index}",
+            cache_key="",
+            data_bytes=a_block_elems,
+            model_bytes=self._model_bytes(model_elems),
+            model_build_seconds=self._model_build_seconds(model_elems),
+            exec_seconds=exec_seconds,
+            out_bytes=m * out_width,
+            label=f"FCGEMM@{t.index}",
+            count=m,
+        )
+
+    def _lower_gemm_fc_scalar(self, request: OperationRequest) -> LoweredOperation:
         a, b = self._require_2d_pair(request)
         if a.shape[1] != b.shape[0]:
             raise TensorizerError(f"GEMM inner dims differ: {a.shape} x {b.shape}")
@@ -441,6 +880,8 @@ class Tensorizer:
             q_a = quantize(a_block, p_a).astype(np.float64)
             q_w = quantize(w, p_w).astype(np.float64)
             acc = q_a @ q_w  # exact: |values| << 2^53
+            self.stats.tiles_lowered += 1
+            self.stats.scalar_dispatches += 1
             measured = float(np.abs(acc).max()) / (p_a.scale * p_w.scale)
             out_params = self._output_params(
                 Opcode.FULLY_CONNECTED.opname, measured, lo, hi, n=a_block.shape[1]
@@ -455,22 +896,71 @@ class Tensorizer:
                 out_elems=w.shape[1],
                 macs=a_block.shape[1] * w.shape[1],
             )
-            model_elems = w.size
             instrs.append(
-                LoweredInstr(
-                    opcode=Opcode.FULLY_CONNECTED,
-                    task_id=request.task_id,
-                    group_key=f"task{request.task_id}:fcgemm:{t.index}",
-                    cache_key="",
-                    data_bytes=a_block.size,
-                    model_bytes=self._model_bytes(model_elems),
-                    model_build_seconds=self._model_build_seconds(model_elems),
-                    exec_seconds=per_instr,
-                    out_bytes=m * w.shape[1],
-                    label=f"FCGEMM@{t.index}",
-                    count=m,
+                self._gemm_fc_instr(
+                    request, t, m, a_block.size, w.size, per_instr, w.shape[1]
                 )
             )
+        cpu_seconds = self.cpu.aggregate_seconds(m * k * (-(-n // tile)))
+        return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
+
+    def _lower_gemm_fc_batched(self, request: OperationRequest) -> LoweredOperation:
+        a, b = self._require_2d_pair(request)
+        if a.shape[1] != b.shape[0]:
+            raise TensorizerError(f"GEMM inner dims differ: {a.shape} x {b.shape}")
+        m, n = a.shape
+        k = b.shape[1]
+        tile = self.options.arithmetic_tile
+        lo, hi = data_range(a, b)
+        result = np.zeros((m, k), dtype=np.float64)
+        instrs: List[LoweredInstr] = []
+        saturated = 0
+
+        sb, tiles = self._stack_with_stats(b, tile)
+        n_kt, n_ct = grid_shape(b.shape, tile)
+        if request.quant is QuantMode.GLOBAL:
+            wt_scales = np.full(len(tiles), self._input_params(request).scale)
+        else:
+            wt_scales = scales_for_ranges(batch_max_abs(sb))
+        q_b = quantize_batched(sb, wt_scales, assume_finite=True).reshape(n_kt, n_ct, tile, tile)
+        wt_scales_2d = wt_scales.reshape(n_kt, n_ct)
+
+        # One batched matmul per k-block row: the A column block is
+        # quantized once (the scalar loop re-quantizes it per B tile) and
+        # swept across all n_ct B tiles in a single dispatch.
+        for r in range(n_kt):
+            r0 = r * tile
+            r1 = min(r0 + tile, n)
+            w_r = r1 - r0
+            a_block = a[:, r0:r1]
+            p_a = self._input_params(request, a_block)
+            q_a = quantize(a_block, p_a).astype(np.float64)
+            # (m, w_r) @ (n_ct, w_r, tile) -> (n_ct, m, tile); integer
+            # float64 products/sums are exact, so padding and summation
+            # order cannot change the accumulator.
+            acc = np.matmul(q_a, q_b[r, :, :w_r, :].astype(np.float64))
+            self.stats.batched_dispatches += 1
+            measured = np.abs(acc).max(axis=(1, 2)) / (p_a.scale * wt_scales_2d[r])
+            out_scales = self._output_scales(
+                Opcode.FULLY_CONNECTED.opname, measured, lo, hi, np.int64(w_r)
+            )
+            rescale = out_scales / (p_a.scale * wt_scales_2d[r])
+            q_out = np.rint(acc * rescale[:, None, None])
+            saturated += int(np.count_nonzero(np.abs(q_out) > 127))
+            q_out = np.clip(q_out, -128, 127)
+            deq = q_out / out_scales[:, None, None]
+            for c in range(n_ct):
+                t = tiles[r * n_ct + c]
+                w_c = t.shape()[1]
+                result[:, t.cols] += deq[c][:, :w_c]
+                per_instr = self.timing.instruction_seconds(
+                    Opcode.FULLY_CONNECTED, out_elems=w_c, macs=w_r * w_c
+                )
+                instrs.append(
+                    self._gemm_fc_instr(
+                        request, t, m, m * w_r, w_r * w_c, per_instr, w_c
+                    )
+                )
         cpu_seconds = self.cpu.aggregate_seconds(m * k * (-(-n // tile)))
         return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
 
@@ -478,19 +968,13 @@ class Tensorizer:
     # GEMM via strided conv2D (§7.1.2) — the fast path of Fig. 6
     # ------------------------------------------------------------------
 
-    def _lower_gemm_conv2d(self, request: OperationRequest) -> LoweredOperation:
-        a, b = self._require_2d_pair(request)
-        if a.shape[1] != b.shape[0]:
-            raise TensorizerError(f"GEMM inner dims differ: {a.shape} x {b.shape}")
-        m, n = a.shape
-        k = b.shape[1]
+    def _gemm_conv2d_geometry(self, request: OperationRequest, m: int, n: int):
+        """Shared chunk/batch geometry so both paths partition identically."""
         opts = self.options
         # §7.1.2: stride = round-up of the square root of the inner dim.
         s = math.isqrt(n)
         if s * s < n:
             s += 1
-        lo, hi = data_range(a, b)
-
         # Chunk rows of A so a chunk's reshaped form (rows × s²) stays
         # resident on chip while every kernel sweeps it (locality), and so
         # at least min_gemm_chunks chunks exist for multi-TPU parallelism.
@@ -503,6 +987,47 @@ class Tensorizer:
         # Kernel batch: fill the 128² result tile per instruction.
         optimal_out = self.timing.optimal_out_elems(Opcode.CONV2D)
         batch = max(1, optimal_out // rows_per_chunk) if opts.kernel_batching else 1
+        return s, rows_per_chunk, batch
+
+    def _gemm_conv2d_instr(
+        self,
+        request: OperationRequest,
+        source: str,
+        c0: int,
+        j0: int,
+        chunk_bytes: int,
+        model_elems: int,
+        exec_seconds: float,
+        out_elems: int,
+    ) -> LoweredInstr:
+        cache_key = f"{source}:rows{c0}"
+        return LoweredInstr(
+            opcode=Opcode.CONV2D,
+            task_id=request.task_id,
+            group_key=f"task{request.task_id}:{cache_key}",
+            cache_key=cache_key,
+            # The executor transfers the chunk only on a residency miss
+            # (cache_key), so every burst can carry the full chunk size.
+            data_bytes=chunk_bytes,
+            model_bytes=self._model_bytes(model_elems),
+            model_build_seconds=self._model_build_seconds(model_elems),
+            exec_seconds=exec_seconds,
+            out_bytes=out_elems,
+            label=f"convGEMM:r{c0}:k{j0}",
+            # Kernel batches are identical across row chunks: they stay
+            # resident per device instead of being re-streamed for every
+            # chunk.
+            model_cache_key=f"{source}:kernels{j0}",
+        )
+
+    def _lower_gemm_conv2d_scalar(self, request: OperationRequest) -> LoweredOperation:
+        a, b = self._require_2d_pair(request)
+        if a.shape[1] != b.shape[0]:
+            raise TensorizerError(f"GEMM inner dims differ: {a.shape} x {b.shape}")
+        m, n = a.shape
+        k = b.shape[1]
+        s, rows_per_chunk, batch = self._gemm_conv2d_geometry(request, m, n)
+        lo, hi = data_range(a, b)
 
         result = np.zeros((m, k), dtype=np.float64)
         instrs: List[LoweredInstr] = []
@@ -510,27 +1035,28 @@ class Tensorizer:
         p_a_global = None
         if request.quant is QuantMode.GLOBAL:
             p_a_global = self._input_params(request, a)
+        # Unique per distinct input so unrelated GEMMs never alias in
+        # on-chip memory (buffer names are unique; bare arrays fall
+        # back to the operation sequence number).
+        source = request.input_name or f"op{self._op_seq}"
 
         for c0 in range(0, m, rows_per_chunk):
             c1 = min(c0 + rows_per_chunk, m)
             rows = a[c0:c1]
-            p_rows = p_a_global or params_for_data(rows)
+            p_rows = p_a_global or self._params_for_data(rows)
             q_rows = quantize(rows, p_rows).astype(np.float64)
-            # Unique per distinct input so unrelated GEMMs never alias in
-            # on-chip memory (buffer names are unique; bare arrays fall
-            # back to the operation sequence number).
-            source = request.input_name or f"op{self._op_seq}"
-            cache_key = f"{source}:rows{c0}"
             chunk_bytes = (c1 - c0) * s * s  # reshaped, zero-padded form
             for j0 in range(0, k, batch):
                 j1 = min(j0 + batch, k)
                 cols = b[:, j0:j1]
-                p_cols = p_a_global or params_for_data(cols)
+                p_cols = p_a_global or self._params_for_data(cols)
                 q_cols = quantize(cols, p_cols).astype(np.float64)
                 # Strided conv2D over the reshaped rows with the padded
                 # column-kernels is exactly this integer matmul (verified
                 # against repro.edgetpu.functional.conv2d in the tests).
                 acc = q_rows @ q_cols
+                self.stats.tiles_lowered += 1
+                self.stats.scalar_dispatches += 1
                 measured = float(np.abs(acc).max()) / (p_rows.scale * p_cols.scale)
                 out_params = self._output_params(Opcode.CONV2D.opname, measured, lo, hi, n=n)
                 rescale = out_params.scale / (p_rows.scale * p_cols.scale)
@@ -543,31 +1069,173 @@ class Tensorizer:
                 exec_seconds = self.timing.instruction_seconds(
                     Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
                 )
-                model_elems = nk * s * s
                 instrs.append(
-                    LoweredInstr(
-                        opcode=Opcode.CONV2D,
-                        task_id=request.task_id,
-                        group_key=f"task{request.task_id}:{cache_key}",
-                        cache_key=cache_key,
-                        # The executor transfers the chunk only on a
-                        # residency miss (cache_key), so every burst can
-                        # carry the full chunk size.
-                        data_bytes=chunk_bytes,
-                        model_bytes=self._model_bytes(model_elems),
-                        model_build_seconds=self._model_build_seconds(model_elems),
-                        exec_seconds=exec_seconds,
-                        out_bytes=out_elems,
-                        label=f"convGEMM:r{c0}:k{j0}",
-                        # Kernel batches are identical across row chunks:
-                        # they stay resident per device instead of being
-                        # re-streamed for every chunk.
-                        model_cache_key=f"{source}:kernels{j0}",
+                    self._gemm_conv2d_instr(
+                        request, source, c0, j0, chunk_bytes, nk * s * s,
+                        exec_seconds, out_elems,
                     )
                 )
         # Host-side data transformation: reshaping A's rows into s×s
         # sub-matrices and B's columns into kernels (§7.1.3's
         # "additional data-transformation overhead").
+        cpu_seconds = self.cpu.elementwise_seconds(m * s * s + k * s * s, bytes_per_elem=2)
+        return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
+
+    def _lower_gemm_conv2d_batched(self, request: OperationRequest) -> LoweredOperation:
+        a, b = self._require_2d_pair(request)
+        if a.shape[1] != b.shape[0]:
+            raise TensorizerError(f"GEMM inner dims differ: {a.shape} x {b.shape}")
+        m, n = a.shape
+        k = b.shape[1]
+        s, rows_per_chunk, batch = self._gemm_conv2d_geometry(request, m, n)
+        lo, hi = data_range(a, b)
+        source = request.input_name or f"op{self._op_seq}"
+
+        row_starts = list(range(0, m, rows_per_chunk))
+        col_starts = list(range(0, k, batch))
+
+        # Per-chunk / per-kernel-batch input scales.  The scalar loop
+        # recomputes the column-batch params for *every* row chunk; they
+        # do not depend on the chunk, so one pass per batch suffices.
+        # (_params_for_data also validates finiteness, chunk by chunk /
+        # batch by batch, covering both operands — the same errors the
+        # scalar path's per-piece quantize calls would raise.)
+        if request.quant is QuantMode.GLOBAL:
+            p_glob = self._input_params(request, a)
+            if not np.all(np.isfinite(a)) or not np.all(np.isfinite(b)):
+                raise QuantizationError("data contains non-finite values")
+            row_params = [p_glob] * len(row_starts)
+            col_params = [p_glob] * len(col_starts)
+        else:
+            row_params = [
+                self._params_for_data(a[c0 : c0 + rows_per_chunk]) for c0 in row_starts
+            ]
+            col_params = [
+                self._params_for_data(b[:, j0 : j0 + batch]) for j0 in col_starts
+            ]
+
+        # Scratch buffers (quantized operands, slab products, one strip
+        # accumulator) survive between calls of the same geometry —
+        # iterative apps (PageRank, backprop) re-lower identical shapes
+        # every step, and refaulting ~50 MB of pages per call costs more
+        # than the arithmetic.
+        n_rows = len(row_starts)
+        n_cols = len(col_starts)
+        strip_h = min(rows_per_chunk, m)
+        key = (m, n, k, rows_per_chunk, batch)
+        if self._gemm_scratch is not None and self._gemm_scratch[0] == key:
+            sc = self._gemm_scratch[1]
+        else:
+            sc = {
+                "q_a": np.empty((m, n), dtype=np.float32),
+                "q_b": np.empty((n, k), dtype=np.float32),
+                "tmp_a": np.empty((strip_h, n), dtype=np.float64),
+                "tmp_b": np.empty((n, min(batch, k)), dtype=np.float64),
+                "strip": np.empty((strip_h, k), dtype=np.float64),
+                "parts": [
+                    np.empty((m, k), dtype=np.float32)
+                    for _ in functional.f32_slab_starts(n)
+                ],
+            }
+            self._gemm_scratch = (key, sc)
+
+        # Quantize each operand once — chunk by chunk into a float32
+        # buffer.  The scaling and rint arithmetic stay float64, so the
+        # stored integers are bit-identical to the scalar path's; the
+        # clip is provably dead because every scale is 127/max_abs of
+        # the very data it multiplies, bounding |rint| by 127.  The
+        # ``+ 0.0`` normalizes rint's ``-0.0`` to the ``+0.0`` the scalar
+        # path's int8 round-trip produces, keeping signed zeros in the
+        # accumulator (and so in the dequantized result) bit-identical.
+        q_a, q_b = sc["q_a"], sc["q_b"]
+        tmp_a, tmp_b = sc["tmp_a"], sc["tmp_b"]
+        for c0, p_rows in zip(row_starts, row_params):
+            c1 = min(c0 + rows_per_chunk, m)
+            t = tmp_a[: c1 - c0]
+            np.multiply(a[c0:c1], p_rows.scale, out=t)
+            np.rint(t, out=t)
+            np.add(t, 0.0, out=q_a[c0:c1])
+        for j0, p_cols in zip(col_starts, col_params):
+            j1 = min(j0 + batch, k)
+            t = tmp_b[:, : j1 - j0]
+            np.multiply(b[:, j0:j1], p_cols.scale, out=t)
+            np.rint(t, out=t)
+            np.add(t, 0.0, out=q_b[:, j0:j1])
+        partials = functional.f32_slab_products(q_a, q_b, out=sc["parts"])
+        self.stats.tiles_lowered += n_rows * n_cols
+        self.stats.batched_dispatches += 1
+
+        # Requantize chunk-strip by chunk-strip: the exact float64
+        # accumulator strip is assembled from the slab partials, its
+        # per-(chunk, batch) bounds taken with two reduceat passes, and
+        # the rescale/rint/clip/dequantize sequence applied with the
+        # per-batch factors expanded to a column vector — elementwise the
+        # identical operations (and operand values) the scalar loop
+        # applies to each piece, ~10 NumPy dispatches per chunk instead
+        # of ~8 per (chunk, batch) block.
+        result = np.empty((m, k), dtype=np.float64)
+        strip = sc["strip"]
+        col_idx = np.array(col_starts, dtype=np.intp)
+        batch_sizes = np.array(
+            [min(j0 + batch, k) - j0 for j0 in col_starts], dtype=np.intp
+        )
+        col_scales = np.array([p.scale for p in col_params])
+        out_scales_row = np.empty(n_cols)
+        rescale_row = np.empty(n_cols)
+        instrs: List[LoweredInstr] = []
+        saturated = 0
+        for ci, c0 in enumerate(row_starts):
+            c1 = min(c0 + rows_per_chunk, m)
+            p_rows = row_params[ci]
+            chunk_bytes = (c1 - c0) * s * s
+            st = strip[: c1 - c0]
+            if len(partials) == 1:
+                np.copyto(st, partials[0][c0:c1])
+            else:
+                np.add(partials[0][c0:c1], partials[1][c0:c1], out=st)
+                for part in partials[2:]:
+                    st += part[c0:c1]
+            # Per-batch |acc| bounds: max|x| == max(max, -min), and a
+            # segmented max equals each block's max — no abs temporary.
+            bmax = np.maximum.reduceat(st, col_idx, axis=1).max(axis=0)
+            bmin = np.minimum.reduceat(st, col_idx, axis=1).min(axis=0)
+            may_saturate = False
+            for bi in range(n_cols):
+                acc_bound = max(float(bmax[bi]), -float(bmin[bi]))
+                scale_prod = p_rows.scale * col_scales[bi]
+                measured = acc_bound / scale_prod
+                out_params = self._output_params(Opcode.CONV2D.opname, measured, lo, hi, n=n)
+                out_scales_row[bi] = out_params.scale
+                rescale_row[bi] = out_params.scale / scale_prod
+                # fl(·) is monotone, so acc_bound * rescale bounds every
+                # rescaled element; below 127.5 nothing rounds past ±127
+                # and the saturation count and clip are provably no-ops.
+                if not acc_bound * rescale_row[bi] < 127.5:
+                    may_saturate = True
+            rvec = np.repeat(rescale_row, batch_sizes)
+            np.multiply(st, rvec, out=st)
+            np.rint(st, out=st)
+            if may_saturate:
+                # Saturation counts are additive across blocks and clip
+                # is a no-op wherever nothing exceeds ±127, so one strip
+                # pass equals the scalar path's per-block pass.
+                saturated += int(np.count_nonzero(st > 127)) + int(
+                    np.count_nonzero(st < -127)
+                )
+                np.clip(st, -128, 127, out=st)
+            np.divide(st, np.repeat(out_scales_row, batch_sizes), out=result[c0:c1])
+            for bi, j0 in enumerate(col_starts):
+                nk = int(batch_sizes[bi])
+                out_elems = (c1 - c0) * nk
+                exec_seconds = self.timing.instruction_seconds(
+                    Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
+                )
+                instrs.append(
+                    self._gemm_conv2d_instr(
+                        request, source, c0, j0, chunk_bytes,
+                        nk * s * s, exec_seconds, out_elems,
+                    )
+                )
         cpu_seconds = self.cpu.elementwise_seconds(m * s * s + k * s * s, bytes_per_elem=2)
         return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
 
@@ -588,7 +1256,7 @@ class Tensorizer:
         # weighted average sums to ~1).
         bound = float(np.abs(a).max() * np.abs(kern).sum())
         out_params = self._output_params(Opcode.CONV2D.opname, bound, lo, hi, n=kh * kw)
-        p_kern = params_for_data(kern)
+        p_kern = self._params_for_data(kern)
         q_kern = quantize(kern, p_kern)
         oh, ow = a.shape[0] - kh + 1, a.shape[1] - kw + 1
         result = np.empty((oh, ow), dtype=np.float64)
@@ -617,6 +1285,8 @@ class Tensorizer:
                     task_id=request.task_id,
                 )
                 execd = self._scratch.execute(instr)
+                self.stats.tiles_lowered += 1
+                self.stats.scalar_dispatches += 1
                 saturated += execd.saturated
                 result[r0:r1, c0:c1] = execd.dequantized()
                 instrs.append(
@@ -645,7 +1315,7 @@ class Tensorizer:
     # ------------------------------------------------------------------
 
     def _lower_crop(self, request: OperationRequest) -> LoweredOperation:
-        a = np.asarray(request.inputs[0], dtype=np.float64)
+        a = request.inputs[0]
         box = request.attrs.get("crop_box")
         if box is None:
             raise TensorizerError("crop requires a 'crop_box' attribute")
@@ -654,6 +1324,8 @@ class Tensorizer:
             Opcode.CROP, quantize(a, p_a), p_a, attrs={"crop_box": box}, task_id=request.task_id
         )
         execd = self._scratch.execute(instr)
+        self.stats.tiles_lowered += 1
+        self.stats.scalar_dispatches += 1
         instrs = [
             LoweredInstr(
                 opcode=Opcode.CROP,
@@ -671,7 +1343,7 @@ class Tensorizer:
         return LoweredOperation(request, instrs, execd.dequantized())
 
     def _lower_ext(self, request: OperationRequest) -> LoweredOperation:
-        a = np.asarray(request.inputs[0], dtype=np.float64)
+        a = request.inputs[0]
         shape = request.attrs.get("ext_shape")
         if shape is None:
             raise TensorizerError("ext requires an 'ext_shape' attribute")
@@ -685,6 +1357,8 @@ class Tensorizer:
             task_id=request.task_id,
         )
         execd = self._scratch.execute(instr)
+        self.stats.tiles_lowered += 1
+        self.stats.scalar_dispatches += 1
         instrs = [
             LoweredInstr(
                 opcode=Opcode.EXT,

@@ -10,7 +10,7 @@ views, not copies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -78,6 +78,126 @@ def pad_to(matrix: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
     out = np.zeros(shape, dtype=matrix.dtype)
     out[:rows, :cols] = matrix
     return out
+
+
+def stack_tiles(matrix: np.ndarray, tile: int) -> Tuple[np.ndarray, List[Tile]]:
+    """Stack every tile of *matrix* into one ``(n_tiles, tile, tile)`` array.
+
+    The batched lowering path operates on all tiles of an operand at
+    once instead of dispatching one Python call per tile.  Tiles are
+    stacked in :func:`iter_tiles` order (row-major); ragged edge tiles
+    are zero-padded up to ``tile``×``tile``.  Padding is harmless for
+    every batched kernel the Tensorizer uses: zeros do not change an
+    absolute maximum, quantize to zero, add nothing to a sum, and the
+    one padding-sensitive reduction (max) overwrites its padding with a
+    sentinel via :func:`fill_padding`.
+
+    The stack is assembled with at most four strided block copies (the
+    full-tile body plus the ragged right/bottom/corner edges) — one
+    pad+copy of the operand, not one copy per tile.
+    """
+    rows, cols = matrix.shape
+    n_r, n_c = grid_shape(matrix.shape, tile)
+    tiles = list(iter_tiles(matrix.shape, tile))
+    full_r, full_c = rows // tile, cols // tile
+    if full_r == n_r and full_c == n_c:
+        # Evenly tiled: a single reshape/transpose copy, no padding.
+        stacked = (
+            matrix.reshape(n_r, tile, n_c, tile)
+            .swapaxes(1, 2)
+            .reshape(n_r * n_c, tile, tile)
+        )
+        return stacked, tiles
+    buf = np.zeros((n_r, n_c, tile, tile), dtype=matrix.dtype)
+    if full_r and full_c:
+        buf[:full_r, :full_c] = (
+            matrix[: full_r * tile, : full_c * tile]
+            .reshape(full_r, tile, full_c, tile)
+            .swapaxes(1, 2)
+        )
+    if full_c < n_c and full_r:
+        w = cols - full_c * tile
+        buf[:full_r, full_c, :, :w] = matrix[: full_r * tile, full_c * tile :].reshape(
+            full_r, tile, w
+        )
+    if full_r < n_r and full_c:
+        h = rows - full_r * tile
+        buf[full_r, :full_c, :h, :] = (
+            matrix[full_r * tile :, : full_c * tile].reshape(h, full_c, tile).swapaxes(0, 1)
+        )
+    if full_r < n_r and full_c < n_c:
+        buf[full_r, full_c, : rows - full_r * tile, : cols - full_c * tile] = matrix[
+            full_r * tile :, full_c * tile :
+        ]
+    return buf.reshape(n_r * n_c, tile, tile), tiles
+
+
+def scatter_tiles(
+    stacked: np.ndarray,
+    shape: Tuple[int, int],
+    tile: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reassemble a :func:`stack_tiles` stack into a ``shape`` matrix.
+
+    The inverse of :func:`stack_tiles`: padding regions of ragged edge
+    tiles are discarded.  Uses the same ≤4 strided block copies.
+    """
+    rows, cols = shape
+    n_r, n_c = grid_shape(shape, tile)
+    if stacked.shape != (n_r * n_c, tile, tile):
+        raise ValueError(
+            f"stack shape {stacked.shape} does not tile {shape} at {tile}"
+        )
+    buf = stacked.reshape(n_r, n_c, tile, tile)
+    if out is None:
+        out = np.empty(shape, dtype=stacked.dtype)
+    full_r, full_c = rows // tile, cols // tile
+    if full_r and full_c:
+        out[: full_r * tile, : full_c * tile] = (
+            buf[:full_r, :full_c].swapaxes(1, 2).reshape(full_r * tile, full_c * tile)
+        )
+    if full_c < n_c and full_r:
+        w = cols - full_c * tile
+        out[: full_r * tile, full_c * tile :] = buf[:full_r, full_c, :, :w].reshape(
+            full_r * tile, w
+        )
+    if full_r < n_r and full_c:
+        h = rows - full_r * tile
+        out[full_r * tile :, : full_c * tile] = (
+            buf[full_r, :full_c, :h, :].swapaxes(0, 1).reshape(h, full_c * tile)
+        )
+    if full_r < n_r and full_c < n_c:
+        out[full_r * tile :, full_c * tile :] = buf[
+            full_r, full_c, : rows - full_r * tile, : cols - full_c * tile
+        ]
+    return out
+
+
+def fill_padding(
+    stacked: np.ndarray, shape: Tuple[int, int], tile: int, value
+) -> np.ndarray:
+    """Overwrite the padding region of a tile stack with *value* in place.
+
+    Needed by padding-sensitive batched reductions (max): zero padding
+    would win over all-negative tiles, so the max path re-fills it with
+    the int8 minimum before reducing.
+    """
+    rows, cols = shape
+    n_r, n_c = grid_shape(shape, tile)
+    buf = stacked.reshape(n_r, n_c, tile, tile)
+    h = rows - (n_r - 1) * tile
+    w = cols - (n_c - 1) * tile
+    if w < tile:
+        buf[:, -1, :, w:] = value
+    if h < tile:
+        buf[-1, :, h:, :] = value
+    return stacked
+
+
+def tile_sizes(tiles: List[Tile]) -> np.ndarray:
+    """Actual (unpadded) element count of each tile, as an int64 vector."""
+    return np.array([t.shape()[0] * t.shape()[1] for t in tiles], dtype=np.int64)
 
 
 def row_chunks(n_rows: int, chunk: int) -> Iterator[slice]:
