@@ -39,25 +39,33 @@ def test_concurrent_task_throughput(benchmark, report):
             for a, b in pairs:
                 ctx.enqueue(lambda a=a, b=b: tpu_gemm(ctx, a, b))
             batched = ctx.sync().timeline.makespan
+            # Work-conserving scheduling should spread busy time evenly:
+            # record the per-device balance of the batched run.
+            busy = [d.busy_seconds for d in ctx.platform.devices]
+            balance = max(busy) / (sum(busy) / len(busy)) if sum(busy) else 1.0
             # Serialized: one task per sync (a naive caller).
             ctx2 = OpenCtpu(Platform.with_tpus(tpus))
             serial = 0.0
             for a, b in pairs:
                 ctx2.enqueue(lambda a=a, b=b: tpu_gemm(ctx2, a, b))
                 serial += ctx2.sync().timeline.makespan
-            rows.append((tpus, batched, serial, N_TASKS / batched))
+            rows.append((tpus, batched, serial, N_TASKS / batched, balance))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     report(
         format_table(
-            ["TPUs", "batched wall (s)", "serialized wall (s)", "tasks/s (batched)"],
-            [(t, f"{b:.4f}", f"{s:.4f}", f"{rate:.0f}") for t, b, s, rate in rows],
+            ["TPUs", "batched wall (s)", "serialized wall (s)", "tasks/s (batched)",
+             "busy balance (max/mean)"],
+            [
+                (t, f"{b:.4f}", f"{s:.4f}", f"{rate:.0f}", f"{bal:.2f}")
+                for t, b, s, rate, bal in rows
+            ],
             title=f"Concurrent execution of {N_TASKS} independent {SIZE}² GEMM tasks",
         )
     )
 
-    by_tpus = {t: (b, s) for t, b, s, _ in rows}
+    by_tpus = {t: (b, s) for t, b, s, _, _ in rows}
     # Batching never loses to serial submission.
     for t, (b, s) in by_tpus.items():
         assert b <= s * 1.02, t
@@ -66,3 +74,10 @@ def test_concurrent_task_throughput(benchmark, report):
     # On one device batching still wins slightly (cross-task pipelining
     # of transfers under execution).
     assert by_tpus[1][0] <= by_tpus[1][1]
+    # Busy time stays balanced: with 12 equal tasks on 8 devices the
+    # loaded ones take 2 tasks and the rest 1, so max/mean is at most
+    # 2 / (12/8) = 4/3 for a work-conserving scheduler.
+    balance_by_tpus = {t: bal for t, _, _, _, bal in rows}
+    assert balance_by_tpus[1] == pytest.approx(1.0)
+    assert balance_by_tpus[4] <= 1.34
+    assert balance_by_tpus[8] <= 1.34

@@ -11,6 +11,11 @@ Commands
     Run all seven applications (the Fig. 7 experiment).
 ``table3``
     Print the benchmark dataset inventory.
+``serve``
+    Run a multi-tenant serving session (repro.serve) and report it.
+``loadgen``
+    Load-test the serving layer; ``--strict`` asserts the zero-lost /
+    bit-identical invariants, ``--json`` archives the metrics snapshot.
 """
 
 from __future__ import annotations
@@ -151,6 +156,106 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _loadgen_spec(args: argparse.Namespace):
+    from repro.serve import LoadgenSpec
+
+    return LoadgenSpec(
+        tpus=args.tpus,
+        tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        size=args.size,
+        seed=args.seed,
+        fail_after_instructions=args.fail_after,
+        fail_device=args.fail_device,
+        time_scale=args.time_scale,
+        deadline_seconds=args.deadline,
+    )
+
+
+def _serving_rows(snapshot: dict) -> List[tuple]:
+    outcomes = snapshot["outcomes"]
+    latency = snapshot["latency"] or {}
+    rows = [
+        ("submitted", str(outcomes["submitted"])),
+        ("completed", str(outcomes["completed"])),
+        ("rejected (QueueFull)", str(outcomes["rejected"])),
+        ("timeouts", str(outcomes["timeouts"])),
+        ("failed", str(outcomes["failed"])),
+        ("lost", str(outcomes["lost"])),
+        ("p50 latency", f"{latency.get('p50_seconds', 0.0) * 1e3:.2f} ms"),
+        ("p99 latency", f"{latency.get('p99_seconds', 0.0) * 1e3:.2f} ms"),
+        ("max queue depth", str(snapshot["queue_depth"]["max"])),
+        ("device failures", str(snapshot["device_failures"])),
+        ("retries", str(snapshot["retries"])),
+        ("coalesced requests", str(snapshot["coalescing"]["requests_coalesced"])),
+        ("healthy TPUs", f"{snapshot['platform']['healthy']}/{snapshot['platform']['tpus']}"),
+    ]
+    for name, dev in sorted(snapshot["devices"].items()):
+        rows.append(
+            (f"  {name}", f"{dev['groups']} groups, {dev['failures']} failures")
+        )
+    return rows
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a self-contained multi-tenant serving session and report it."""
+    from repro.serve import run_loadgen
+
+    result = run_loadgen(_loadgen_spec(args))
+    print(
+        format_table(
+            ["metric", "value"],
+            _serving_rows(result.snapshot),
+            title=f"repro.serve session ({args.tenants} tenants x {args.requests} GEMMs):",
+        )
+    )
+    if result.mismatches:
+        print(f"\nERROR: {result.mismatches} results differ from solo lowering")
+        return 1
+    print(f"\nall delivered results bit-identical to solo lowering "
+          f"({result.wall_seconds:.2f} s wall)")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive the serving layer under load; optionally emit/check JSON."""
+    import json
+
+    from repro.serve import run_loadgen
+
+    result = run_loadgen(_loadgen_spec(args))
+    snapshot = dict(result.snapshot)
+    snapshot["loadgen"] = {
+        "wall_seconds": result.wall_seconds,
+        "mismatches": result.mismatches,
+        "delivered_by_tenant": result.delivered_by_tenant,
+    }
+    if args.json:
+        import pathlib
+
+        pathlib.Path(args.json).write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    else:
+        print(json.dumps(snapshot, indent=2))
+    if args.strict:
+        outcomes = snapshot["outcomes"]
+        problems = []
+        if outcomes["lost"] != 0:
+            problems.append(f"lost={outcomes['lost']}")
+        if result.mismatches:
+            problems.append(f"mismatches={result.mismatches}")
+        if outcomes["completed"] == 0:
+            problems.append("no request completed")
+        if args.fail_after > 0 and snapshot["retries"] == 0:
+            problems.append("fault injected but no retries observed")
+        if problems:
+            print("STRICT CHECK FAILED: " + ", ".join(problems))
+            return 1
+        print("strict checks passed: zero lost, bit-identical, "
+              f"{outcomes['completed']} completed, {snapshot['retries']} retries")
+    return 0
+
+
 def cmd_table3(_args: argparse.Namespace) -> int:
     print(
         format_table(
@@ -204,6 +309,33 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--output", metavar="FILE.md",
                           help="write to a file instead of stdout")
 
+    def add_serving_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tpus", type=int, default=8)
+        p.add_argument("--tenants", type=int, default=6)
+        p.add_argument("--requests", type=int, default=8,
+                       help="GEMM requests per tenant")
+        p.add_argument("--size", type=int, default=128,
+                       help="square GEMM size per request")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--fail-after", type=int, default=0, metavar="N",
+                       help="kill one TPU after N instructions (0 = none)")
+        p.add_argument("--fail-device", type=int, default=0,
+                       help="index of the TPU to kill")
+        p.add_argument("--time-scale", type=float, default=0.0,
+                       help="real seconds per modeled second (0 = free-run)")
+        p.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                       help="per-request deadline in real seconds")
+
+    serve_p = sub.add_parser("serve", help="run a multi-tenant serving session")
+    add_serving_args(serve_p)
+
+    loadgen_p = sub.add_parser("loadgen", help="load-test the serving layer")
+    add_serving_args(loadgen_p)
+    loadgen_p.add_argument("--json", metavar="FILE.json",
+                           help="write the metrics snapshot to a file")
+    loadgen_p.add_argument("--strict", action="store_true",
+                           help="exit non-zero unless serving invariants hold")
+
     sub.add_parser("table3", help="print the dataset inventory")
     return parser
 
@@ -216,6 +348,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": cmd_suite,
         "profile": cmd_profile,
         "report": cmd_report,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
         "table3": cmd_table3,
     }
     return handlers[args.command](args)

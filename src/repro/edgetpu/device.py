@@ -23,6 +23,53 @@ from repro.edgetpu.isa import Instruction, Opcode
 from repro.edgetpu.memory import OnChipMemory
 from repro.edgetpu.quantize import QMAX, QMIN, QuantParams
 from repro.edgetpu.timing import TimingModel
+from repro.errors import DeviceFailure
+
+
+class FaultInjector:
+    """Deterministic fault plan for one simulated device.
+
+    Arms after the device has retired *after_instructions* further
+    instructions; every fault check past that point raises
+    :class:`~repro.errors.DeviceFailure` until the budgeted number of
+    failures is spent (``failures < 0`` never clears — the device is
+    permanently dead, e.g. it dropped off the PCIe bus).
+    """
+
+    def __init__(
+        self,
+        after_instructions: int = 0,
+        failures: int = -1,
+        reason: str = "injected fault",
+    ) -> None:
+        if after_instructions < 0:
+            raise ValueError("after_instructions must be >= 0")
+        self.after_instructions = int(after_instructions)
+        self.failures = int(failures)
+        self.reason = reason
+        self._seen = 0
+        #: How many times this injector has actually fired.
+        self.fired = 0
+
+    @property
+    def armed(self) -> bool:
+        """True while this injector can still raise."""
+        return self.failures != 0
+
+    def observe(self, device_name: str, instructions: int = 1) -> None:
+        """Account *instructions* of progress; raise once the plan trips."""
+        if not self.armed:
+            return
+        self._seen += int(instructions)
+        if self._seen <= self.after_instructions:
+            return
+        if self.failures > 0:
+            self.failures -= 1
+        self.fired += 1
+        raise DeviceFailure(
+            f"{device_name}: {self.reason} (after {self._seen} instructions)",
+            device=device_name,
+        )
 
 
 @dataclass(frozen=True)
@@ -67,9 +114,44 @@ class EdgeTPUDevice:
         #: Lifetime counters, used by the energy model and reports.
         self.instructions_executed = 0
         self.busy_seconds = 0.0
+        #: Optional fault plan consulted before work is charged to the
+        #: device (serving-layer fault tolerance; see :meth:`inject_fault`).
+        self.fault_injector: Optional[FaultInjector] = None
+
+    def inject_fault(
+        self,
+        after_instructions: int = 0,
+        failures: int = -1,
+        reason: str = "injected fault",
+    ) -> FaultInjector:
+        """Arm a fault plan on this device and return it.
+
+        ``failures=-1`` (default) models a permanent failure — the device
+        keeps raising :class:`~repro.errors.DeviceFailure` forever;
+        a positive count models transient faults that clear after firing
+        that many times.
+        """
+        self.fault_injector = FaultInjector(after_instructions, failures, reason)
+        return self.fault_injector
+
+    def check_fault(self, instructions: int = 1) -> None:
+        """Fault hook: charge *instructions* of progress to the fault plan.
+
+        Raises :class:`~repro.errors.DeviceFailure` when the plan trips;
+        no-op when no injector is armed.  The serving dispatcher calls
+        this once per dispatch group with the group's instruction count.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.observe(self.name, instructions)
+
+    @property
+    def healthy(self) -> bool:
+        """False once an armed injector can still (or will forever) fire."""
+        return self.fault_injector is None or not self.fault_injector.armed
 
     def execute(self, instr: Instruction) -> ExecutionResult:
         """Run one instruction; returns requantized output and latency."""
+        self.check_fault(1)
         result = functional.execute(instr)
         macs = result.macs
 

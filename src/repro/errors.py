@@ -25,6 +25,20 @@ class DeviceError(GPTPUError):
     """Raised for Edge TPU device-level failures."""
 
 
+class DeviceFailure(DeviceError):
+    """Raised when a device fails while holding a dispatch group.
+
+    The serving layer's fault-injection hooks raise this to model a TPU
+    dropping off the bus mid-stream; the dispatcher catches it, opens
+    the device's circuit breaker, and requeues the group elsewhere.
+    """
+
+    def __init__(self, message: str, device: str = "") -> None:
+        super().__init__(message)
+        #: Name of the device that failed (e.g. ``"tpu3"``), when known.
+        self.device = device
+
+
 class OutOfDeviceMemoryError(DeviceError):
     """Raised when an allocation exceeds the 8 MB on-chip memory."""
 
@@ -59,3 +73,19 @@ class TensorizerError(GPTPUError):
 
 class BenchmarkError(GPTPUError):
     """Raised by the benchmark harness for invalid experiment configs."""
+
+
+class ServingError(GPTPUError):
+    """Base class for multi-tenant serving-layer errors (:mod:`repro.serve`)."""
+
+
+class QueueFull(ServingError):
+    """Admission fast-reject: the bounded OPQ (or a tenant's share) is full.
+
+    Backpressure signal — the client should retry later or shed load;
+    nothing was enqueued.
+    """
+
+
+class RequestTimeout(ServingError):
+    """A request's deadline expired before its results were delivered."""

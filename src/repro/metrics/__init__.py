@@ -1,13 +1,22 @@
-"""Accuracy and performance metrics used by the paper's evaluation."""
+"""Accuracy and performance metrics used by the paper's evaluation,
+plus the latency-distribution summaries of the serving layer."""
 
 from repro.metrics.errors import mape_percent, max_abs_error, rmse_percent
-from repro.metrics.summary import SpeedupRow, geomean, speedup
+from repro.metrics.summary import (
+    LatencySummary,
+    SpeedupRow,
+    geomean,
+    percentile,
+    speedup,
+)
 
 __all__ = [
+    "LatencySummary",
     "SpeedupRow",
     "geomean",
     "mape_percent",
     "max_abs_error",
+    "percentile",
     "rmse_percent",
     "speedup",
 ]

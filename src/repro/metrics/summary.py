@@ -41,6 +41,54 @@ class SpeedupRow:
         return speedup(self.baseline_seconds, self.accelerated_seconds)
 
 
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of *samples* (q in [0, 100])."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Request-latency distribution for serving reports (p50/p99 etc.)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        """Summarize a non-empty set of latency samples (seconds)."""
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("LatencySummary needs at least one sample")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (used by ``BENCH_serving.json``)."""
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.p50,
+            "p90_seconds": self.p90,
+            "p99_seconds": self.p99,
+            "max_seconds": self.max,
+        }
+
+
 def summarize(rows: Sequence[SpeedupRow]) -> dict:
     """Mean/geomean speedups over a set of rows."""
     speeds = [r.speedup for r in rows]

@@ -23,12 +23,13 @@ energy model integrates (§8.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.edgetpu.device import EdgeTPUDevice
 from repro.errors import SchedulerError
 from repro.host.platform import Platform
 from repro.runtime.opqueue import LoweredInstr, LoweredOperation
-from repro.runtime.scheduler import SchedulePolicy, build_dispatch_groups
+from repro.runtime.scheduler import DispatchGroup, SchedulePolicy, build_dispatch_groups
 from repro.sim import AllOf, SimEvent, Store
 
 
@@ -48,6 +49,84 @@ class Timeline:
     def tpu_busy_seconds(self) -> float:
         """Total busy time across all Edge TPUs."""
         return sum(v for k, v in self.busy_by_unit.items() if k.startswith("tpu"))
+
+
+@dataclass(frozen=True)
+class GroupCost:
+    """Modeled cost of one dispatch group admitted to one idle device."""
+
+    #: Admission to last result byte back on the host (seconds).
+    service_seconds: float
+    #: Matrix-unit busy time (device utilization accounting).
+    exec_seconds: float
+    #: Bytes DMAed to the device after residency hits.
+    bytes_in: int
+    #: Result bytes streamed back.
+    bytes_out: int
+
+
+def group_service_seconds(
+    group: DispatchGroup,
+    device: EdgeTPUDevice,
+    transfer_seconds: Callable[[int], float],
+    policy: Optional[SchedulePolicy] = None,
+) -> GroupCost:
+    """Closed-form replay of one dispatch group on one device.
+
+    The incremental-admission counterpart of :meth:`Executor.run`: the
+    serving layer (:mod:`repro.serve`) admits groups to devices one at a
+    time as requests arrive, so it needs the cost of a *single* group on
+    an *idle* device rather than a whole-batch DES replay.  The model
+    mirrors the executor's pipeline stage for stage — per-instruction
+    inbound DMA (serialized on the device link) and model build overlap
+    the previous instruction's execution when ``policy.pipelining`` is
+    on, execution is in-order, and result DMA overlaps the next
+    execution — and consumes the same on-chip residency state
+    (``device.memory``), so cached chunks and models skip their
+    transfers exactly as the DES path would.
+
+    ``transfer_seconds`` maps a byte count to the host↔device transfer
+    latency for this device's topology path (uncontended).
+    """
+    policy = policy or SchedulePolicy()
+    dma_free = 0.0  # when the device's inbound link is next idle
+    exec_free = 0.0  # when the matrix unit is next idle
+    done = 0.0
+    exec_total = 0.0
+    bytes_in = 0
+    bytes_out = 0
+    for instr in group.instrs:
+        data = instr.data_bytes
+        if data and instr.cache_key and device.memory.ensure(instr.cache_key, max(1, data)):
+            data = 0  # hit: chunk already on chip
+        model = instr.model_bytes
+        if model and instr.model_cache_key and device.memory.ensure(
+            f"m:{instr.model_cache_key}", max(1, model)
+        ):
+            model = 0
+        inbound = data + model
+        # Without pipelining, transfers wait for the previous execution.
+        start = 0.0 if policy.pipelining else exec_free
+        dma_end = max(dma_free, start) + (transfer_seconds(inbound) if inbound else 0.0)
+        dma_free = dma_end
+        ready = max(dma_end, start + instr.model_build_seconds)
+        exec_start = max(ready, exec_free)
+        exec_free = exec_start + instr.burst_exec_seconds
+        exec_total += instr.burst_exec_seconds
+        out_t = transfer_seconds(instr.out_bytes) if instr.out_bytes else 0.0
+        if policy.pipelining:
+            done = max(done, exec_free + out_t)
+        else:
+            dma_free = exec_free + out_t
+            done = dma_free
+        bytes_in += inbound
+        bytes_out += instr.out_bytes
+    return GroupCost(
+        service_seconds=max(done, exec_free),
+        exec_seconds=exec_total,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+    )
 
 
 class Executor:

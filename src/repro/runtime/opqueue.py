@@ -49,6 +49,10 @@ class OperationRequest:
     #: §5's dataflow model: operators within one task serialize
     #: implicitly; cross-task ordering is expressed here.
     depends_on: Tuple[int, ...] = ()
+    #: Originating client for multi-tenant serving (:mod:`repro.serve`);
+    #: the admission controller fair-queues across distinct tenants.
+    #: Empty for single-caller batch use (the Table 2 API).
+    tenant: str = ""
 
 
 @dataclass(frozen=True)

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -140,6 +140,9 @@ class TensorizerStats:
     #: Quant-param memo hits/misses (per-(range) QuantParams reuse).
     quant_cache_hits: int = 0
     quant_cache_misses: int = 0
+    #: Operations lowered through :meth:`Tensorizer.lower_gemm_coalesced`
+    #: (multi-client GEMMs that shared one batched dispatch).
+    coalesced_operations: int = 0
 
 
 class Tensorizer:
@@ -999,6 +1002,7 @@ class Tensorizer:
         model_elems: int,
         exec_seconds: float,
         out_elems: int,
+        model_source: Optional[str] = None,
     ) -> LoweredInstr:
         cache_key = f"{source}:rows{c0}"
         return LoweredInstr(
@@ -1016,8 +1020,10 @@ class Tensorizer:
             label=f"convGEMM:r{c0}:k{j0}",
             # Kernel batches are identical across row chunks: they stay
             # resident per device instead of being re-streamed for every
-            # chunk.
-            model_cache_key=f"{source}:kernels{j0}",
+            # chunk.  Coalesced operations share one model source so the
+            # kernels of a common weight matrix also persist *across*
+            # the clients that share it.
+            model_cache_key=f"{model_source or source}:kernels{j0}",
         )
 
     def _lower_gemm_conv2d_scalar(self, request: OperationRequest) -> LoweredOperation:
@@ -1238,6 +1244,203 @@ class Tensorizer:
                 )
         cpu_seconds = self.cpu.elementwise_seconds(m * s * s + k * s * s, bytes_per_elem=2)
         return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
+
+    # ------------------------------------------------------------------
+    # coalesced multi-client GEMM (serving layer)
+    # ------------------------------------------------------------------
+
+    def lower_gemm_coalesced(
+        self, requests: Sequence[OperationRequest]
+    ) -> List[LoweredOperation]:
+        """Lower several compatible conv2D-GEMMs as ONE batched dispatch.
+
+        The serving layer (:mod:`repro.serve`) merges GEMM requests from
+        different clients that share the model operand *B*, the data
+        shape, and SCALE quantization — the common "many clients, one
+        weight matrix" pattern.  The quantized data operands are stacked
+        row-wise and the whole stack runs through a single exact-f32
+        slab product (the PR 1 vectorized path), after which each
+        client's strip is requantized with its *own* per-chunk input
+        scales and measured output bounds.
+
+        **Bit-identity guarantee**: every slab partial holds exact
+        integers (any BLAS summation order yields the same value — see
+        :func:`repro.edgetpu.functional.f32_slab_products`), each
+        request occupies its own rows of the stack, and quantization /
+        requantization use exactly the per-request, per-chunk values the
+        solo path computes.  Each returned result is therefore
+        bit-for-bit what :meth:`lower` would produce for that request
+        alone; ``tests/serve/test_coalescer.py`` enforces this by
+        property test.
+
+        Instruction streams keep per-request data sources (no aliasing
+        of on-chip chunks) but share one *model* source, so the common
+        kernel batches stay device-resident across clients.  The shared
+        B reshape cost (§7.1.3 data transformation) is charged once, to
+        the first request of the group.
+
+        Raises :class:`TensorizerError` when the requests are not
+        coalescible (the serving coalescer only groups compatible ones).
+        """
+        if not requests:
+            raise TensorizerError("lower_gemm_coalesced needs at least one request")
+        if len(requests) == 1:
+            return [self.lower(requests[0])]
+        for request in requests:
+            self._normalize_inputs(request)
+            if request.opcode is not Opcode.CONV2D or not request.attrs.get("gemm", False):
+                raise TensorizerError(
+                    f"only conv2D-GEMM operations coalesce, got {request.opcode.opname}"
+                )
+            if request.quant is not QuantMode.SCALE:
+                raise TensorizerError("coalescing requires SCALE quantization")
+        first = requests[0]
+        a0, b = self._require_2d_pair(first)
+        if a0.shape[1] != b.shape[0]:
+            raise TensorizerError(f"GEMM inner dims differ: {a0.shape} x {b.shape}")
+        chunk_attr = int(first.attrs.get("gemm_chunks", self.options.min_gemm_chunks))
+        for request in requests[1:]:
+            a_r, b_r = self._require_2d_pair(request)
+            if a_r.shape != a0.shape:
+                raise TensorizerError(
+                    f"coalesced GEMM data shapes differ: {a_r.shape} vs {a0.shape}"
+                )
+            if b_r is not b and not np.array_equal(b_r, b):
+                raise TensorizerError("coalesced GEMMs must share the model operand")
+            if int(request.attrs.get("gemm_chunks", self.options.min_gemm_chunks)) != chunk_attr:
+                raise TensorizerError("coalesced GEMMs must agree on gemm_chunks")
+
+        m, n = a0.shape
+        k = b.shape[1]
+        n_req = len(requests)
+        s, rows_per_chunk, batch = self._gemm_conv2d_geometry(first, m, n)
+        row_starts = list(range(0, m, rows_per_chunk))
+        col_starts = list(range(0, k, batch))
+        n_rows = len(row_starts)
+        n_cols = len(col_starts)
+
+        # Shared model operand: one set of column-batch params and one
+        # quantized copy — identical values to every solo lowering.
+        col_params = [self._params_for_data(b[:, j0 : j0 + batch]) for j0 in col_starts]
+        q_b = np.empty((n, k), dtype=np.float32)
+        tmp_b = np.empty((n, min(batch, k)), dtype=np.float64)
+        for j0, p_cols in zip(col_starts, col_params):
+            j1 = min(j0 + batch, k)
+            t = tmp_b[:, : j1 - j0]
+            np.multiply(b[:, j0:j1], p_cols.scale, out=t)
+            np.rint(t, out=t)
+            np.add(t, 0.0, out=q_b[:, j0:j1])
+
+        # Per-request data operands, quantized chunk by chunk with each
+        # request's own scales, stacked row-wise for one slab product.
+        sources: List[str] = []
+        ranges: List[Tuple[float, float]] = []
+        all_row_params: List[List[QuantParams]] = []
+        q_a = np.empty((n_req * m, n), dtype=np.float32)
+        tmp_a = np.empty((min(rows_per_chunk, m), n), dtype=np.float64)
+        for idx, request in enumerate(requests):
+            a = request.inputs[0]
+            ranges.append(data_range(a, b))
+            sources.append(request.input_name or f"op{self._op_seq}")
+            self._op_seq += 1
+            row_params = [
+                self._params_for_data(a[c0 : c0 + rows_per_chunk]) for c0 in row_starts
+            ]
+            all_row_params.append(row_params)
+            base = idx * m
+            for c0, p_rows in zip(row_starts, row_params):
+                c1 = min(c0 + rows_per_chunk, m)
+                t = tmp_a[: c1 - c0]
+                np.multiply(a[c0:c1], p_rows.scale, out=t)
+                np.rint(t, out=t)
+                np.add(t, 0.0, out=q_a[base + c0 : base + c1])
+
+        # THE coalesced dispatch: one exact-f32 slab GEMM over every
+        # client's rows at once.  Slab partials are exact integers, so
+        # each row's value is independent of its neighbours in the stack.
+        partials = functional.f32_slab_products(q_a, q_b)
+        self.stats.tiles_lowered += n_req * n_rows * n_cols
+        self.stats.batched_dispatches += 1
+        self.stats.coalesced_operations += n_req
+
+        # Requantize per request, per chunk strip — the solo loop's
+        # arithmetic applied to this request's rows of the stack.
+        model_source = sources[0]
+        strip = np.empty((min(rows_per_chunk, m), k), dtype=np.float64)
+        col_idx = np.array(col_starts, dtype=np.intp)
+        batch_sizes = np.array(
+            [min(j0 + batch, k) - j0 for j0 in col_starts], dtype=np.intp
+        )
+        col_scales = np.array([p.scale for p in col_params])
+        out_scales_row = np.empty(n_cols)
+        rescale_row = np.empty(n_cols)
+        lowered: List[LoweredOperation] = []
+        for idx, request in enumerate(requests):
+            base = idx * m
+            lo, hi = ranges[idx]
+            result = np.empty((m, k), dtype=np.float64)
+            instrs: List[LoweredInstr] = []
+            saturated = 0
+            for ci, c0 in enumerate(row_starts):
+                c1 = min(c0 + rows_per_chunk, m)
+                p_rows = all_row_params[idx][ci]
+                chunk_bytes = (c1 - c0) * s * s
+                st = strip[: c1 - c0]
+                r0, r1 = base + c0, base + c1
+                if len(partials) == 1:
+                    np.copyto(st, partials[0][r0:r1])
+                else:
+                    np.add(partials[0][r0:r1], partials[1][r0:r1], out=st)
+                    for part in partials[2:]:
+                        st += part[r0:r1]
+                bmax = np.maximum.reduceat(st, col_idx, axis=1).max(axis=0)
+                bmin = np.minimum.reduceat(st, col_idx, axis=1).min(axis=0)
+                may_saturate = False
+                for bi in range(n_cols):
+                    acc_bound = max(float(bmax[bi]), -float(bmin[bi]))
+                    scale_prod = p_rows.scale * col_scales[bi]
+                    measured = acc_bound / scale_prod
+                    out_params = self._output_params(
+                        Opcode.CONV2D.opname, measured, lo, hi, n=n
+                    )
+                    out_scales_row[bi] = out_params.scale
+                    rescale_row[bi] = out_params.scale / scale_prod
+                    if not acc_bound * rescale_row[bi] < 127.5:
+                        may_saturate = True
+                rvec = np.repeat(rescale_row, batch_sizes)
+                np.multiply(st, rvec, out=st)
+                np.rint(st, out=st)
+                if may_saturate:
+                    saturated += int(np.count_nonzero(st > 127)) + int(
+                        np.count_nonzero(st < -127)
+                    )
+                    np.clip(st, -128, 127, out=st)
+                np.divide(st, np.repeat(out_scales_row, batch_sizes), out=result[c0:c1])
+                for bi, j0 in enumerate(col_starts):
+                    nk = int(batch_sizes[bi])
+                    out_elems = (c1 - c0) * nk
+                    exec_seconds = self.timing.instruction_seconds(
+                        Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
+                    )
+                    instrs.append(
+                        self._gemm_conv2d_instr(
+                            request, sources[idx], c0, j0, chunk_bytes,
+                            nk * s * s, exec_seconds, out_elems,
+                            model_source=model_source,
+                        )
+                    )
+            # Host data transformation: each request reshapes its own
+            # rows; the shared kernels are built once for the group.
+            elems = m * s * s + (k * s * s if idx == 0 else 0)
+            cpu_seconds = self.cpu.elementwise_seconds(elems, bytes_per_elem=2)
+            op = LoweredOperation(
+                request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated
+            )
+            self.stats.operations_lowered += 1
+            self.stats.instructions_emitted += op.instruction_count
+            self.stats.saturated_values += saturated
+            lowered.append(op)
+        return lowered
 
     # ------------------------------------------------------------------
     # conv2D as a stencil (HotSpot3D-style small kernels)

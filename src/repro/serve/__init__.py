@@ -1,0 +1,32 @@
+"""repro.serve — multi-tenant async serving over the GPTPU stack.
+
+The paper's runtime (§6.1) is batch-oriented: one caller fills the OPQ,
+then syncs.  This package turns the same OPQ → Tensorizer → scheduler →
+device pipeline into a continuously-fed service with admission control
+and backpressure, multi-client GEMM coalescing, and fault-tolerant
+dispatch with retries and circuit breakers.  See docs/serving.md.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import coalesce, coalesce_key
+from repro.serve.dispatcher import CircuitBreaker, DevicePool, DispatchWork
+from repro.serve.loadgen import LoadgenResult, LoadgenSpec, run_loadgen
+from repro.serve.metrics import ServingMetrics
+from repro.serve.request import ServeRequest
+from repro.serve.server import ServeConfig, TpuServer
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DevicePool",
+    "DispatchWork",
+    "LoadgenResult",
+    "LoadgenSpec",
+    "ServeConfig",
+    "ServeRequest",
+    "ServingMetrics",
+    "TpuServer",
+    "coalesce",
+    "coalesce_key",
+    "run_loadgen",
+]

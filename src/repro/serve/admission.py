@@ -1,0 +1,107 @@
+"""Admission control and per-tenant fair queuing.
+
+The paper's front-end OPQ (§6.1, Fig. 4) is unbounded — fine for one
+batch-mode caller, fatal for a service.  The admission controller makes
+the OPQ a *bounded* queue with two backpressure rules:
+
+* **capacity fast-reject** — offers beyond ``capacity`` total pending
+  requests (or beyond a tenant's own share) raise
+  :class:`~repro.errors.QueueFull` synchronously, before anything is
+  enqueued, so overloaded clients learn immediately;
+* **round-robin fair queuing** — each tenant has its own FIFO and the
+  dispatcher drains one request per tenant per turn, so a tenant that
+  floods the queue cannot starve the others (it only queues behind
+  itself).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import QueueFull
+from repro.serve.request import ServeRequest
+
+
+class AdmissionController:
+    """Bounded multi-tenant front-end queue with round-robin draining."""
+
+    def __init__(self, capacity: int, per_tenant_limit: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if per_tenant_limit is not None and per_tenant_limit < 1:
+            raise ValueError(f"per_tenant_limit must be >= 1, got {per_tenant_limit}")
+        self.capacity = capacity
+        self.per_tenant_limit = per_tenant_limit
+        #: Tenant FIFOs in rotation order; a tenant appears iff non-empty.
+        self._queues: "OrderedDict[str, Deque[ServeRequest]]" = OrderedDict()
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        """Total pending requests across all tenants."""
+        return self._depth
+
+    @property
+    def tenants(self) -> List[str]:
+        """Tenants with pending requests, in current rotation order."""
+        return list(self._queues)
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Pending requests for one tenant."""
+        queue = self._queues.get(tenant)
+        return len(queue) if queue is not None else 0
+
+    def offer(self, sreq: ServeRequest) -> None:
+        """Admit one request or raise :class:`QueueFull` (fast-reject)."""
+        if self._depth >= self.capacity:
+            raise QueueFull(
+                f"admission queue at capacity ({self.capacity}); retry later"
+            )
+        queue = self._queues.get(sreq.tenant)
+        if (
+            self.per_tenant_limit is not None
+            and queue is not None
+            and len(queue) >= self.per_tenant_limit
+        ):
+            raise QueueFull(
+                f"tenant {sreq.tenant!r} at its share ({self.per_tenant_limit}); retry later"
+            )
+        if queue is None:
+            queue = deque()
+            self._queues[sreq.tenant] = queue
+        queue.append(sreq)
+        self._depth += 1
+
+    def drain(self, limit: int) -> List[ServeRequest]:
+        """Pop up to *limit* requests, one per tenant per rotation turn.
+
+        FCFS within a tenant; round-robin across tenants — the fairness
+        rule that bounds any tenant's queueing delay by the number of
+        *active* tenants, not by the flood depth of the loudest one.
+        """
+        out: List[ServeRequest] = []
+        while self._queues and len(out) < limit:
+            tenant, queue = next(iter(self._queues.items()))
+            del self._queues[tenant]
+            out.append(queue.popleft())
+            self._depth -= 1
+            if queue:
+                # Back of the rotation: other tenants go first next turn.
+                self._queues[tenant] = queue
+        return out
+
+    def expire(self, now: float) -> List[ServeRequest]:
+        """Remove and return every pending request whose deadline passed."""
+        expired: List[ServeRequest] = []
+        for tenant in list(self._queues):
+            queue = self._queues[tenant]
+            keep: Deque[ServeRequest] = deque()
+            for sreq in queue:
+                (expired if sreq.expired(now) else keep).append(sreq)
+            if keep:
+                self._queues[tenant] = keep
+            else:
+                del self._queues[tenant]
+        self._depth -= len(expired)
+        return expired

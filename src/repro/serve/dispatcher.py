@@ -1,0 +1,286 @@
+"""Fault-tolerant dispatch of lowered groups onto the simulated TPUs.
+
+A :class:`DevicePool` owns one router task and one worker task per
+Edge TPU.  The router assigns each :class:`DispatchWork` item to the
+least-loaded healthy device (work-conserving FCFS, like the DES
+executor's shared-queue workers); workers charge the group's modeled
+service time (:func:`repro.runtime.executor.group_service_seconds`)
+against real time and drive the fault-tolerance machinery:
+
+* **fault hook** — each device's :meth:`check_fault` runs before a
+  group is charged; an armed injector raises
+  :class:`~repro.errors.DeviceFailure` mid-stream;
+* **bounded retries** — a failed group is requeued onto a different
+  device (the observed-failed one is excluded) up to ``max_retries``
+  times before the owning request fails;
+* **circuit breaker** — ``breaker_threshold`` consecutive failures open
+  a device's breaker for ``breaker_cooldown`` real seconds; an open
+  device receives no work, and a half-open probe follows the cooldown.
+
+Delivery is exactly-once by construction: group completions decrement
+the owning request's outstanding count, and both resolve and reject
+paths go through the :class:`ServeRequest` once-only guards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.errors import DeviceFailure, RequestTimeout
+from repro.host.platform import Platform
+from repro.runtime.executor import group_service_seconds
+from repro.runtime.scheduler import DispatchGroup, SchedulePolicy
+from repro.serve.metrics import ServingMetrics
+from repro.serve.request import ServeRequest
+
+
+@dataclass
+class DispatchWork:
+    """One dispatch group bound to its owning request."""
+
+    group: DispatchGroup
+    sreq: ServeRequest
+    attempts: int = 0
+    #: Devices observed failing this work item (never re-tried first).
+    excluded: Set[int] = field(default_factory=set)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a real-time cooldown."""
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_seconds < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown_seconds}")
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self.consecutive_failures = 0
+        self.opened = 0  # lifetime count of open transitions
+        self._open_until = -1.0
+
+    @property
+    def is_open(self) -> bool:
+        """True while the device is quarantined."""
+        return self._clock() < self._open_until
+
+    @property
+    def reopens_at(self) -> float:
+        """Monotonic instant the breaker half-opens."""
+        return self._open_until
+
+    def record_failure(self) -> None:
+        """Count a failure; open the breaker at the threshold."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self._open_until = self._clock() + self.cooldown_seconds
+            self.opened += 1
+            # Half-open probe: one more failure re-opens immediately.
+            self.consecutive_failures = self.threshold - 1
+
+    def record_success(self) -> None:
+        """A completed group closes the breaker fully."""
+        self.consecutive_failures = 0
+        self._open_until = -1.0
+
+
+class DevicePool:
+    """Router + per-device workers over a platform's simulated TPUs."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        metrics: ServingMetrics,
+        *,
+        policy: Optional[SchedulePolicy] = None,
+        max_retries: int = 3,
+        breaker_threshold: int = 2,
+        breaker_cooldown: float = 0.05,
+        time_scale: float = 1.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        self.platform = platform
+        self.metrics = metrics
+        self.policy = policy or SchedulePolicy()
+        self.max_retries = max_retries
+        self.time_scale = time_scale
+        self.breakers = [
+            CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for _ in range(platform.num_tpus)
+        ]
+        self._inbox: "asyncio.Queue[DispatchWork]" = asyncio.Queue()
+        self._device_queues: List["asyncio.Queue[DispatchWork]"] = [
+            asyncio.Queue() for _ in range(platform.num_tpus)
+        ]
+        self._tasks: List["asyncio.Task"] = []
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Uncontended host<->device transfer latency per device path.
+        self._transfer_fns = [
+            self._make_transfer_fn(i) for i in range(platform.num_tpus)
+        ]
+
+    def _make_transfer_fn(self, tpu_index: int) -> Callable[[int], float]:
+        links = self.platform.topology.path_links(tpu_index)
+
+        def transfer_seconds(nbytes: int) -> float:
+            if nbytes <= 0:
+                return 0.0
+            return sum(link.occupancy_seconds(nbytes) for link in links)
+
+        return transfer_seconds
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the router and one worker per device (idempotent)."""
+        if self._tasks:
+            return
+        loop = asyncio.get_running_loop()
+        self._tasks.append(loop.create_task(self._router(), name="serve-router"))
+        for i in range(self.platform.num_tpus):
+            self._tasks.append(
+                loop.create_task(self._worker(i), name=f"serve-worker-tpu{i}")
+            )
+
+    async def stop(self) -> None:
+        """Cancel router and workers; pending work is abandoned."""
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def drain(self) -> None:
+        """Wait until every submitted work item has retired."""
+        await self._idle.wait()
+
+    @property
+    def in_flight(self) -> int:
+        """Work items submitted but not yet retired."""
+        return self._in_flight
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, work: DispatchWork) -> None:
+        """Queue one dispatch group for routing."""
+        self._in_flight += 1
+        self._idle.clear()
+        self._inbox.put_nowait(work)
+
+    def _retire(self) -> None:
+        self._in_flight -= 1
+        if self._in_flight == 0:
+            self._idle.set()
+
+    # -- routing --------------------------------------------------------
+
+    def _candidates(self, work: DispatchWork) -> List[int]:
+        """Healthy routing targets, preferring never-failed devices."""
+        closed = [i for i in range(len(self.breakers)) if not self.breakers[i].is_open]
+        fresh = [i for i in closed if i not in work.excluded]
+        # Fall back to a previously failed device only when nothing else
+        # is closed (single-TPU pools, transient faults).
+        return fresh or closed
+
+    async def _router(self) -> None:
+        while True:
+            work = await self._inbox.get()
+            if work.sreq.failed:
+                self._retire()
+                continue
+            while True:
+                candidates = self._candidates(work)
+                if candidates:
+                    pick = min(
+                        candidates, key=lambda i: self._device_queues[i].qsize()
+                    )
+                    self._device_queues[pick].put_nowait(work)
+                    break
+                # Every breaker is open: wait for the earliest half-open
+                # instant, then re-evaluate.
+                reopen = min(b.reopens_at for b in self.breakers)
+                delay = max(reopen - time.monotonic(), 0.0)
+                await asyncio.sleep(min(delay, 0.05) or 0.001)
+
+    # -- execution ------------------------------------------------------
+
+    async def _worker(self, tpu_index: int) -> None:
+        device = self.platform.devices[tpu_index]
+        breaker = self.breakers[tpu_index]
+        queue = self._device_queues[tpu_index]
+        while True:
+            work = await queue.get()
+            sreq = work.sreq
+            if sreq.failed:
+                self._retire()
+                continue
+            if breaker.is_open:
+                # The breaker opened after this work was queued here:
+                # bounce it back to the router (not a failure, not a
+                # retry — the work never touched the device).
+                self._inbox.put_nowait(work)
+                continue
+            now = time.monotonic()
+            if sreq.expired(now):
+                if sreq.reject(RequestTimeout(
+                    f"request {sreq.serve_id} expired before dispatch"
+                )):
+                    self.metrics.timeouts += 1
+                self._retire()
+                continue
+            try:
+                # Fault hook: an armed injector trips here, modeling the
+                # device dying while holding the group.
+                device.check_fault(work.group.instruction_count)
+                cost = group_service_seconds(
+                    work.group, device, self._transfer_fns[tpu_index], self.policy
+                )
+                if cost.service_seconds > 0 and self.time_scale > 0:
+                    await asyncio.sleep(cost.service_seconds * self.time_scale)
+                else:
+                    await asyncio.sleep(0)
+            except DeviceFailure as exc:
+                breaker.record_failure()
+                self.metrics.record_device_failure(device.name)
+                self._requeue(work, tpu_index, exc)
+                continue
+            # Success: accounting, then exactly-once delivery.
+            device.instructions_executed += work.group.instruction_count
+            device.busy_seconds += cost.exec_seconds
+            breaker.record_success()
+            self.metrics.record_group(
+                device.name, cost.exec_seconds, cost.bytes_in, cost.bytes_out
+            )
+            sreq.outstanding -= 1
+            if sreq.outstanding == 0 and sreq.resolve():
+                self.metrics.record_completion(time.monotonic() - sreq.submitted)
+            self._retire()
+
+    def _requeue(self, work: DispatchWork, tpu_index: int, exc: DeviceFailure) -> None:
+        """Retry a failed group elsewhere, or fail its request."""
+        work.attempts += 1
+        work.excluded.add(tpu_index)
+        work.sreq.retries += 1
+        if work.attempts > self.max_retries:
+            if work.sreq.reject(DeviceFailure(
+                f"dispatch group failed {work.attempts} times, giving up: {exc}",
+                device=exc.device,
+            )):
+                self.metrics.failed += 1
+            self._retire()
+            return
+        self.metrics.retries += 1
+        self._inbox.put_nowait(work)

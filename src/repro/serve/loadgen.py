@@ -1,0 +1,165 @@
+"""Closed-loop multi-tenant load generator for the serving layer.
+
+Drives a :class:`~repro.serve.server.TpuServer` with ``tenants``
+concurrent clients, each issuing ``requests_per_tenant`` GEMMs
+back-to-back against a shared model operand *B* (the coalescing-friendly
+"many clients, one weight matrix" serving pattern), optionally killing
+one simulated TPU mid-run to exercise retry/requeue and the circuit
+breaker.  Deterministic: inputs come from a seeded RNG and every
+client's result is checked bit-for-bit against the solo lowering of the
+same request, so the benchmark asserts the zero-lost / zero-duplicated
+/ bit-identical invariants rather than just timing them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.edgetpu.isa import Opcode
+from repro.errors import DeviceFailure, QueueFull, RequestTimeout
+from repro.host.platform import Platform
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.runtime.tensorizer import Tensorizer
+from repro.serve.server import ServeConfig, TpuServer
+
+
+@dataclass(frozen=True)
+class LoadgenSpec:
+    """One load-generation scenario."""
+
+    tpus: int = 8
+    tenants: int = 6
+    requests_per_tenant: int = 8
+    #: Square GEMM size per request (m = k = n = size).
+    size: int = 128
+    seed: int = 7
+    #: Kill device ``fail_device`` after this many instructions (0 = no
+    #: fault injection).  -1 failures = permanent death.
+    fail_after_instructions: int = 0
+    fail_device: int = 0
+    #: Real seconds per modeled second; 0 runs as fast as asyncio allows.
+    time_scale: float = 0.0
+    #: Per-request deadline, or None.
+    deadline_seconds: Optional[float] = None
+    #: Verify every delivered result bit-for-bit against solo lowering.
+    verify: bool = True
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one :func:`run_loadgen` scenario."""
+
+    snapshot: dict
+    wall_seconds: float
+    #: Results that did not match the solo-lowering reference.
+    mismatches: int
+    #: Per-tenant delivered-result counts.
+    delivered_by_tenant: dict
+
+
+async def _client(
+    server: TpuServer,
+    tenant: str,
+    requests: List[OperationRequest],
+    results: dict,
+    spec: LoadgenSpec,
+) -> None:
+    delivered = 0
+    for i, request in enumerate(requests):
+        try:
+            result = await server.submit(
+                request, deadline_seconds=spec.deadline_seconds
+            )
+        except QueueFull:
+            await asyncio.sleep(0.001)  # back off and drop this request
+            continue
+        except (DeviceFailure, RequestTimeout):
+            continue  # surfaced failure — counted server-side
+        results[(tenant, i)] = result
+        delivered += 1
+    results[("__delivered__", tenant)] = delivered
+
+
+async def _run(spec: LoadgenSpec) -> LoadgenResult:
+    rng = np.random.default_rng(spec.seed)
+    platform = Platform.with_tpus(spec.tpus)
+    config = ServeConfig(
+        max_queue_depth=max(spec.tenants * spec.requests_per_tenant, 8),
+        time_scale=spec.time_scale,
+        breaker_cooldown=0.02,
+    )
+    # One shared weight matrix across all tenants → coalescible traffic.
+    b = rng.integers(-64, 64, size=(spec.size, spec.size)).astype(np.float32)
+    per_tenant: dict = {}
+    for t in range(spec.tenants):
+        tenant = f"tenant{t}"
+        per_tenant[tenant] = [
+            OperationRequest(
+                task_id=0,
+                opcode=Opcode.CONV2D,
+                inputs=(
+                    rng.integers(-64, 64, size=(spec.size, spec.size)).astype(
+                        np.float32
+                    ),
+                    b,
+                ),
+                quant=QuantMode.SCALE,
+                attrs={"gemm": True},
+                tenant=tenant,
+            )
+            for _ in range(spec.requests_per_tenant)
+        ]
+
+    if spec.fail_after_instructions > 0:
+        platform.devices[spec.fail_device % spec.tpus].inject_fault(
+            after_instructions=spec.fail_after_instructions,
+            failures=-1,
+            reason="loadgen-injected permanent fault",
+        )
+
+    results: dict = {}
+    start = time.monotonic()
+    async with TpuServer(platform, config) as server:
+        await asyncio.gather(
+            *(
+                _client(server, tenant, reqs, results, spec)
+                for tenant, reqs in per_tenant.items()
+            )
+        )
+        await server.drain()
+        snapshot = server.snapshot()
+    wall = time.monotonic() - start
+
+    mismatches = 0
+    if spec.verify:
+        # Solo reference: a fresh Tensorizer lowering each request alone
+        # must be bit-identical to whatever the (possibly coalesced,
+        # possibly retried) serving path delivered.
+        reference = Tensorizer(platform.config.edgetpu, cpu=platform.cpu)
+        for tenant, reqs in per_tenant.items():
+            for i, request in enumerate(reqs):
+                got = results.get((tenant, i))
+                if got is None:
+                    continue
+                want = reference.lower(request).result
+                if not np.array_equal(got, want):
+                    mismatches += 1
+    delivered_by_tenant = {
+        tenant: results.get(("__delivered__", tenant), 0) for tenant in per_tenant
+    }
+    return LoadgenResult(
+        snapshot=snapshot,
+        wall_seconds=wall,
+        mismatches=mismatches,
+        delivered_by_tenant=delivered_by_tenant,
+    )
+
+
+def run_loadgen(spec: Optional[LoadgenSpec] = None) -> LoadgenResult:
+    """Run one scenario to completion on a private event loop."""
+    return asyncio.run(_run(spec or LoadgenSpec()))

@@ -1,0 +1,130 @@
+"""Serving observability: latencies, queue depth, devices, retries.
+
+One :class:`ServingMetrics` instance per server.  Counters are plain
+ints/floats updated from the single event loop thread; ``snapshot()``
+returns a JSON-friendly dict (the payload of ``BENCH_serving.json`` and
+the ``repro serve`` report table).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.metrics import LatencySummary
+
+
+class ServingMetrics:
+    """Lifetime counters and distributions for one serving session."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.rejected = 0  # QueueFull fast-rejects
+        self.timeouts = 0  # RequestTimeout rejections
+        self.completed = 0  # futures resolved with a result
+        self.failed = 0  # futures rejected with DeviceFailure
+        #: Per-request end-to-end latencies (seconds, completed only).
+        self.latencies: List[float] = []
+        #: Admission-queue depth sampled at each dispatch-loop drain.
+        self.queue_depth_samples: List[int] = []
+        #: Dispatch-group retries after a device failure.
+        self.retries = 0
+        #: Device failures observed (fault hook firings seen by workers).
+        self.device_failures = 0
+        #: Requests that shared a coalesced lowering (group size >= 2).
+        self.coalesced_requests = 0
+        #: Coalesced lowerings performed.
+        self.coalesce_groups = 0
+        #: Dispatch groups executed to completion, per device name.
+        self.groups_by_device: Dict[str, int] = defaultdict(int)
+        #: Modeled matrix-unit busy seconds, per device name.
+        self.busy_by_device: Dict[str, float] = defaultdict(float)
+        #: Failures, per device name.
+        self.failures_by_device: Dict[str, int] = defaultdict(int)
+        #: Bytes moved host<->device (after residency hits).
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # -- recording ------------------------------------------------------
+
+    def record_completion(self, latency_seconds: float) -> None:
+        """One request delivered; account its end-to-end latency."""
+        self.completed += 1
+        self.latencies.append(latency_seconds)
+
+    def record_group(self, device: str, exec_seconds: float, bytes_in: int, bytes_out: int) -> None:
+        """One dispatch group retired on *device*."""
+        self.groups_by_device[device] += 1
+        self.busy_by_device[device] += exec_seconds
+        self.bytes_in += bytes_in
+        self.bytes_out += bytes_out
+
+    def record_device_failure(self, device: str) -> None:
+        """One fault-hook firing on *device*."""
+        self.device_failures += 1
+        self.failures_by_device[device] += 1
+
+    def sample_queue_depth(self, depth: int) -> None:
+        """Record the admission-queue depth at a dispatch-loop drain."""
+        self.queue_depth_samples.append(depth)
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def delivered(self) -> int:
+        """Requests whose future settled (result or error)."""
+        return self.completed + self.failed + self.timeouts
+
+    @property
+    def lost(self) -> int:
+        """Admitted requests unaccounted for — must be 0 after a drain."""
+        return self.submitted - self.rejected - self.delivered
+
+    def latency_summary(self) -> Optional[LatencySummary]:
+        """p50/p90/p99 summary, or None before the first completion."""
+        if not self.latencies:
+            return None
+        return LatencySummary.from_samples(self.latencies)
+
+    def snapshot(self, elapsed_seconds: Optional[float] = None) -> dict:
+        """JSON-friendly state dump (stable keys; see docs/serving.md)."""
+        latency = self.latency_summary()
+        devices = {}
+        for name in sorted(
+            set(self.groups_by_device) | set(self.busy_by_device) | set(self.failures_by_device)
+        ):
+            busy = self.busy_by_device.get(name, 0.0)
+            entry = {
+                "groups": self.groups_by_device.get(name, 0),
+                "busy_seconds": busy,
+                "failures": self.failures_by_device.get(name, 0),
+            }
+            if elapsed_seconds:
+                entry["utilization"] = busy / elapsed_seconds
+            devices[name] = entry
+        depth = self.queue_depth_samples
+        return {
+            "outcomes": {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "completed": self.completed,
+                "failed": self.failed,
+                "lost": self.lost,
+            },
+            "latency": latency.as_dict() if latency is not None else None,
+            "queue_depth": {
+                "samples": len(depth),
+                "max": max(depth) if depth else 0,
+                "mean": sum(depth) / len(depth) if depth else 0.0,
+            },
+            "retries": self.retries,
+            "device_failures": self.device_failures,
+            "coalescing": {
+                "groups": self.coalesce_groups,
+                "requests_coalesced": self.coalesced_requests,
+            },
+            "devices": devices,
+            "bytes": {"in": self.bytes_in, "out": self.bytes_out},
+            "elapsed_seconds": elapsed_seconds,
+        }

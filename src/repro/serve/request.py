@@ -1,0 +1,62 @@
+"""In-flight request state for the serving layer.
+
+A :class:`ServeRequest` wraps one client :class:`OperationRequest` from
+submission to delivery: the asyncio future the client awaits, the
+deadline, and the dispatch-group bookkeeping that guarantees each
+request resolves **exactly once** — the serving layer's zero-lost /
+zero-duplicated invariant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.runtime.opqueue import LoweredOperation, OperationRequest
+
+
+@dataclass
+class ServeRequest:
+    """One admitted client request and its lifecycle state."""
+
+    serve_id: int
+    tenant: str
+    request: OperationRequest
+    future: "asyncio.Future"
+    #: Monotonic instant the client submitted (latency measurement base).
+    submitted: float
+    #: Absolute monotonic deadline, or None for no deadline.
+    deadline: Optional[float] = None
+    #: Dispatch retries consumed across this request's groups.
+    retries: int = 0
+    #: Dispatch groups still in flight (set at launch).
+    outstanding: int = 0
+    #: Lowered form, attached by the dispatch loop.
+    op: Optional[LoweredOperation] = None
+    #: Set once the request failed; siblings still queued are dropped.
+    failed: bool = field(default=False)
+
+    def expired(self, now: float) -> bool:
+        """True when the deadline has passed at monotonic instant *now*."""
+        return self.deadline is not None and now > self.deadline
+
+    def resolve(self) -> bool:
+        """Deliver the functional result exactly once.
+
+        Returns True when this call delivered it (False when the future
+        was already settled — e.g. the client cancelled, or a sibling
+        group already failed the request).
+        """
+        if self.failed or self.future.done() or self.op is None:
+            return False
+        self.future.set_result(self.op.result)
+        return True
+
+    def reject(self, exc: BaseException) -> bool:
+        """Fail the request exactly once; later resolves become no-ops."""
+        self.failed = True
+        if self.future.done():
+            return False
+        self.future.set_exception(exc)
+        return True

@@ -1,0 +1,295 @@
+"""The multi-tenant async serving front-end.
+
+:class:`TpuServer` turns the batch-mode OPQ → Tensorizer → scheduler →
+device stack (paper §6.1, Fig. 4) into a continuously-fed service:
+
+1. clients :meth:`submit` :class:`OperationRequest`\\ s; admission
+   control fast-rejects past capacity (:class:`~repro.errors.QueueFull`)
+   and fair-queues across tenants;
+2. the dispatch loop drains a batch, expires deadlines, **coalesces**
+   compatible GEMMs into one batched lowering, and lowers the rest
+   individually;
+3. lowered instruction streams are partitioned into dispatch groups by
+   the locality scheduler and handed to the fault-tolerant
+   :class:`~repro.serve.dispatcher.DevicePool`.
+
+Time base: functional results are exact (computed at lowering, as in
+the batch path); *service* time is the closed-form pipeline model from
+:func:`repro.runtime.executor.group_service_seconds`, charged against
+real asyncio time scaled by ``time_scale`` — so a load test exercises
+true concurrency (admission, coalescing windows, retries, breakers)
+without a discrete-event/asyncio bridge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional
+
+import numpy as np
+
+from repro.edgetpu.isa import Opcode
+from repro.errors import RequestTimeout, ServingError
+from repro.host.platform import Platform
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.runtime.scheduler import SchedulePolicy, build_dispatch_groups
+from repro.runtime.tensorizer import Tensorizer, TensorizerOptions
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import coalesce
+from repro.serve.dispatcher import DevicePool, DispatchWork
+from repro.serve.metrics import ServingMetrics
+from repro.serve.request import ServeRequest
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`TpuServer` instance."""
+
+    #: Admission-queue capacity (total pending requests).
+    max_queue_depth: int = 256
+    #: Per-tenant pending cap, or None for capacity-only backpressure.
+    per_tenant_limit: Optional[int] = None
+    #: Max requests drained per dispatch-loop turn.
+    max_batch: int = 32
+    #: Max requests merged into one coalesced GEMM lowering.
+    max_coalesce: int = 16
+    #: Dispatch-group retries after device failures.
+    max_retries: int = 3
+    #: Consecutive failures that open a device's circuit breaker.
+    breaker_threshold: int = 2
+    #: Real seconds an open breaker quarantines its device.
+    breaker_cooldown: float = 0.05
+    #: Real seconds charged per modeled service second (0 = no sleeping).
+    time_scale: float = 1.0
+    #: Locality/pipelining policy for dispatch-group formation and cost.
+    policy: SchedulePolicy = field(default_factory=SchedulePolicy)
+    #: Tensorizer options (tiling, scaling rule, ...).
+    options: Optional[TensorizerOptions] = None
+
+
+class TpuServer:
+    """Async serving layer over one simulated Edge TPU platform."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self.platform = platform or Platform()
+        self.config = config or ServeConfig()
+        self.tensorizer = Tensorizer(
+            self.platform.config.edgetpu, self.config.options, self.platform.cpu
+        )
+        self.metrics = ServingMetrics()
+        self.admission = AdmissionController(
+            self.config.max_queue_depth, self.config.per_tenant_limit
+        )
+        self.pool = DevicePool(
+            self.platform,
+            self.metrics,
+            policy=self.config.policy,
+            max_retries=self.config.max_retries,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown=self.config.breaker_cooldown,
+            time_scale=self.config.time_scale,
+        )
+        self._serve_seq = 0
+        self._wakeup = asyncio.Event()
+        self._loop_task: Optional["asyncio.Task"] = None
+        self.started_at: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the device pool and the dispatch loop (idempotent)."""
+        if self._loop_task is not None:
+            return
+        self.started_at = time.monotonic()
+        self.pool.start()
+        self._loop_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop(), name="serve-dispatch"
+        )
+
+    async def stop(self) -> None:
+        """Stop the dispatch loop and device pool."""
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            await asyncio.gather(self._loop_task, return_exceptions=True)
+            self._loop_task = None
+        await self.pool.stop()
+
+    async def __aenter__(self) -> "TpuServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    async def drain(self) -> None:
+        """Wait for the admission queue and device pool to go idle."""
+        while self.admission.depth > 0:
+            self._wakeup.set()
+            await asyncio.sleep(0)
+        await self.pool.drain()
+        # A dispatch-loop turn may still be lowering between queues.
+        while self.admission.depth > 0 or self.pool.in_flight > 0:
+            await asyncio.sleep(0)
+            await self.pool.drain()
+
+    # -- client API -----------------------------------------------------
+
+    def submit_nowait(
+        self,
+        request: OperationRequest,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> "asyncio.Future":
+        """Admit one request; raise :class:`QueueFull` synchronously.
+
+        Returns the asyncio future the caller awaits for the functional
+        result (a numpy array), or which raises
+        :class:`~repro.errors.DeviceFailure` /
+        :class:`~repro.errors.RequestTimeout`.
+        """
+        if self._loop_task is None:
+            raise ServingError("server is not started; use 'async with TpuServer(...)'")
+        now = time.monotonic()
+        self._serve_seq += 1
+        serve_id = self._serve_seq
+        # Stamp server-side identity: unique task ids keep lowered
+        # instruction streams distinct, and a stable input name gives the
+        # locality scheduler / residency model something to key on.
+        request = dataclasses.replace(
+            request,
+            task_id=serve_id,
+            input_name=request.input_name or f"serve{serve_id}",
+        )
+        sreq = ServeRequest(
+            serve_id=serve_id,
+            tenant=request.tenant,
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            submitted=now,
+            deadline=None if deadline_seconds is None else now + deadline_seconds,
+        )
+        self.metrics.submitted += 1
+        try:
+            self.admission.offer(sreq)
+        except Exception:
+            self.metrics.rejected += 1
+            raise
+        self._wakeup.set()
+        return sreq.future
+
+    async def submit(
+        self,
+        request: OperationRequest,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> np.ndarray:
+        """Admit one request and await its result."""
+        return await self.submit_nowait(request, deadline_seconds=deadline_seconds)
+
+    async def gemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        tenant: str = "",
+        quant: QuantMode = QuantMode.SCALE,
+        chunks: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> np.ndarray:
+        """Convenience wrapper: submit one conv2D-style GEMM (§7.1.2)."""
+        attrs: Mapping[str, Any] = (
+            {"gemm": True} if chunks is None else {"gemm": True, "gemm_chunks": chunks}
+        )
+        request = OperationRequest(
+            task_id=0,
+            opcode=Opcode.CONV2D,
+            inputs=(np.asarray(a), np.asarray(b)),
+            quant=quant,
+            attrs=attrs,
+            tenant=tenant,
+        )
+        return await self.submit(request, deadline_seconds=deadline_seconds)
+
+    # -- dispatch loop --------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if self.admission.depth == 0:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            # One cooperative tick lets concurrent submitters land in the
+            # same drain — the serving-window analogue of batch lowering.
+            await asyncio.sleep(0)
+            now = time.monotonic()
+            for sreq in self.admission.expire(now):
+                if sreq.reject(RequestTimeout(
+                    f"request {sreq.serve_id} expired in the admission queue"
+                )):
+                    self.metrics.timeouts += 1
+            self.metrics.sample_queue_depth(self.admission.depth)
+            batch = self.admission.drain(self.config.max_batch)
+            if not batch:
+                continue
+            for group in coalesce(batch, self.config.max_coalesce):
+                self._lower_and_launch(group)
+
+    def _lower_and_launch(self, group: List[ServeRequest]) -> None:
+        live = [s for s in group if not s.failed]
+        if not live:
+            return
+        try:
+            if len(live) > 1:
+                ops = self.tensorizer.lower_gemm_coalesced(
+                    [s.request for s in live]
+                )
+                self.metrics.coalesce_groups += 1
+                self.metrics.coalesced_requests += len(live)
+            else:
+                ops = [self.tensorizer.lower(live[0].request)]
+        except Exception as exc:  # lowering bugs must not kill the loop
+            for sreq in live:
+                if sreq.reject(ServingError(f"lowering failed: {exc}")):
+                    self.metrics.failed += 1
+            return
+        for sreq, op in zip(live, ops):
+            self._launch(sreq, op)
+
+    def _launch(self, sreq: ServeRequest, op: Any) -> None:
+        sreq.op = op
+        groups = build_dispatch_groups(op.instrs, self.config.policy)
+        if not groups:
+            # Nothing to execute on-device (degenerate op): deliver now.
+            if sreq.resolve():
+                self.metrics.record_completion(time.monotonic() - sreq.submitted)
+            return
+        sreq.outstanding = len(groups)
+        for dgroup in groups:
+            self.pool.submit(DispatchWork(group=dgroup, sreq=sreq))
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot including elapsed serving time."""
+        elapsed = (
+            time.monotonic() - self.started_at if self.started_at is not None else None
+        )
+        snap = self.metrics.snapshot(elapsed)
+        snap["platform"] = {
+            "tpus": self.platform.num_tpus,
+            "healthy": sum(1 for d in self.platform.devices if d.healthy),
+        }
+        snap["breakers"] = {
+            self.platform.devices[i].name: {
+                "open": b.is_open,
+                "opened": b.opened,
+            }
+            for i, b in enumerate(self.pool.breakers)
+        }
+        return snap

@@ -1,0 +1,77 @@
+"""Fault-injection hook on the simulated Edge TPU device."""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu.device import EdgeTPUDevice, FaultInjector
+from repro.edgetpu.isa import Instruction, Opcode
+from repro.edgetpu.quantize import QuantParams
+from repro.errors import DeviceFailure
+
+
+class TestFaultInjector:
+    def test_unarmed_until_threshold(self):
+        inj = FaultInjector(after_instructions=5)
+        inj.observe("tpu0", 5)  # reaches but does not cross the threshold
+        assert inj.fired == 0
+        with pytest.raises(DeviceFailure):
+            inj.observe("tpu0", 1)
+        assert inj.fired == 1
+
+    def test_permanent_failure_keeps_firing(self):
+        inj = FaultInjector(after_instructions=0, failures=-1)
+        for _ in range(3):
+            with pytest.raises(DeviceFailure):
+                inj.observe("tpu0")
+        assert inj.fired == 3
+        assert inj.armed
+
+    def test_transient_budget_exhausts(self):
+        inj = FaultInjector(after_instructions=0, failures=2)
+        for _ in range(2):
+            with pytest.raises(DeviceFailure):
+                inj.observe("tpu0")
+        assert not inj.armed
+        inj.observe("tpu0")  # budget spent: no more failures
+        assert inj.fired == 2
+
+    def test_failure_names_the_device(self):
+        inj = FaultInjector(after_instructions=0, reason="pulled the cable")
+        with pytest.raises(DeviceFailure) as excinfo:
+            inj.observe("tpu3")
+        assert excinfo.value.device == "tpu3"
+        assert "pulled the cable" in str(excinfo.value)
+
+
+class TestDeviceFaultHook:
+    def test_healthy_device_without_injector(self):
+        device = EdgeTPUDevice("tpu0")
+        assert device.healthy
+        device.check_fault(10)  # no-op
+
+    def test_inject_fault_trips_check(self):
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=3)
+        assert not device.healthy  # permanent plan: doomed from arming
+        device.check_fault(3)  # below the threshold: no failure yet
+        with pytest.raises(DeviceFailure):
+            device.check_fault(1)
+
+    def test_transient_fault_recovers_health(self):
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=0, failures=1)
+        with pytest.raises(DeviceFailure):
+            device.check_fault(1)
+        assert device.healthy  # budget exhausted: device is usable again
+        device.check_fault(5)
+
+    def test_execute_respects_injected_fault(self):
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=0)
+        before = device.instructions_executed
+        instr = Instruction(
+            Opcode.RELU, np.zeros((2, 2), dtype=np.int8), QuantParams(1.0)
+        )
+        with pytest.raises(DeviceFailure):
+            device.execute(instr)
+        assert device.instructions_executed == before  # nothing charged

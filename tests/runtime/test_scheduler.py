@@ -1,0 +1,111 @@
+"""Direct unit tests for the §6.1 dispatch-group scheduler.
+
+Complements the executor-level tests in ``test_scheduler_executor.py``
+with invariants on the partition itself: run formation over group keys,
+the ``locality=False`` singleton fallback, and FCFS order preservation
+(flattening the groups reproduces the instruction queue exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu.isa import Opcode
+from repro.runtime.opqueue import LoweredInstr, OperationRequest, QuantMode
+from repro.runtime.scheduler import DispatchGroup, SchedulePolicy, build_dispatch_groups
+from repro.runtime.tensorizer import Tensorizer
+
+
+def instr(group="", count=1, label=""):
+    return LoweredInstr(
+        opcode=Opcode.ADD,
+        task_id=0,
+        group_key=group,
+        cache_key="",
+        data_bytes=64,
+        model_bytes=0,
+        model_build_seconds=0.0,
+        exec_seconds=1e-4,
+        out_bytes=16,
+        label=label,
+        count=count,
+    )
+
+
+class TestRunFormation:
+    def test_runs_split_only_at_key_changes(self):
+        iq = [
+            instr("a"), instr("a"), instr("a"),
+            instr("b"),
+            instr("a"), instr("a"),
+        ]
+        groups = build_dispatch_groups(iq)
+        assert [(g.key, len(g.instrs)) for g in groups] == [
+            ("a", 3), ("b", 1), ("a", 2)
+        ]
+
+    def test_empty_key_never_extends_a_run(self):
+        iq = [instr("a"), instr(""), instr(""), instr("a")]
+        groups = build_dispatch_groups(iq)
+        assert [len(g.instrs) for g in groups] == [1, 1, 1, 1]
+        assert [g.key for g in groups] == ["a", "", "", "a"]
+
+    def test_empty_iq_yields_no_groups(self):
+        assert build_dispatch_groups([]) == []
+
+    def test_group_key_and_count_properties(self):
+        group = DispatchGroup((instr("g", count=4), instr("g", count=2)))
+        assert group.key == "g"
+        assert group.instruction_count == 6
+
+
+class TestLocalityFallback:
+    def test_locality_false_makes_every_instr_a_singleton(self):
+        iq = [instr("a"), instr("a"), instr("b"), instr("b"), instr("")]
+        groups = build_dispatch_groups(iq, SchedulePolicy(locality=False))
+        assert [len(g.instrs) for g in groups] == [1] * len(iq)
+        # Singleton groups report an empty key only when the instruction
+        # itself has one — the instruction is untouched by the policy.
+        assert [g.instrs[0].group_key for g in groups] == ["a", "a", "b", "b", ""]
+
+    def test_locality_false_preserves_order(self):
+        iq = [instr("a", label=str(i)) for i in range(7)]
+        groups = build_dispatch_groups(iq, SchedulePolicy(locality=False))
+        assert [g.instrs[0].label for g in groups] == [str(i) for i in range(7)]
+
+
+class TestFcfsInvariants:
+    """Flattened groups must be the IQ itself — order and content."""
+
+    @pytest.mark.parametrize("locality", [True, False])
+    def test_partition_is_order_preserving(self, locality):
+        iq = [
+            instr("a"), instr("a"), instr(""), instr("b"),
+            instr("b"), instr("b"), instr(""), instr("a"),
+        ]
+        groups = build_dispatch_groups(iq, SchedulePolicy(locality=locality))
+        flat = [i for g in groups for i in g.instrs]
+        assert flat == iq  # nothing reordered, dropped, or duplicated
+
+    def test_real_lowered_stream_partitions_cleanly(self):
+        rng = np.random.default_rng(3)
+        tensorizer = Tensorizer()
+        request = OperationRequest(
+            task_id=1,
+            opcode=Opcode.CONV2D,
+            inputs=(
+                rng.uniform(-4, 4, (96, 96)),
+                rng.uniform(-4, 4, (96, 96)),
+            ),
+            quant=QuantMode.SCALE,
+            attrs={"gemm": True},
+            input_name="sched-test",
+        )
+        op = tensorizer.lower(request)
+        groups = build_dispatch_groups(op.instrs)
+        flat = [i for g in groups for i in g.instrs]
+        assert flat == list(op.instrs)
+        # Locality rule: every multi-instruction run shares one group key.
+        for g in groups:
+            if len(g.instrs) > 1:
+                keys = {i.group_key for i in g.instrs}
+                assert len(keys) == 1 and "" not in keys

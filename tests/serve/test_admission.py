@@ -1,0 +1,111 @@
+"""Admission control: bounded queue, fast-reject, tenant fairness."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.edgetpu.isa import Opcode
+from repro.errors import QueueFull
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.serve.admission import AdmissionController
+from repro.serve.request import ServeRequest
+
+
+def _sreq(serve_id, tenant, deadline=None):
+    request = OperationRequest(
+        task_id=serve_id,
+        opcode=Opcode.ADD,
+        inputs=(np.zeros((2, 2)),),
+        quant=QuantMode.SCALE,
+        tenant=tenant,
+    )
+    loop = asyncio.new_event_loop()
+    try:
+        future = loop.create_future()
+    finally:
+        loop.close()
+    return ServeRequest(
+        serve_id=serve_id,
+        tenant=tenant,
+        request=request,
+        future=future,
+        submitted=0.0,
+        deadline=deadline,
+    )
+
+
+class TestBackpressure:
+    def test_capacity_fast_reject(self):
+        ctl = AdmissionController(capacity=2)
+        ctl.offer(_sreq(1, "a"))
+        ctl.offer(_sreq(2, "b"))
+        with pytest.raises(QueueFull):
+            ctl.offer(_sreq(3, "c"))
+        assert ctl.depth == 2  # the rejected request was never enqueued
+
+    def test_per_tenant_limit(self):
+        ctl = AdmissionController(capacity=10, per_tenant_limit=2)
+        ctl.offer(_sreq(1, "loud"))
+        ctl.offer(_sreq(2, "loud"))
+        with pytest.raises(QueueFull):
+            ctl.offer(_sreq(3, "loud"))
+        # Other tenants are unaffected by the loud tenant's limit.
+        ctl.offer(_sreq(4, "quiet"))
+        assert ctl.tenant_depth("loud") == 2
+        assert ctl.tenant_depth("quiet") == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=1, per_tenant_limit=0)
+
+
+class TestFairDraining:
+    def test_round_robin_across_tenants(self):
+        ctl = AdmissionController(capacity=16)
+        # Tenant "flood" arrives first with 4 requests, then "a" and "b"
+        # with one each: fair draining must not make them wait behind
+        # the whole flood.
+        for i in range(4):
+            ctl.offer(_sreq(i, "flood"))
+        ctl.offer(_sreq(10, "a"))
+        ctl.offer(_sreq(11, "b"))
+        order = [(s.tenant, s.serve_id) for s in ctl.drain(limit=16)]
+        assert order == [
+            ("flood", 0), ("a", 10), ("b", 11),
+            ("flood", 1), ("flood", 2), ("flood", 3),
+        ]
+        assert ctl.depth == 0
+
+    def test_fcfs_within_a_tenant(self):
+        ctl = AdmissionController(capacity=8)
+        for i in range(4):
+            ctl.offer(_sreq(i, "t"))
+        drained = ctl.drain(limit=8)
+        assert [s.serve_id for s in drained] == [0, 1, 2, 3]
+
+    def test_drain_respects_limit(self):
+        ctl = AdmissionController(capacity=8)
+        for i in range(6):
+            ctl.offer(_sreq(i, f"t{i % 2}"))
+        first = ctl.drain(limit=2)
+        assert len(first) == 2
+        assert ctl.depth == 4
+        # Rotation persists across drains: nobody is drained twice.
+        rest = ctl.drain(limit=8)
+        ids = [s.serve_id for s in first + rest]
+        assert sorted(ids) == [0, 1, 2, 3, 4, 5]
+
+
+class TestExpiry:
+    def test_expire_removes_only_past_deadline(self):
+        ctl = AdmissionController(capacity=8)
+        ctl.offer(_sreq(1, "a", deadline=5.0))
+        ctl.offer(_sreq(2, "a", deadline=50.0))
+        ctl.offer(_sreq(3, "b"))  # no deadline
+        expired = ctl.expire(now=10.0)
+        assert [s.serve_id for s in expired] == [1]
+        assert ctl.depth == 2
+        assert [s.serve_id for s in ctl.drain(8)] == [2, 3]

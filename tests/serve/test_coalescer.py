@@ -1,0 +1,177 @@
+"""Request coalescing: eligibility, grouping, and bit-identity.
+
+The acceptance bar for coalescing is exact: a GEMM lowered inside a
+multi-client coalesced group must produce results **bit-identical** to
+the same request lowered alone (``tobytes`` equality).  The hypothesis
+property test drives random shapes, data styles, and group sizes
+through both paths.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edgetpu.isa import Opcode
+from repro.errors import TensorizerError
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.runtime.tensorizer import Tensorizer
+from repro.serve.coalescer import coalesce, coalesce_key
+from repro.serve.request import ServeRequest
+
+
+def gemm_request(a, b, quant=QuantMode.SCALE, tenant="", **attrs):
+    attrs = {"gemm": True, **attrs}
+    return OperationRequest(
+        task_id=1,
+        opcode=Opcode.CONV2D,
+        inputs=(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)),
+        quant=quant,
+        attrs=attrs,
+        tenant=tenant,
+    )
+
+
+def _sreq(serve_id, request):
+    loop = asyncio.new_event_loop()
+    try:
+        future = loop.create_future()
+    finally:
+        loop.close()
+    return ServeRequest(
+        serve_id=serve_id,
+        tenant=request.tenant,
+        request=request,
+        future=future,
+        submitted=0.0,
+    )
+
+
+class TestEligibility:
+    def test_matching_gemms_share_a_key(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=(8, 8))
+        k1 = coalesce_key(gemm_request(rng.normal(size=(8, 8)), b))
+        k2 = coalesce_key(gemm_request(rng.normal(size=(8, 8)), b))
+        assert k1 is not None and k1 == k2
+
+    def test_different_model_operand_splits_keys(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(8, 8))
+        k1 = coalesce_key(gemm_request(a, rng.normal(size=(8, 8))))
+        k2 = coalesce_key(gemm_request(a, rng.normal(size=(8, 8))))
+        assert k1 is not None and k2 is not None and k1 != k2
+
+    def test_ineligible_requests(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+        # Non-GEMM opcode.
+        plain = OperationRequest(
+            task_id=1, opcode=Opcode.ADD, inputs=(a, b), quant=QuantMode.SCALE
+        )
+        assert coalesce_key(plain) is None
+        # GLOBAL quantization derives scales from the whole dataset.
+        assert coalesce_key(gemm_request(a, b, quant=QuantMode.GLOBAL)) is None
+        # Unknown attribute: stay conservative.
+        assert coalesce_key(gemm_request(a, b, mystery=1)) is None
+        # Shape mismatch between operands.
+        assert coalesce_key(gemm_request(rng.normal(size=(8, 4)), b)) is None
+
+    def test_chunk_attr_is_part_of_the_key(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(16, 8)), rng.normal(size=(8, 8))
+        k1 = coalesce_key(gemm_request(a, b, gemm_chunks=2))
+        k2 = coalesce_key(gemm_request(a, b, gemm_chunks=4))
+        assert k1 != k2
+
+
+class TestGrouping:
+    def test_groups_preserve_fcfs_and_max_size(self):
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(8, 8))
+        sreqs = [
+            _sreq(i, gemm_request(rng.normal(size=(8, 8)), b)) for i in range(5)
+        ]
+        groups = coalesce(sreqs, max_group=2)
+        assert [[s.serve_id for s in g] for g in groups] == [[0, 1], [2, 3], [4]]
+
+    def test_ineligible_become_singletons_in_place(self):
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(8, 8))
+        eligible = [_sreq(i, gemm_request(rng.normal(size=(8, 8)), b)) for i in (0, 2)]
+        plain = _sreq(
+            1,
+            OperationRequest(
+                task_id=1,
+                opcode=Opcode.ADD,
+                inputs=(np.ones((4, 4)), np.ones((4, 4))),
+                quant=QuantMode.SCALE,
+            ),
+        )
+        groups = coalesce([eligible[0], plain, eligible[1]])
+        assert [[s.serve_id for s in g] for g in groups] == [[0, 2], [1]]
+
+
+class TestCoalescedLowering:
+    def test_rejects_mixed_groups(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+        bad = [gemm_request(a, b), gemm_request(a, b, quant=QuantMode.GLOBAL)]
+        with pytest.raises(TensorizerError):
+            Tensorizer().lower_gemm_coalesced(bad)
+
+    def test_rejects_different_model_operands(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(8, 8))
+        bad = [
+            gemm_request(a, rng.normal(size=(8, 8))),
+            gemm_request(a, rng.normal(size=(8, 8))),
+        ]
+        with pytest.raises(TensorizerError):
+            Tensorizer().lower_gemm_coalesced(bad)
+
+    def test_singleton_group_matches_plain_lowering(self):
+        rng = np.random.default_rng(2)
+        request = gemm_request(rng.normal(size=(24, 16)), rng.normal(size=(16, 12)))
+        solo = Tensorizer().lower(request).result
+        via_coalesce = Tensorizer().lower_gemm_coalesced([request])[0].result
+        assert np.asarray(solo).tobytes() == np.asarray(via_coalesce).tobytes()
+
+    @given(
+        m=st.integers(2, 70),
+        k=st.integers(2, 70),
+        n=st.integers(2, 70),
+        n_requests=st.integers(2, 4),
+        style=st.sampled_from(["normal", "integers", "constant"]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_coalesced_results_bit_identical_to_solo(
+        self, m, k, n, n_requests, style, seed
+    ):
+        rng = np.random.default_rng(seed)
+
+        def matrix(shape):
+            if style == "integers":
+                return rng.integers(-50, 50, size=shape).astype(np.float64)
+            if style == "constant":
+                return np.full(shape, 2.5)
+            return rng.normal(size=shape) * 4
+
+        b = matrix((k, n))
+        requests = [
+            gemm_request(matrix((m, k)), b, tenant=f"t{i}")
+            for i in range(n_requests)
+        ]
+        coalesced = Tensorizer().lower_gemm_coalesced(requests)
+        assert len(coalesced) == len(requests)
+        for request, op in zip(requests, coalesced):
+            solo = Tensorizer().lower(request)
+            got = np.asarray(op.result)
+            want = np.asarray(solo.result)
+            assert got.shape == want.shape
+            assert got.tobytes() == want.tobytes()
+            # The lowered stream stays per-request (demultiplexed).
+            assert op.request is request

@@ -1,0 +1,169 @@
+"""End-to-end serving: submit → coalesce → dispatch → deliver."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.edgetpu.isa import Opcode
+from repro.errors import QueueFull, RequestTimeout, ServingError
+from repro.host.platform import Platform
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.runtime.tensorizer import Tensorizer
+from repro.serve import LoadgenSpec, ServeConfig, TpuServer, run_loadgen
+
+
+def _gemm_request(rng, size=32, b=None, tenant=""):
+    if b is None:
+        b = rng.normal(size=(size, size))
+    return OperationRequest(
+        task_id=0,
+        opcode=Opcode.CONV2D,
+        inputs=(rng.normal(size=(size, size)), b),
+        quant=QuantMode.SCALE,
+        attrs={"gemm": True},
+        tenant=tenant,
+    )
+
+
+def _config(**overrides):
+    defaults = dict(time_scale=0.0, max_queue_depth=64)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestServerBasics:
+    def test_single_request_round_trip(self):
+        async def main():
+            rng = np.random.default_rng(0)
+            request = _gemm_request(rng)
+            platform = Platform.with_tpus(2)
+            async with TpuServer(platform, _config()) as server:
+                result = await server.submit(request)
+            # The serving path must deliver exactly the solo lowering.
+            want = Tensorizer(
+                platform.config.edgetpu, cpu=platform.cpu
+            ).lower(request).result
+            assert np.asarray(result).tobytes() == np.asarray(want).tobytes()
+
+        asyncio.run(main())
+
+    def test_submit_requires_started_server(self):
+        async def main():
+            server = TpuServer(Platform.with_tpus(1), _config())
+            with pytest.raises(ServingError):
+                server.submit_nowait(_gemm_request(np.random.default_rng(0)))
+
+        asyncio.run(main())
+
+    def test_gemm_convenience_wrapper(self):
+        async def main():
+            rng = np.random.default_rng(1)
+            a = rng.normal(size=(16, 16))
+            b = rng.normal(size=(16, 16))
+            async with TpuServer(Platform.with_tpus(1), _config()) as server:
+                result = await server.gemm(a, b, tenant="x")
+            assert np.asarray(result).shape == (16, 16)
+
+        asyncio.run(main())
+
+    def test_concurrent_clients_coalesce(self):
+        async def main():
+            rng = np.random.default_rng(2)
+            b = rng.normal(size=(32, 32))
+            requests = [
+                _gemm_request(rng, b=b, tenant=f"t{i}") for i in range(4)
+            ]
+            platform = Platform.with_tpus(2)
+            async with TpuServer(platform, _config()) as server:
+                results = await asyncio.gather(
+                    *(server.submit(r) for r in requests)
+                )
+                snap = server.snapshot()
+            reference = Tensorizer(platform.config.edgetpu, cpu=platform.cpu)
+            for request, result in zip(requests, results):
+                want = reference.lower(request).result
+                assert np.asarray(result).tobytes() == np.asarray(want).tobytes()
+            return snap
+
+        snap = asyncio.run(main())
+        assert snap["outcomes"]["completed"] == 4
+        assert snap["outcomes"]["lost"] == 0
+        # All four clients landed in the same serving window and shared
+        # one coalesced lowering (same B, same shape, SCALE quant).
+        assert snap["coalescing"]["requests_coalesced"] == 4
+        assert snap["coalescing"]["groups"] == 1
+
+
+class TestBackpressureAndDeadlines:
+    def test_queue_full_fast_reject(self):
+        async def main():
+            rng = np.random.default_rng(3)
+            config = _config(max_queue_depth=2)
+            async with TpuServer(Platform.with_tpus(1), config) as server:
+                futures = []
+                rejected = 0
+                # Submit synchronously — no awaits — so the dispatch loop
+                # cannot drain between offers.
+                for _ in range(6):
+                    try:
+                        futures.append(server.submit_nowait(_gemm_request(rng)))
+                    except QueueFull:
+                        rejected += 1
+                results = await asyncio.gather(*futures)
+                snap = server.snapshot()
+            return rejected, len(results), snap
+
+        rejected, delivered, snap = asyncio.run(main())
+        assert rejected == 4  # capacity 2: the rest fast-rejected
+        assert delivered == 2
+        assert snap["outcomes"]["rejected"] == 4
+        assert snap["outcomes"]["lost"] == 0
+
+    def test_deadline_times_out_queued_request(self):
+        async def main():
+            rng = np.random.default_rng(4)
+            async with TpuServer(Platform.with_tpus(1), _config()) as server:
+                future = server.submit_nowait(
+                    _gemm_request(rng), deadline_seconds=-1.0
+                )  # already expired on arrival
+                with pytest.raises(RequestTimeout):
+                    await future
+                snap = server.snapshot()
+            return snap
+
+        snap = asyncio.run(main())
+        assert snap["outcomes"]["timeouts"] == 1
+        assert snap["outcomes"]["lost"] == 0
+
+
+class TestFaultToleranceEndToEnd:
+    def test_loadgen_survives_permanent_device_failure(self):
+        result = run_loadgen(
+            LoadgenSpec(
+                tpus=4,
+                tenants=3,
+                requests_per_tenant=3,
+                size=64,
+                fail_after_instructions=10,
+                fail_device=1,
+            )
+        )
+        outcomes = result.snapshot["outcomes"]
+        assert outcomes["lost"] == 0
+        assert outcomes["completed"] == 9  # every request survived
+        assert result.mismatches == 0  # and stayed bit-identical
+        assert result.snapshot["device_failures"] >= 1
+        assert result.snapshot["retries"] >= 1
+        assert result.snapshot["platform"]["healthy"] == 3
+
+    def test_loadgen_clean_run_has_no_retries(self):
+        result = run_loadgen(
+            LoadgenSpec(tpus=2, tenants=2, requests_per_tenant=2, size=48)
+        )
+        outcomes = result.snapshot["outcomes"]
+        assert outcomes["completed"] == 4
+        assert outcomes["lost"] == 0
+        assert result.snapshot["device_failures"] == 0
+        assert result.snapshot["retries"] == 0
+        assert result.mismatches == 0
