@@ -256,6 +256,67 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_conformance(args: argparse.Namespace) -> int:
+    """Run the differential/metamorphic/fuzz/fault conformance suites."""
+    import json
+
+    from repro.conformance import run_conformance
+    from repro.conformance.runner import parse_suites
+
+    try:
+        suites = parse_suites(args.suite)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    report = run_conformance(
+        suites=suites, seed=args.seed, fuzz_iterations=args.fuzz_iterations
+    )
+    payload = report.as_dict()
+    if args.json is not None:
+        body = json.dumps(payload, indent=2, default=float) + "\n"
+        if args.json:
+            import pathlib
+
+            pathlib.Path(args.json).write_text(body)
+            print(f"wrote {args.json}")
+        else:
+            print(body, end="")
+    if args.json is None or args.json:
+        rows = []
+        if "ops" in report.sections:
+            ops = report.sections["ops"]
+            worst = max(
+                (c["rmse_percent"] for c in ops["cases"]), default=0.0
+            )
+            rows.append(("ops", f"{len(ops['cases'])} cases + "
+                         f"{len(ops['metamorphic'])} properties, "
+                         f"worst RMSE {worst:.3f} %"))
+        if "apps" in report.sections:
+            apps = report.sections["apps"]
+            worst = max(
+                (c["rmse_percent"] for c in apps["cases"]), default=0.0
+            )
+            rows.append(("apps", f"{len(apps['cases'])} apps, "
+                         f"worst RMSE {worst:.3f} %"))
+        if "format" in report.sections:
+            fmt = report.sections["format"]
+            rows.append(("format", f"{fmt['iterations']} mutations: "
+                         f"{fmt['rejected']} rejected, "
+                         f"{fmt['roundtripped']} round-tripped"))
+        if "serve" in report.sections:
+            serve = report.sections["serve"]
+            rows.append(("serve", f"{len(serve['scenarios'])} scenarios, "
+                         "all zero-lost" if serve["ok"] else "FAILED"))
+        rows.append(("seed", str(report.seed)))
+        rows.append(("verdict", "PASS" if report.ok else "FAIL"))
+        print(format_table(["suite", "result"], rows,
+                           title="Conformance report:"))
+    if not report.ok:
+        for failure in report.failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_table3(_args: argparse.Namespace) -> int:
     print(
         format_table(
@@ -336,6 +397,21 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_p.add_argument("--strict", action="store_true",
                            help="exit non-zero unless serving invariants hold")
 
+    conf_p = sub.add_parser(
+        "conformance",
+        help="run the differential/metamorphic/fuzz/fault conformance suites",
+    )
+    conf_p.add_argument("--suite", default="ops,apps,format,serve",
+                        help="comma-separated subset of ops,apps,format,serve")
+    conf_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; the JSON report records it and "
+                             "reproduces every case exactly")
+    conf_p.add_argument("--json", nargs="?", const="", metavar="FILE.json",
+                        help="emit the JSON report (to FILE, or stdout "
+                             "when no file is given)")
+    conf_p.add_argument("--fuzz-iterations", type=int, default=400,
+                        help="model-format mutations per fuzz run")
+
     sub.add_parser("table3", help="print the dataset inventory")
     return parser
 
@@ -350,6 +426,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "conformance": cmd_conformance,
         "table3": cmd_table3,
     }
     return handlers[args.command](args)

@@ -1,0 +1,63 @@
+"""Conformance subsystem: differential oracles, accuracy-regression
+gates, metamorphic properties, format fuzzing, and fault-injection
+campaigns.
+
+Entry point: :func:`repro.conformance.runner.run_conformance`, exposed
+on the CLI as ``repro conformance``.  See ``docs/conformance.md``.
+"""
+
+from repro.conformance.campaign import (
+    DEFAULT_SCENARIOS,
+    FaultPlan,
+    FaultScenario,
+    ScenarioResult,
+    run_campaign,
+)
+from repro.conformance.cases import APP_PARAMS, OP_CASES, OpCase
+from repro.conformance.format_fuzz import MUTATIONS, FuzzReport, run_fuzz
+from repro.conformance.metamorphic import (
+    PROPERTIES,
+    PropertyResult,
+    run_properties,
+)
+from repro.conformance.oracles import (
+    OracleOutcome,
+    app_oracles,
+    derive_rng,
+    pipeline_context,
+    run_oracles,
+    scalar_context,
+)
+from repro.conformance.runner import (
+    SUITES,
+    ConformanceReport,
+    parse_suites,
+    run_conformance,
+)
+
+__all__ = [
+    "APP_PARAMS",
+    "ConformanceReport",
+    "DEFAULT_SCENARIOS",
+    "FaultPlan",
+    "FaultScenario",
+    "FuzzReport",
+    "MUTATIONS",
+    "OP_CASES",
+    "OpCase",
+    "OracleOutcome",
+    "PROPERTIES",
+    "PropertyResult",
+    "SUITES",
+    "ScenarioResult",
+    "app_oracles",
+    "derive_rng",
+    "parse_suites",
+    "pipeline_context",
+    "run_campaign",
+    "run_conformance",
+    "run_fuzz",
+    "run_oracles",
+    "run_properties",
+    "scalar_context",
+]

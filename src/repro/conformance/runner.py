@@ -1,0 +1,186 @@
+"""Top-level conformance runner and JSON report builder.
+
+``run_conformance`` composes the four suites:
+
+* ``ops``    — differential three-oracle run of every ``repro.ops``
+  entry point (:mod:`repro.conformance.cases`) plus the metamorphic
+  battery (:mod:`repro.conformance.metamorphic`);
+* ``apps``   — three-oracle run of the seven Table 3 applications at
+  conformance scale, gated by the Table 4 envelopes;
+* ``format`` — the §3.3 model-binary mutation fuzzer
+  (:mod:`repro.conformance.format_fuzz`);
+* ``serve``  — the fault-injection campaign
+  (:mod:`repro.conformance.campaign`).
+
+The report is reproducible from the recorded ``seed`` alone: every RNG
+stream derives from it (:func:`repro.conformance.oracles.derive_rng`)
+and no wall-clock values enter the ops/apps/format payloads.  The serve
+suite's *counters* depend on real scheduling interleavings (breaker
+cooldowns are wall-clock); its *invariants* — zero lost, exactly-once,
+bit-identity — hold for every interleaving and are what the suite gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import all_applications
+from repro.conformance.campaign import DEFAULT_SCENARIOS, FaultScenario, run_campaign
+from repro.conformance.cases import APP_PARAMS, OP_CASES
+from repro.conformance.format_fuzz import run_fuzz
+from repro.conformance.metamorphic import run_properties
+from repro.conformance.oracles import app_oracles, derive_rng, run_oracles
+from repro.metrics.errors import bound_for_app, bound_for_op
+
+#: Suites in canonical execution/report order.
+SUITES = ("ops", "apps", "format", "serve")
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregated results of one conformance run."""
+
+    seed: int
+    suites: Tuple[str, ...]
+    sections: Dict[str, dict] = field(default_factory=dict)
+    #: Flat list of "<suite>: <what failed>" strings.
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "suites": list(self.suites),
+            **{suite: self.sections[suite] for suite in self.suites},
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
+
+def parse_suites(spec: str) -> Tuple[str, ...]:
+    """Parse a ``--suite`` value like ``ops,format`` into suite names."""
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if not names:
+        raise ValueError("no suites requested")
+    unknown = [n for n in names if n not in SUITES]
+    if unknown:
+        raise ValueError(
+            f"unknown suite(s) {unknown}; choose from {list(SUITES)}"
+        )
+    # Canonical order, duplicates collapsed.
+    return tuple(suite for suite in SUITES if suite in names)
+
+
+def _run_ops_suite(seed: int, report: ConformanceReport) -> None:
+    cases = []
+    for case in OP_CASES:
+        data = case.build(derive_rng(seed, "ops", case.name))
+        bound = bound_for_op(case.family)
+        outcome = run_oracles(
+            lambda ctx: case.invoke(ctx, data),
+            case.reference(data),
+            bound,
+        )
+        entry = {
+            "name": case.name,
+            "family": case.family,
+            "bit_identical": outcome.bit_identical,
+            "instructions": outcome.instructions,
+            **outcome.check.as_dict(),
+        }
+        cases.append(entry)
+        if not outcome.bit_identical:
+            report.failures.append(
+                f"ops: {case.name} int8 paths are not bit-identical"
+            )
+        for violation in outcome.check.violations():
+            report.failures.append(f"ops: {case.name} {violation}")
+    properties = run_properties(seed)
+    for prop in properties:
+        if not prop.ok:
+            report.failures.append(f"ops: metamorphic {prop.name} failed")
+    report.sections["ops"] = {
+        "cases": cases,
+        "metamorphic": [prop.as_dict() for prop in properties],
+        "ok": not any(f.startswith("ops:") for f in report.failures),
+    }
+
+
+def _run_apps_suite(seed: int, report: ConformanceReport) -> None:
+    apps = all_applications()
+    entries = []
+    for name, params in APP_PARAMS.items():
+        app = apps[name]
+        app_seed = int(derive_rng(seed, "apps", name).integers(0, 2**31))
+        inputs = app.generate(seed=app_seed, **params)
+        bound = bound_for_app(name)
+        outcome, _cpu_res, pipe_res = app_oracles(app, inputs, bound)
+        entry = {
+            "name": name,
+            "params": dict(params),
+            "app_seed": app_seed,
+            "bit_identical": outcome.bit_identical,
+            "instructions": pipe_res.instructions,
+            **outcome.check.as_dict(),
+        }
+        entries.append(entry)
+        if not outcome.bit_identical:
+            report.failures.append(
+                f"apps: {name} int8 paths are not bit-identical"
+            )
+        for violation in outcome.check.violations():
+            report.failures.append(f"apps: {name} {violation}")
+    report.sections["apps"] = {
+        "cases": entries,
+        "ok": not any(f.startswith("apps:") for f in report.failures),
+    }
+
+
+def _run_format_suite(
+    seed: int, report: ConformanceReport, iterations: int
+) -> None:
+    fuzz = run_fuzz(seed, iterations=iterations)
+    for violation in fuzz.violations:
+        report.failures.append(f"format: {violation}")
+    report.sections["format"] = fuzz.as_dict()
+
+
+def _run_serve_suite(
+    seed: int,
+    report: ConformanceReport,
+    scenarios: Optional[Tuple[FaultScenario, ...]],
+) -> None:
+    results = run_campaign(seed, scenarios)
+    for result in results:
+        for violation in result.violations:
+            report.failures.append(
+                f"serve: {result.scenario.name}: {violation}"
+            )
+    report.sections["serve"] = {
+        "scenarios": [result.as_dict() for result in results],
+        "ok": not any(f.startswith("serve:") for f in report.failures),
+    }
+
+
+def run_conformance(
+    suites: Sequence[str] = SUITES,
+    seed: int = 0,
+    fuzz_iterations: int = 400,
+    scenarios: Optional[Tuple[FaultScenario, ...]] = None,
+) -> ConformanceReport:
+    """Run the requested suites and return the aggregate report."""
+    ordered = parse_suites(",".join(suites)) if suites else SUITES
+    report = ConformanceReport(seed=int(seed), suites=ordered)
+    if "ops" in ordered:
+        _run_ops_suite(report.seed, report)
+    if "apps" in ordered:
+        _run_apps_suite(report.seed, report)
+    if "format" in ordered:
+        _run_format_suite(report.seed, report, fuzz_iterations)
+    if "serve" in ordered:
+        _run_serve_suite(report.seed, report, scenarios or DEFAULT_SCENARIOS)
+    return report

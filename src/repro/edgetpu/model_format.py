@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ModelFormatError
+from repro.errors import ModelFormatError, ModelSizeMismatchError
 from repro.edgetpu.quantize import QuantParams
 
 #: Total header size in bytes (paper §3.3).
@@ -88,12 +88,24 @@ def parse_model(blob: bytes) -> ModelBlob:
     (version,) = struct.unpack_from("<I", blob, len(MAGIC))
     if version != FORMAT_VERSION:
         raise ModelFormatError(f"unsupported model format version {version}")
+    if any(blob[len(MAGIC) + 4 : HEADER_SIZE - 4]):
+        # The paper leaves these header bytes undocumented; we emit
+        # zeros.  Accepting nonzero bytes here would silently drop them
+        # on re-serialization, so reject rather than guess.
+        raise ModelFormatError("reserved header bytes must be zero")
     (data_size,) = struct.unpack_from("<I", blob, HEADER_SIZE - 4)
     expected_len = HEADER_SIZE + data_size + _METADATA_STRUCT.size
     if len(blob) != expected_len:
-        raise ModelFormatError(
-            f"blob length {len(blob)} does not match header data-section size "
-            f"{data_size} (expected total {expected_len})"
+        # The header and the blob disagree about where the data section
+        # ends.  Never pick one side and truncate/over-read — the typed
+        # error reports both lengths.
+        actual = len(blob) - HEADER_SIZE - _METADATA_STRUCT.size
+        raise ModelSizeMismatchError(
+            f"header declares a {data_size}-byte data section but the blob "
+            f"holds {actual} bytes between header and metadata "
+            f"(blob length {len(blob)}, expected {expected_len})",
+            declared=data_size,
+            actual=actual,
         )
     rows, cols, scale = _METADATA_STRUCT.unpack_from(blob, HEADER_SIZE + data_size)
     if rows * cols != data_size:

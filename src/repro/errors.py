@@ -51,6 +51,22 @@ class ModelFormatError(GPTPUError):
     """Raised when an Edge TPU model binary fails to parse or validate."""
 
 
+class ModelSizeMismatchError(ModelFormatError):
+    """The header's data-section size field disagrees with the blob.
+
+    A parser that trusted the shorter of the two lengths would silently
+    truncate (or over-read) the weight matrix; this typed error carries
+    both numbers so callers and fuzzers can assert the exact complaint.
+    """
+
+    def __init__(self, message: str, declared: int, actual: int) -> None:
+        super().__init__(message)
+        #: Data-section size the header's last-4-bytes field declares.
+        self.declared = declared
+        #: Data-section bytes actually present between header and metadata.
+        self.actual = actual
+
+
 class QuantizationError(GPTPUError):
     """Raised when data cannot be quantized (e.g. non-finite inputs)."""
 

@@ -1,7 +1,18 @@
 """Accuracy and performance metrics used by the paper's evaluation,
 plus the latency-distribution summaries of the serving layer."""
 
-from repro.metrics.errors import mape_percent, max_abs_error, rmse_percent
+from repro.metrics.errors import (
+    OP_BOUNDS,
+    TABLE4_BOUNDS,
+    BoundCheck,
+    ErrorBound,
+    bound_for_app,
+    bound_for_op,
+    mape_percent,
+    max_abs_error,
+    max_rel_error_percent,
+    rmse_percent,
+)
 from repro.metrics.summary import (
     LatencySummary,
     SpeedupRow,
@@ -11,11 +22,18 @@ from repro.metrics.summary import (
 )
 
 __all__ = [
+    "OP_BOUNDS",
+    "TABLE4_BOUNDS",
+    "BoundCheck",
+    "ErrorBound",
     "LatencySummary",
     "SpeedupRow",
+    "bound_for_app",
+    "bound_for_op",
     "geomean",
     "mape_percent",
     "max_abs_error",
+    "max_rel_error_percent",
     "percentile",
     "rmse_percent",
     "speedup",

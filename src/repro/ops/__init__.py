@@ -11,11 +11,12 @@ from repro.ops.conv import tpu_conv2d
 from repro.ops.crop_pad import tpu_crop, tpu_pad
 from repro.ops.elementwise import tpu_add, tpu_mul, tpu_relu, tpu_sub, tpu_tanh
 from repro.ops.gemm import tpu_gemm, tpu_matvec
-from repro.ops.precision import split_residual, tpu_gemm_precise
+from repro.ops.precision import precision_gain, split_residual, tpu_gemm_precise
 from repro.ops.reduction import tpu_max, tpu_mean
 from repro.ops.scan import tpu_prefix_sum, tpu_reduce_sum
 
 __all__ = [
+    "precision_gain",
     "split_residual",
     "tpu_prefix_sum",
     "tpu_reduce_sum",

@@ -20,6 +20,14 @@ against real time and drive the fault-tolerance machinery:
 Delivery is exactly-once by construction: group completions decrement
 the owning request's outstanding count, and both resolve and reject
 paths go through the :class:`ServeRequest` once-only guards.
+
+The pool exposes a campaign hook: assign :attr:`DevicePool.observer`
+before :meth:`DevicePool.start` and every lifecycle transition
+(``dispatch``, ``failure``, ``retry``, ``give-up``, ``timeout``,
+``deliver``, ``bounce``, ``drop``) is reported with its serve ID and
+device.  The conformance fault-injection campaigns replay these event
+streams to prove the zero-lost / exactly-once invariants from the
+outside rather than trusting the pool's own counters.
 """
 
 from __future__ import annotations
@@ -35,6 +43,11 @@ from repro.runtime.executor import group_service_seconds
 from repro.runtime.scheduler import DispatchGroup, SchedulePolicy
 from repro.serve.metrics import ServingMetrics
 from repro.serve.request import ServeRequest
+
+#: Signature of the campaign hook: ``observer(event, serve_id, device)``.
+#: ``device`` is the TPU index the event concerns, or -1 when the event
+#: is not bound to one (router drops, give-ups after the last retry).
+DispatchObserver = Callable[[str, int, int], None]
 
 
 @dataclass
@@ -128,6 +141,10 @@ class DevicePool:
         self._in_flight = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        #: Campaign hook; see the module docstring.  Exceptions it raises
+        #: are deliberately NOT swallowed — a conformance assertion firing
+        #: inside the hook must fail the run, not vanish into a worker.
+        self.observer: Optional[DispatchObserver] = None
         # Uncontended host<->device transfer latency per device path.
         self._transfer_fns = [
             self._make_transfer_fn(i) for i in range(platform.num_tpus)
@@ -185,6 +202,10 @@ class DevicePool:
         if self._in_flight == 0:
             self._idle.set()
 
+    def _emit(self, event: str, sreq: ServeRequest, device: int = -1) -> None:
+        if self.observer is not None:
+            self.observer(event, sreq.serve_id, device)
+
     # -- routing --------------------------------------------------------
 
     def _candidates(self, work: DispatchWork) -> List[int]:
@@ -199,6 +220,7 @@ class DevicePool:
         while True:
             work = await self._inbox.get()
             if work.sreq.failed:
+                self._emit("drop", work.sreq)
                 self._retire()
                 continue
             while True:
@@ -225,12 +247,14 @@ class DevicePool:
             work = await queue.get()
             sreq = work.sreq
             if sreq.failed:
+                self._emit("drop", sreq, tpu_index)
                 self._retire()
                 continue
             if breaker.is_open:
                 # The breaker opened after this work was queued here:
                 # bounce it back to the router (not a failure, not a
                 # retry — the work never touched the device).
+                self._emit("bounce", sreq, tpu_index)
                 self._inbox.put_nowait(work)
                 continue
             now = time.monotonic()
@@ -239,11 +263,13 @@ class DevicePool:
                     f"request {sreq.serve_id} expired before dispatch"
                 )):
                     self.metrics.timeouts += 1
+                self._emit("timeout", sreq, tpu_index)
                 self._retire()
                 continue
             try:
                 # Fault hook: an armed injector trips here, modeling the
                 # device dying while holding the group.
+                self._emit("dispatch", sreq, tpu_index)
                 device.check_fault(work.group.instruction_count)
                 cost = group_service_seconds(
                     work.group, device, self._transfer_fns[tpu_index], self.policy
@@ -255,6 +281,7 @@ class DevicePool:
             except DeviceFailure as exc:
                 breaker.record_failure()
                 self.metrics.record_device_failure(device.name)
+                self._emit("failure", sreq, tpu_index)
                 self._requeue(work, tpu_index, exc)
                 continue
             # Success: accounting, then exactly-once delivery.
@@ -267,6 +294,7 @@ class DevicePool:
             sreq.outstanding -= 1
             if sreq.outstanding == 0 and sreq.resolve():
                 self.metrics.record_completion(time.monotonic() - sreq.submitted)
+                self._emit("deliver", sreq, tpu_index)
             self._retire()
 
     def _requeue(self, work: DispatchWork, tpu_index: int, exc: DeviceFailure) -> None:
@@ -280,7 +308,9 @@ class DevicePool:
                 device=exc.device,
             )):
                 self.metrics.failed += 1
+            self._emit("give-up", work.sreq)
             self._retire()
             return
         self.metrics.retries += 1
+        self._emit("retry", work.sreq, tpu_index)
         self._inbox.put_nowait(work)

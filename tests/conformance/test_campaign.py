@@ -1,0 +1,90 @@
+"""Fault-injection campaign: scenario invariants and the full sweep."""
+
+import pytest
+
+from repro.conformance import DEFAULT_SCENARIOS, run_campaign
+from repro.conformance.campaign import FaultPlan, FaultScenario
+
+
+def scenario_by_name(name):
+    return next(s for s in DEFAULT_SCENARIOS if s.name == name)
+
+
+class TestScenarioCatalog:
+    def test_at_least_three_injected_failure_scenarios(self):
+        # ISSUE acceptance: >= 3 scenarios with injected failures.
+        with_faults = [s for s in DEFAULT_SCENARIOS if s.faults]
+        assert len(with_faults) >= 3
+
+    def test_names_are_unique(self):
+        names = [s.name for s in DEFAULT_SCENARIOS]
+        assert len(names) == len(set(names))
+
+    def test_catalog_covers_distinct_failure_modes(self):
+        assert any(
+            plan.failures == -1 for s in DEFAULT_SCENARIOS for plan in s.faults
+        )
+        assert any(
+            plan.failures > 0 for s in DEFAULT_SCENARIOS for plan in s.faults
+        )
+        assert any(s.deadline_seconds is not None for s in DEFAULT_SCENARIOS)
+
+
+class TestSingleScenarios:
+    def test_device_death_zero_lost(self):
+        (result,) = run_campaign(3, (scenario_by_name("device-death"),))
+        assert result.ok, result.violations
+        assert result.snapshot["outcomes"]["lost"] == 0
+        assert result.snapshot["device_failures"] > 0
+        assert result.events.get("deliver", 0) == result.snapshot["outcomes"]["completed"]
+
+    def test_deadline_storm_surfaces_timeouts_without_losses(self):
+        (result,) = run_campaign(3, (scenario_by_name("deadline-storm"),))
+        assert result.ok, result.violations
+        assert result.snapshot["outcomes"]["timeouts"] > 0
+        assert result.snapshot["outcomes"]["lost"] == 0
+
+    def test_single_tpu_permadeath_fails_loudly(self):
+        (result,) = run_campaign(3, (scenario_by_name("single-tpu-permadeath"),))
+        assert result.ok, result.violations
+        assert result.snapshot["outcomes"]["failed"] > 0
+        assert result.events.get("give-up", 0) > 0
+
+    def test_vacuous_scenario_is_flagged(self):
+        # A scenario claiming fault coverage whose injector never fires
+        # must fail its own verdict rather than greenwash the campaign.
+        vacuous = FaultScenario(
+            name="vacuous",
+            description="claims faults but arms none",
+            tenants=1,
+            requests_per_tenant=1,
+            faults=(),
+            expect_device_failures=True,
+        )
+        (result,) = run_campaign(0, (vacuous,))
+        assert not result.ok
+        assert any("vacuous" in v for v in result.violations)
+
+    def test_report_dict_shape(self):
+        (result,) = run_campaign(1, (scenario_by_name("retry-storm"),))
+        payload = result.as_dict()
+        assert payload["name"] == "retry-storm"
+        assert payload["outcomes"]["lost"] == 0
+        assert payload["ok"] is True
+        assert isinstance(payload["events"], dict)
+
+
+@pytest.mark.slow
+class TestFullCampaign:
+    def test_default_campaign_all_scenarios_hold(self):
+        results = run_campaign(3)
+        assert len(results) == len(DEFAULT_SCENARIOS)
+        for result in results:
+            assert result.ok, (result.scenario.name, result.violations)
+            assert result.snapshot["outcomes"]["lost"] == 0
+            assert result.mismatches == 0
+
+    def test_campaign_invariants_hold_across_seeds(self):
+        for seed in (0, 1, 2):
+            for result in run_campaign(seed):
+                assert result.ok, (seed, result.scenario.name, result.violations)

@@ -1,0 +1,58 @@
+"""Metamorphic property battery over the quantized pipeline."""
+
+from repro.conformance import PROPERTIES, run_properties
+from repro.conformance.metamorphic import (
+    gemm_identity_and_zero,
+    gemm_transpose,
+    pairwise_commutativity,
+    precision_monotonicity,
+    reduction_permutation,
+)
+
+
+class TestProperties:
+    def test_full_battery_passes(self):
+        results = run_properties(seed=3)
+        assert len(results) == len(PROPERTIES)
+        failed = [r.name for r in results if not r.ok]
+        assert not failed, f"metamorphic failures: {failed}"
+
+    def test_property_names_are_unique(self):
+        names = [r.name for r in run_properties(seed=0)]
+        assert len(names) == len(set(names))
+
+    def test_results_are_seed_deterministic(self):
+        a = [r.as_dict() for r in run_properties(seed=7)]
+        b = [r.as_dict() for r in run_properties(seed=7)]
+        assert a == b
+
+    def test_transpose_details_carry_metrics(self):
+        result = gemm_transpose(seed=1)
+        assert result.ok
+        assert {"rmse_direct", "rmse_transposed", "rmse_mutual"} <= set(
+            result.details
+        )
+
+    def test_zero_annihilator_is_exact(self):
+        result = gemm_identity_and_zero(seed=2)
+        assert result.ok
+        assert result.details["zero_exact"] == 1.0
+
+    def test_commutativity_is_bitwise(self):
+        result = pairwise_commutativity(seed=5)
+        assert result.ok
+        assert result.details["add_bit_identical"] == 1.0
+        assert result.details["mul_bit_identical"] == 1.0
+
+    def test_reduction_max_is_permutation_exact(self):
+        result = reduction_permutation(seed=4)
+        assert result.ok
+        # max is order-free even under per-tile requantization when the
+        # permuted layout re-tiles: the global max survives exactly.
+        assert result.details["max_delta"] == 0.0
+
+    def test_precise_gemm_measurably_refines_plain(self):
+        result = precision_monotonicity(seed=6)
+        assert result.ok
+        assert result.details["gain"] >= 1.15
+        assert result.details["rmse_precise"] < 0.5

@@ -1,0 +1,102 @@
+"""Top-level conformance runner: suite selection, report, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.conformance import SUITES, parse_suites, run_conformance
+
+
+class TestParseSuites:
+    def test_canonical_order_and_dedup(self):
+        assert parse_suites("format,ops,ops") == ("ops", "format")
+
+    def test_all_suites(self):
+        assert parse_suites("ops,apps,format,serve") == SUITES
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="nonsense"):
+            parse_suites("ops,nonsense")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_suites(" , ")
+
+
+class TestRunner:
+    def test_format_only_run(self):
+        report = run_conformance(["format"], seed=3, fuzz_iterations=150)
+        assert report.ok, report.failures
+        assert report.suites == ("format",)
+        assert report.sections["format"]["iterations"] == 150
+        assert "ops" not in report.sections
+
+    def test_report_records_seed_and_is_reproducible(self):
+        # Satellite: the JSON report must reproduce from --seed alone.
+        a = run_conformance(["format"], seed=17, fuzz_iterations=100)
+        b = run_conformance(["format"], seed=17, fuzz_iterations=100)
+        assert a.as_dict() == b.as_dict()
+        assert a.as_dict()["seed"] == 17
+        assert json.dumps(a.as_dict()) == json.dumps(b.as_dict())
+
+    @pytest.mark.slow
+    def test_ops_suite_passes_and_reproduces(self):
+        a = run_conformance(["ops"], seed=3)
+        b = run_conformance(["ops"], seed=3)
+        assert a.ok, a.failures
+        assert a.as_dict() == b.as_dict()
+        section = a.sections["ops"]
+        assert len(section["cases"]) >= 16
+        assert all(c["bit_identical"] for c in section["cases"])
+        assert all(p["ok"] for p in section["metamorphic"])
+
+    @pytest.mark.slow
+    def test_apps_suite_passes(self):
+        report = run_conformance(["apps"], seed=3)
+        assert report.ok, report.failures
+        cases = report.sections["apps"]["cases"]
+        assert len(cases) == 7
+        assert all(c["bit_identical"] for c in cases)
+
+    @pytest.mark.slow
+    def test_acceptance_full_run_seed_3(self):
+        # The ISSUE acceptance command, minus the subprocess.
+        report = run_conformance(
+            ["ops", "apps", "format", "serve"], seed=3, fuzz_iterations=400
+        )
+        assert report.ok, report.failures
+        assert report.suites == SUITES
+        serve = report.sections["serve"]
+        assert len(serve["scenarios"]) >= 3
+        for scenario in serve["scenarios"]:
+            assert scenario["outcomes"]["lost"] == 0
+            assert scenario["mismatches"] == 0
+
+
+class TestCli:
+    def test_cli_format_suite_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "conf.json"
+        code = main([
+            "conformance", "--suite", "format", "--seed", "3",
+            "--fuzz-iterations", "120", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["seed"] == 3
+        assert payload["ok"] is True
+        assert payload["format"]["iterations"] == 120
+        assert "Conformance report" in capsys.readouterr().out
+
+    def test_cli_json_to_stdout(self, capsys):
+        code = main([
+            "conformance", "--suite", "format", "--seed", "1",
+            "--fuzz-iterations", "60", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suites"] == ["format"]
+
+    def test_cli_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            main(["conformance", "--suite", "bogus"])

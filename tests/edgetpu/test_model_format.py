@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.errors import ModelFormatError
+from repro.errors import ModelFormatError, ModelSizeMismatchError
 from repro.edgetpu.model_format import (
     HEADER_SIZE,
     MAGIC,
@@ -121,6 +121,36 @@ class TestValidation:
         blob = bytearray(serialize_model(make_matrix(2, 2), QuantParams(1.0)))
         struct.pack_into("<f", blob, HEADER_SIZE + 4 + 8, -1.0)
         with pytest.raises(ModelFormatError, match="scaling factor"):
+            parse_model(bytes(blob))
+
+    def test_size_field_disagreement_raises_typed_error(self):
+        # Regression: a header size field that disagrees with the actual
+        # data-section length must surface as the typed
+        # ModelSizeMismatchError (with both lengths attached), never as a
+        # silent truncation or a generic parse failure.
+        matrix = make_matrix(4, 3)
+        blob = bytearray(serialize_model(matrix, QuantParams(1.0)))
+        struct.pack_into("<I", blob, HEADER_SIZE - 4, 7)  # actual is 12
+        with pytest.raises(ModelSizeMismatchError) as excinfo:
+            parse_model(bytes(blob))
+        assert excinfo.value.declared == 7
+        assert excinfo.value.actual == 12
+        assert isinstance(excinfo.value, ModelFormatError)
+
+    def test_oversized_size_field_raises_typed_error(self):
+        blob = bytearray(serialize_model(make_matrix(4, 3), QuantParams(1.0)))
+        struct.pack_into("<I", blob, HEADER_SIZE - 4, 500)
+        with pytest.raises(ModelSizeMismatchError) as excinfo:
+            parse_model(bytes(blob))
+        assert excinfo.value.declared == 500
+        assert excinfo.value.actual == 12
+
+    def test_nonzero_reserved_header_bytes_rejected(self):
+        # Reserved bytes are zeroed on re-serialization, so accepting
+        # them would break the fuzzer's byte-exact round-trip property.
+        blob = bytearray(serialize_model(make_matrix(), QuantParams(1.0)))
+        blob[len(MAGIC) + 4 + 10] = 0xAB
+        with pytest.raises(ModelFormatError, match="reserved"):
             parse_model(bytes(blob))
 
     def test_serialize_rejects_wrong_dtype_and_shape(self):

@@ -9,7 +9,7 @@ from hypothesis.extra.numpy import arrays
 from repro.errors import RuntimeAPIError
 from repro.host.platform import Platform
 from repro.metrics import rmse_percent
-from repro.ops import split_residual, tpu_gemm, tpu_gemm_precise
+from repro.ops import precision_gain, split_residual, tpu_gemm, tpu_gemm_precise
 from repro.runtime.api import OpenCtpu
 
 
@@ -107,3 +107,30 @@ class TestPreciseGemm:
             tpu_gemm_precise(ctx, rand((4, 4)), rand((5, 4)))
         with pytest.raises(RuntimeAPIError):
             tpu_gemm_precise(ctx, rand((4, 4)), rand((4, 4)), k_split=0)
+
+
+class TestPrecisionGain:
+    def test_residual_split_gain_exceeds_its_floor(self):
+        make_ctx = lambda: OpenCtpu(Platform.with_tpus(1))
+        a = np.random.default_rng(20).normal(size=(63, 128)) * 3.0
+        b = np.random.default_rng(21).normal(size=(128, 65)) * 3.0
+        gain = precision_gain(make_ctx, a, b, k_split=4, input_split=True)
+        assert gain >= 1.15
+
+    def test_k_split_alone_never_hurts(self):
+        make_ctx = lambda: OpenCtpu(Platform.with_tpus(1))
+        a = np.random.default_rng(22).normal(size=(63, 128)) * 3.0
+        b = np.random.default_rng(23).normal(size=(128, 65)) * 3.0
+        gain = precision_gain(make_ctx, a, b, k_split=4, input_split=False)
+        assert gain >= 0.98
+
+    def test_fresh_contexts_keep_runs_independent(self):
+        calls = []
+
+        def make_ctx():
+            calls.append(1)
+            return OpenCtpu(Platform.with_tpus(1))
+
+        a, b = rand((32, 32), 24), rand((32, 32), 25)
+        precision_gain(make_ctx, a, b)
+        assert len(calls) == 2

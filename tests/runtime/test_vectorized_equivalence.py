@@ -22,8 +22,14 @@ from repro.runtime.tiling import fill_padding, iter_tiles, scatter_tiles, stack_
 
 quant_modes = st.sampled_from([QuantMode.SCALE, QuantMode.GLOBAL])
 # Cross the 128 (arithmetic) and 64 (reduction) tile edges so ragged
-# right/bottom/corner tiles are exercised, not just full tiles.
-dims = st.integers(1, 160)
+# right/bottom/corner tiles are exercised, not just full tiles.  The
+# sampled branch over-weights primes and off-by-one neighbours of the
+# tile sizes (127/129 straddle the arithmetic tile, 255 the 2x edge,
+# 63/65 the reduction tile) — uniform draws rarely land exactly there.
+dims = st.one_of(
+    st.integers(1, 160),
+    st.sampled_from([63, 65, 127, 129, 255]),
+)
 seeds = st.integers(0, 2**32 - 1)
 
 
@@ -157,6 +163,34 @@ class TestMatrixEquivalence:
         a[12, :] = -1e-9  # quantizes to zero
         b = -np.random.default_rng(2).uniform(0.5, 4.0, (33, 29))
         assert_equivalent(lambda: make_request(Opcode.CONV2D, a, b, gemm=True))
+
+    @given(
+        st.sampled_from([63, 65, 96, 127, 129]),
+        st.sampled_from([63, 65, 96, 127, 129]),
+        st.integers(2, 4), styles, seeds,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_gemm_coalesced_matches_solo_lowering(self, n, k, clients, style, seed):
+        # The coalesced serving-path lowering shares one model operand
+        # across clients; each client's strip must be bit-identical to
+        # the solo (and the scalar) lowering of the same request.
+        rng = np.random.default_rng(seed)
+        b = data(rng, (n, k), "normal")
+        requests = [
+            make_request(Opcode.CONV2D, data(rng, (64, n), style), b,
+                         gemm=True, model_name="shared-b")
+            for _ in range(clients)
+        ]
+        coalesced = Tensorizer().lower_gemm_coalesced(requests)
+        solo_vec = Tensorizer(options=TensorizerOptions(vectorized=True))
+        solo_ref = Tensorizer(options=TensorizerOptions(vectorized=False))
+        assert len(coalesced) == clients
+        for request, lowered in zip(requests, coalesced):
+            want = solo_vec.lower(request).result
+            scalar = solo_ref.lower(request).result
+            got = np.asarray(lowered.result)
+            assert got.tobytes() == np.asarray(want).tobytes()
+            assert got.tobytes() == np.asarray(scalar).tobytes()
 
     def test_gemm_conv2d_repeated_lowering_reuses_scratch(self):
         # Same-geometry re-lowering (iterative apps) hits the scratch

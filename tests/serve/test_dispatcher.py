@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.edgetpu.isa import Opcode
-from repro.errors import DeviceFailure
+from repro.errors import DeviceFailure, RequestTimeout
 from repro.host.platform import Platform
 from repro.runtime.opqueue import LoweredInstr, LoweredOperation, OperationRequest, QuantMode
 from repro.runtime.scheduler import build_dispatch_groups
@@ -170,6 +170,74 @@ class TestDevicePool:
         assert metrics.completed == 1
         assert metrics.retries == 1
         assert np.array_equal(result, np.full((2, 2), 7.0))
+
+    def test_deadline_expiring_mid_retry_times_out_exactly_once(self):
+        # A transient fault knocks the group off the device; while it
+        # sits requeued the request's deadline elapses.  The retry
+        # pickup must surface RequestTimeout — not deliver a stale
+        # result, not hang, not settle the future twice.
+        async def main():
+            platform = Platform.with_tpus(1)
+            platform.devices[0].inject_fault(after_instructions=0, failures=1)
+            works, sreq = _work()
+            metrics = ServingMetrics()
+            pool = DevicePool(platform, metrics, time_scale=0.0)
+            events = []
+
+            def observer(event, serve_id, device):
+                events.append(event)
+                if event == "failure":
+                    # Deadline elapses between the failure and the retry.
+                    sreq.deadline = 0.0
+
+            pool.observer = observer
+            pool.start()
+            try:
+                for work in works:
+                    pool.submit(work)
+                await asyncio.wait_for(pool.drain(), timeout=10.0)
+            finally:
+                await pool.stop()
+            with pytest.raises(RequestTimeout):
+                await sreq.future
+            return metrics, events, sreq
+
+        metrics, events, sreq = asyncio.run(main())
+        assert metrics.timeouts == 1
+        assert metrics.completed == 0
+        assert metrics.retries == 1
+        assert events.count("timeout") == 1
+        assert "deliver" not in events
+        assert sreq.failed
+
+    def test_observer_sees_delivery_lifecycle(self):
+        # The campaign hook must report dispatch and deliver exactly
+        # once each for an uneventful request.
+        async def main():
+            platform = Platform.with_tpus(2)
+            works, sreq = _work()
+            metrics = ServingMetrics()
+            pool = DevicePool(platform, metrics, time_scale=0.0)
+            events = []
+            pool.observer = lambda event, serve_id, device: events.append(
+                (event, serve_id, device)
+            )
+            pool.start()
+            try:
+                for work in works:
+                    pool.submit(work)
+                await asyncio.wait_for(pool.drain(), timeout=10.0)
+            finally:
+                await pool.stop()
+            await sreq.future
+            return events, sreq
+
+        events, sreq = asyncio.run(main())
+        names = [event for event, _, _ in events]
+        assert names.count("dispatch") == 1
+        assert names.count("deliver") == 1
+        assert all(serve_id == sreq.serve_id for _, serve_id, _ in events)
+        assert all(device >= 0 for _, _, device in events)
 
     def test_breaker_quarantines_failing_device(self):
         async def main():
