@@ -16,7 +16,11 @@ Asserted invariants (the serving layer's contract):
   the same request, coalesced or not, retried or not.
 
 Results land in ``BENCH_serving.json`` at the repo root so CI and
-EXPERIMENTS.md can cite p50/p99 latency and retry counts.
+EXPERIMENTS.md can cite p50/p99 latency and retry counts.  The run
+executes under an enabled span tracer and also emits
+``BENCH_serving_trace.json`` — a schema-validated Chrome trace of the
+same run (load it at https://ui.perfetto.dev), the serving benchmark's
+trace artifact for CI.
 """
 
 import json
@@ -24,10 +28,12 @@ import pathlib
 
 import pytest
 
+from repro import telemetry
 from repro.bench import format_table
 from repro.serve import LoadgenSpec, run_loadgen
 
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+TRACE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving_trace.json"
 
 SPEC = LoadgenSpec(
     tpus=8,
@@ -44,9 +50,16 @@ N_REQUESTS = SPEC.tenants * SPEC.requests_per_tenant
 
 
 def test_serving_under_device_failure(benchmark, report):
-    result = benchmark.pedantic(
-        lambda: run_loadgen(SPEC), rounds=1, iterations=1
-    )
+    tracer = telemetry.SpanTracer(enabled=True)
+
+    def traced_run():
+        previous = telemetry.set_tracer(tracer)
+        try:
+            return run_loadgen(SPEC)
+        finally:
+            telemetry.set_tracer(previous)
+
+    result = benchmark.pedantic(traced_run, rounds=1, iterations=1)
     snapshot = result.snapshot
     outcomes = snapshot["outcomes"]
     latency = snapshot["latency"]
@@ -58,6 +71,8 @@ def test_serving_under_device_failure(benchmark, report):
         "delivered_by_tenant": result.delivered_by_tenant,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    telemetry.save_chrome_trace(tracer, str(TRACE_PATH))
+    assert telemetry.validate_chrome_trace(str(TRACE_PATH)) == []
 
     failed_dev = f"tpu{SPEC.fail_device}"
     report(
@@ -100,3 +115,9 @@ def test_serving_under_device_failure(benchmark, report):
     # Work actually spread across the surviving devices.
     active = [d for d, v in snapshot["devices"].items() if v["groups"] > 0]
     assert len(active) >= SPEC.tpus - 1
+    # The trace's modeled device time reconciles with the metrics: the
+    # span layer and busy_by_device observed the same successes.
+    for name, seconds in tracer.device_seconds_by_track(cat="device").items():
+        assert seconds == pytest.approx(
+            snapshot["devices"][name]["busy_seconds"], rel=1e-9
+        )

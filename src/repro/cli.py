@@ -16,6 +16,9 @@ Commands
 ``loadgen``
     Load-test the serving layer; ``--strict`` asserts the zero-lost /
     bit-identical invariants, ``--json`` archives the metrics snapshot.
+``trace -- CMD ...``
+    Run any other repro command with host span tracing enabled and
+    export a Chrome-trace/Perfetto JSON (see docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -109,6 +112,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    from repro import telemetry
     from repro.bench.profile import format_profile, format_tensorizer_stats, profile_trace
     from repro.host.platform import Platform
     from repro.runtime.api import OpenCtpu
@@ -120,15 +124,36 @@ def cmd_profile(args: argparse.Namespace) -> int:
     run_params.update(_parse_params(args.param))
     inputs = app.generate(seed=args.seed, **run_params)
     platform = Platform(SystemConfig().with_tpus(args.tpus))
-    ctx = OpenCtpu(platform)
-    app.run_gptpu(inputs, ctx)
+    # Host-side span tracing rides along with the sim-time profile, so
+    # one command shows both time bases (docs/telemetry.md).
+    tracer = telemetry.SpanTracer(enabled=True)
+    previous = telemetry.set_tracer(tracer)
+    try:
+        ctx = OpenCtpu(platform)
+        app.run_gptpu(inputs, ctx)
+    finally:
+        telemetry.set_tracer(previous)
     print(f"{args.app} on {args.tpus} Edge TPU(s):\n")
     print(format_profile(profile_trace(platform.tracer)))
     print()
     print(format_tensorizer_stats(ctx.tensorizer.stats))
+    print()
+    print(telemetry.format_attribution(tracer, title="Host span attribution:"))
+    counters = ctx.counter_registry().flat()
+    print()
+    print(
+        format_table(
+            ["counter", "value"],
+            [(name, f"{value:g}") for name, value in sorted(counters.items())],
+            title="Unified counters:",
+        )
+    )
     if args.trace:
         platform.tracer.save_chrome_trace(args.trace)
-        print(f"\nChrome trace written to {args.trace}")
+        print(f"\nChrome trace (simulated time) written to {args.trace}")
+    if args.host_trace:
+        telemetry.save_chrome_trace(tracer, args.host_trace)
+        print(f"Chrome trace (host time) written to {args.host_trace}")
     return 0
 
 
@@ -317,6 +342,42 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Wrap any repro command with tracing on; export a Chrome trace."""
+    from repro import telemetry
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise SystemExit(
+            "trace needs a command to wrap, e.g. `repro trace --out t.json -- loadgen`"
+        )
+    if rest[0] == "trace":
+        raise SystemExit("trace cannot wrap itself")
+    tracer = telemetry.SpanTracer(enabled=True)
+    previous = telemetry.set_tracer(tracer)
+    try:
+        code = main(rest)
+    finally:
+        telemetry.set_tracer(previous)
+    telemetry.save_chrome_trace(tracer, args.out)
+    print(
+        f"\nChrome trace ({len(tracer)} events) written to {args.out} — "
+        "open it at https://ui.perfetto.dev"
+    )
+    print()
+    print(telemetry.format_attribution(tracer))
+    if args.validate:
+        problems = telemetry.validate_chrome_trace(args.out)
+        if problems:
+            for problem in problems:
+                print(f"TRACE SCHEMA: {problem}", file=sys.stderr)
+            return 1
+        print("\ntrace schema: valid")
+    return code
+
+
 def cmd_table3(_args: argparse.Namespace) -> int:
     print(
         format_table(
@@ -363,7 +424,9 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--seed", type=int, default=1)
     prof_p.add_argument("--param", action="append", default=[], metavar="K=V")
     prof_p.add_argument("--trace", metavar="FILE.json",
-                        help="also export a Chrome trace JSON")
+                        help="also export a Chrome trace JSON (simulated time)")
+    prof_p.add_argument("--host-trace", metavar="FILE.json",
+                        help="also export the host span trace (telemetry)")
 
     report_p = sub.add_parser("report", help="bundle archived benchmark results")
     report_p.add_argument("--results-dir", default="benchmarks/results")
@@ -412,6 +475,16 @@ def build_parser() -> argparse.ArgumentParser:
     conf_p.add_argument("--fuzz-iterations", type=int, default=400,
                         help="model-format mutations per fuzz run")
 
+    trace_p = sub.add_parser(
+        "trace", help="run another repro command with span tracing on"
+    )
+    trace_p.add_argument("--out", default="trace.json", metavar="FILE.json",
+                         help="Chrome-trace output path (default trace.json)")
+    trace_p.add_argument("--validate", action="store_true",
+                         help="schema-check the emitted trace; non-zero on problems")
+    trace_p.add_argument("rest", nargs=argparse.REMAINDER, metavar="CMD ...",
+                         help="the repro command to wrap (prefix with --)")
+
     sub.add_parser("table3", help="print the dataset inventory")
     return parser
 
@@ -427,6 +500,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "conformance": cmd_conformance,
+        "trace": cmd_trace,
         "table3": cmd_table3,
     }
     return handlers[args.command](args)

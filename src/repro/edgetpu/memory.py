@@ -37,6 +37,9 @@ class OnChipMemory:
         self._regions: "OrderedDict[str, Region]" = OrderedDict()
         #: Cumulative eviction count, for cache-behaviour assertions.
         self.evictions = 0
+        #: Residency hits/misses seen by :meth:`ensure` (telemetry).
+        self.hits = 0
+        self.misses = 0
 
     # -- inspection -----------------------------------------------------------
 
@@ -98,7 +101,9 @@ class OnChipMemory:
         """
         if name in self._regions:
             self._regions.move_to_end(name)  # refresh recency
+            self.hits += 1
             return True
+        self.misses += 1
         self.alloc(name, nbytes, evictable)
         return False
 

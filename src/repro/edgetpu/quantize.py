@@ -259,7 +259,13 @@ def output_quant_params(opname: str, lo: float, hi: float, n: int = 1) -> QuantP
     device encodes that interval across the full int8 range, so the
     effective quantization factor is ``127 * S``.
     """
-    return QuantParams(scale=QMAX * operator_output_scale(opname, lo, hi, n))
+    scale = QMAX * operator_output_scale(opname, lo, hi, n)
+    # Denormal-range data: S itself survives the closed-form guards but
+    # 127 * S can still overflow to inf.  As in operator_output_scale,
+    # any positive scale represents such data equally well at 8 bits.
+    if not np.isfinite(scale) or scale <= 0:
+        return QuantParams(scale=1.0)
+    return QuantParams(scale=scale)
 
 
 def sample_range(data: np.ndarray, sample: int = 4096, seed: int = 0) -> Tuple[float, float]:

@@ -15,6 +15,7 @@ from repro.metrics.errors import (
 )
 from repro.metrics.summary import (
     LatencySummary,
+    ReservoirSample,
     SpeedupRow,
     geomean,
     percentile,
@@ -27,6 +28,7 @@ __all__ = [
     "BoundCheck",
     "ErrorBound",
     "LatencySummary",
+    "ReservoirSample",
     "SpeedupRow",
     "bound_for_app",
     "bound_for_op",

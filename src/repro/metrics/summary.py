@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
@@ -87,6 +88,67 @@ class LatencySummary:
             "p99_seconds": self.p99,
             "max_seconds": self.max,
         }
+
+
+class ReservoirSample:
+    """Bounded uniform sample of an unbounded stream (Algorithm R).
+
+    Below ``capacity`` the retained values are *exactly* the stream, so
+    summaries match the old unbounded-list behaviour bit for bit.  Past
+    capacity each new value replaces a random retained one with
+    probability ``capacity / count`` — every stream element ends up
+    retained with equal probability, which preserves percentile fidelity
+    while memory stays O(capacity).  The exact running count, total, and
+    max survive regardless, so means and maxima never degrade.
+
+    Deterministic for a given ``seed`` (serving metrics must be
+    reproducible run to run).
+    """
+
+    __slots__ = ("capacity", "count", "total", "max_value", "_values", "_rng")
+
+    def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.max_value = float("-inf")
+        self._values: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Admit one stream element."""
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._values[slot] = value
+
+    append = add  # drop-in for the unbounded lists this replaces
+
+    @property
+    def mean(self) -> float:
+        """Exact stream mean (not the reservoir's)."""
+        return self.total / self.count if self.count else 0.0
+
+    def values(self) -> List[float]:
+        """The retained sample (the full stream below capacity)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self):
+        return iter(self._values)
 
 
 def summarize(rows: Sequence[SpeedupRow]) -> dict:

@@ -42,6 +42,13 @@ from repro.runtime.executor import Executor, Timeline
 from repro.runtime.opqueue import LoweredOperation, OperationRequest, QuantMode
 from repro.runtime.scheduler import SchedulePolicy
 from repro.runtime.tensorizer import Tensorizer, TensorizerOptions
+from repro.telemetry import (
+    CounterRegistry,
+    SpanTracer,
+    get_tracer,
+    memory_counters,
+    tensorizer_counters,
+)
 
 _OPCODES_BY_NAME = {op.opname: op for op in Opcode}
 _OPCODES_BY_NAME.update({op.opname.lower(): op for op in Opcode})
@@ -71,10 +78,12 @@ class OpenCtpu:
         options: Optional[TensorizerOptions] = None,
         policy: Optional[SchedulePolicy] = None,
         quant: QuantMode = QuantMode.SCALE,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         self.platform = platform or Platform()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.tensorizer = Tensorizer(
-            self.platform.config.edgetpu, options, self.platform.cpu
+            self.platform.config.edgetpu, options, self.platform.cpu, tracer=self.tracer
         )
         self.executor = Executor(self.platform, policy)
         self.default_quant = quant
@@ -158,7 +167,12 @@ class OpenCtpu:
             output_name=out.name if out is not None else "",
             depends_on=deps,
         )
+        sp = self.tracer.begin(
+            f"invoke:{opcode.opname}", cat="opq", track="opq", task_id=task_id
+        )
         lowered = self.tensorizer.lower(request)
+        sp.add_device_seconds(lowered.total_exec_seconds)
+        self.tracer.end(sp.set(instructions=lowered.instruction_count))
         self._pending.append(lowered)
         self._last_task = task_id
         if out is not None:
@@ -184,7 +198,10 @@ class OpenCtpu:
         """
         if not self._pending:
             raise RuntimeAPIError("sync with no pending TPU work")
+        sp = self.tracer.begin("sync", cat="opq", track="opq", operations=len(self._pending))
         timeline = self.executor.run(self._pending)
+        sp.add_device_seconds(timeline.tpu_busy_seconds())
+        self.tracer.end(sp.set(makespan_seconds=timeline.makespan))
         energy = self.platform.energy.report(timeline.makespan, timeline.busy_by_unit)
         self._pending.clear()
         for task_id in self._task_state:
@@ -241,6 +258,14 @@ class OpenCtpu:
     def pending_operations(self) -> int:
         """Number of lowered operations awaiting sync."""
         return len(self._pending)
+
+    def counter_registry(self) -> CounterRegistry:
+        """Unified counter snapshot: lowering stats + device memory."""
+        registry = CounterRegistry()
+        registry.register("tensorizer", tensorizer_counters(self.tensorizer.stats))
+        for device in self.platform.devices:
+            registry.register(f"memory.{device.name}", memory_counters(device.memory))
+        return registry
 
     @staticmethod
     def _resolve_opcode(op: Union[Opcode, str]) -> Opcode:

@@ -31,6 +31,7 @@ from repro.host.platform import Platform
 from repro.runtime.opqueue import LoweredInstr, LoweredOperation
 from repro.runtime.scheduler import DispatchGroup, SchedulePolicy, build_dispatch_groups
 from repro.sim import AllOf, SimEvent, Store
+from repro.telemetry import get_tracer
 
 
 @dataclass(frozen=True)
@@ -138,6 +139,16 @@ class Executor:
 
     def run(self, ops: Sequence[LoweredOperation]) -> Timeline:
         """Execute all operations; returns the simulated timeline."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._run(ops)
+        with tracer.span("executor.run", cat="executor", operations=len(ops)) as sp:
+            timeline = self._run(ops)
+            sp.add_device_seconds(timeline.tpu_busy_seconds())
+            sp.set(makespan_seconds=timeline.makespan)
+            return timeline
+
+    def _run(self, ops: Sequence[LoweredOperation]) -> Timeline:
         if not ops:
             raise SchedulerError("nothing to execute")
         platform = self.platform

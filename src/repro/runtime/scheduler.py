@@ -15,9 +15,10 @@ is exactly work-conserving first-come-first-serve over available TPUs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.runtime.opqueue import LoweredInstr
+from repro.telemetry import SpanTracer, get_tracer
 
 
 @dataclass(frozen=True)
@@ -53,9 +54,23 @@ class DispatchGroup:
 
 
 def build_dispatch_groups(
-    iq: Sequence[LoweredInstr], policy: SchedulePolicy | None = None
+    iq: Sequence[LoweredInstr],
+    policy: SchedulePolicy | None = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> List[DispatchGroup]:
     """Partition the instruction queue into FCFS dispatch groups."""
+    tracer = tracer if tracer is not None else get_tracer()
+    if tracer.enabled:
+        with tracer.span("build_dispatch_groups", cat="sched", instrs=len(iq)) as sp:
+            groups = _build_dispatch_groups(iq, policy)
+            sp.set(groups=len(groups))
+            return groups
+    return _build_dispatch_groups(iq, policy)
+
+
+def _build_dispatch_groups(
+    iq: Sequence[LoweredInstr], policy: SchedulePolicy | None = None
+) -> List[DispatchGroup]:
     policy = policy or SchedulePolicy()
     groups: List[DispatchGroup] = []
     run: List[LoweredInstr] = []

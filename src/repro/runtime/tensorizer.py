@@ -38,6 +38,7 @@ Two execution strategies produce that functional result:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,6 +80,7 @@ from repro.runtime.tiling import (
     stack_tiles,
     tile_sizes,
 )
+from repro.telemetry import SpanTracer, get_tracer
 
 #: Serialized-model overhead beyond the data section (§3.3 header + metadata).
 MODEL_OVERHEAD_BYTES = HEADER_SIZE + 12
@@ -153,6 +155,7 @@ class Tensorizer:
         tpu_config: Optional[EdgeTPUConfig] = None,
         options: Optional[TensorizerOptions] = None,
         cpu: Optional[CPUCoreModel] = None,
+        tracer: Optional["SpanTracer"] = None,
     ) -> None:
         self.tpu_config = tpu_config or EdgeTPUConfig()
         self.options = options or TensorizerOptions()
@@ -165,8 +168,10 @@ class Tensorizer:
             )
         self._scratch = EdgeTPUDevice("tensorizer-scratch", self.tpu_config, self.timing)
         self.stats = TensorizerStats()
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._op_seq = 0
-        self._quant_cache: Dict[float, QuantParams] = {}
+        self._quant_cache: "OrderedDict[float, QuantParams]" = OrderedDict()
+        self._quant_cache_max = _QUANT_CACHE_MAX
         self._global_params: Optional[QuantParams] = None
         # Last-used conv2D-GEMM scratch buffers: (geometry key, dict).
         self._gemm_scratch: Optional[tuple] = None
@@ -177,6 +182,21 @@ class Tensorizer:
 
     def lower(self, request: OperationRequest) -> LoweredOperation:
         """Lower one OPQ entry into instructions plus its exact result."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._lower_impl(request)
+        with tracer.span(
+            f"lower:{request.opcode.opname}",
+            cat="lower",
+            track="tensorizer",
+            task_id=request.task_id,
+        ) as sp:
+            lowered = self._lower_impl(request)
+            sp.add_device_seconds(lowered.total_exec_seconds)
+            sp.set(instructions=lowered.instruction_count)
+            return lowered
+
+    def _lower_impl(self, request: OperationRequest) -> LoweredOperation:
         self._normalize_inputs(request)
         self._global_params = None  # per-operation GLOBAL-params memo
         op = request.opcode
@@ -274,16 +294,26 @@ class Tensorizer:
         Iterative apps (PageRank power iterations, backprop epochs)
         re-lower chunks with recurring value ranges; the memo returns
         the previously built params instead of recomputing them.
+
+        The memo is a true LRU: at capacity it evicts the single
+        least-recently-used entry rather than dropping the whole table
+        (which caused a full miss storm exactly when the cache was
+        hottest).  Keys are canonicalized floats: ``-0.0`` folds into
+        ``0.0`` and NaN is rejected up front — a NaN key can never hit
+        (NaN != NaN), so admitting them grew the table without bound.
         """
-        key = float(max_abs)
+        key = float(max_abs) + 0.0  # -0.0 + 0.0 == +0.0
+        if math.isnan(key):
+            raise QuantizationError("cannot derive quantization parameters from NaN range")
         hit = self._quant_cache.get(key)
         if hit is not None:
             self.stats.quant_cache_hits += 1
+            self._quant_cache.move_to_end(key)
             return hit
         self.stats.quant_cache_misses += 1
         params = params_for_range(key)
-        if len(self._quant_cache) >= _QUANT_CACHE_MAX:
-            self._quant_cache.clear()
+        if len(self._quant_cache) >= self._quant_cache_max:
+            self._quant_cache.popitem(last=False)
         self._quant_cache[key] = params
         return params
 
@@ -1153,6 +1183,8 @@ class Tensorizer:
         # ``+ 0.0`` normalizes rint's ``-0.0`` to the ``+0.0`` the scalar
         # path's int8 round-trip produces, keeping signed zeros in the
         # accumulator (and so in the dequantized result) bit-identical.
+        tracer = self._tracer
+        sp = tracer.begin("quantize", cat="lower.phase", track="tensorizer", chunks=n_rows, batches=n_cols)
         q_a, q_b = sc["q_a"], sc["q_b"]
         tmp_a, tmp_b = sc["tmp_a"], sc["tmp_b"]
         for c0, p_rows in zip(row_starts, row_params):
@@ -1167,7 +1199,10 @@ class Tensorizer:
             np.multiply(b[:, j0:j1], p_cols.scale, out=t)
             np.rint(t, out=t)
             np.add(t, 0.0, out=q_b[:, j0:j1])
+        tracer.end(sp)
+        sp = tracer.begin("slab_gemm", cat="lower.phase", track="tensorizer", m=m, n=n, k=k)
         partials = functional.f32_slab_products(q_a, q_b, out=sc["parts"])
+        tracer.end(sp)
         self.stats.tiles_lowered += n_rows * n_cols
         self.stats.batched_dispatches += 1
 
@@ -1179,6 +1214,7 @@ class Tensorizer:
         # identical operations (and operand values) the scalar loop
         # applies to each piece, ~10 NumPy dispatches per chunk instead
         # of ~8 per (chunk, batch) block.
+        sp = tracer.begin("requantize", cat="lower.phase", track="tensorizer", chunks=n_rows)
         result = np.empty((m, k), dtype=np.float64)
         strip = sc["strip"]
         col_idx = np.array(col_starts, dtype=np.intp)
@@ -1242,6 +1278,7 @@ class Tensorizer:
                         nk * s * s, exec_seconds, out_elems,
                     )
                 )
+        tracer.end(sp)
         cpu_seconds = self.cpu.elementwise_seconds(m * s * s + k * s * s, bytes_per_elem=2)
         return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
 
@@ -1319,6 +1356,11 @@ class Tensorizer:
         n_rows = len(row_starts)
         n_cols = len(col_starts)
 
+        tracer = self._tracer
+        sp_op = tracer.begin(
+            "lower:conv2D-coalesced", cat="lower", track="tensorizer", requests=n_req
+        )
+        sp = tracer.begin("quantize", cat="lower.phase", track="tensorizer", requests=n_req)
         # Shared model operand: one set of column-batch params and one
         # quantized copy — identical values to every solo lowering.
         col_params = [self._params_for_data(b[:, j0 : j0 + batch]) for j0 in col_starts]
@@ -1355,16 +1397,20 @@ class Tensorizer:
                 np.rint(t, out=t)
                 np.add(t, 0.0, out=q_a[base + c0 : base + c1])
 
+        tracer.end(sp)
         # THE coalesced dispatch: one exact-f32 slab GEMM over every
         # client's rows at once.  Slab partials are exact integers, so
         # each row's value is independent of its neighbours in the stack.
+        sp = tracer.begin("slab_gemm", cat="lower.phase", track="tensorizer", m=n_req * m, n=n, k=k)
         partials = functional.f32_slab_products(q_a, q_b)
+        tracer.end(sp)
         self.stats.tiles_lowered += n_req * n_rows * n_cols
         self.stats.batched_dispatches += 1
         self.stats.coalesced_operations += n_req
 
         # Requantize per request, per chunk strip — the solo loop's
         # arithmetic applied to this request's rows of the stack.
+        sp = tracer.begin("requantize", cat="lower.phase", track="tensorizer", requests=n_req)
         model_source = sources[0]
         strip = np.empty((min(rows_per_chunk, m), k), dtype=np.float64)
         col_idx = np.array(col_starts, dtype=np.intp)
@@ -1440,6 +1486,11 @@ class Tensorizer:
             self.stats.instructions_emitted += op.instruction_count
             self.stats.saturated_values += saturated
             lowered.append(op)
+        tracer.end(sp)
+        for op in lowered:
+            sp_op.add_device_seconds(op.total_exec_seconds)
+        sp_op.set(instructions=sum(op.instruction_count for op in lowered))
+        tracer.end(sp_op)
         return lowered
 
     # ------------------------------------------------------------------

@@ -43,6 +43,7 @@ from repro.runtime.executor import group_service_seconds
 from repro.runtime.scheduler import DispatchGroup, SchedulePolicy
 from repro.serve.metrics import ServingMetrics
 from repro.serve.request import ServeRequest
+from repro.telemetry import SpanTracer, get_tracer
 
 #: Signature of the campaign hook: ``observer(event, serve_id, device)``.
 #: ``device`` is the TPU index the event concerns, or -1 when the event
@@ -119,6 +120,8 @@ class DevicePool:
         breaker_threshold: int = 2,
         breaker_cooldown: float = 0.05,
         time_scale: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -129,8 +132,13 @@ class DevicePool:
         self.policy = policy or SchedulePolicy()
         self.max_retries = max_retries
         self.time_scale = time_scale
+        #: The pool's single time base.  Deadline checks, breaker
+        #: cooldowns, and latency accounting all read this clock — a
+        #: fake clock in tests therefore governs *every* time decision.
+        self._clock = clock
+        self._tracer = tracer if tracer is not None else get_tracer()
         self.breakers = [
-            CircuitBreaker(breaker_threshold, breaker_cooldown)
+            CircuitBreaker(breaker_threshold, breaker_cooldown, clock=clock)
             for _ in range(platform.num_tpus)
         ]
         self._inbox: "asyncio.Queue[DispatchWork]" = asyncio.Queue()
@@ -205,6 +213,15 @@ class DevicePool:
     def _emit(self, event: str, sreq: ServeRequest, device: int = -1) -> None:
         if self.observer is not None:
             self.observer(event, sreq.serve_id, device)
+        if self._tracer.enabled and event != "dispatch":
+            # "dispatch" is subsumed by the worker's exec span; the rest
+            # are lifecycle instants (retry, timeout, breaker bounce...).
+            self._tracer.instant(
+                event,
+                cat="serve.lifecycle",
+                track=f"tpu{device}" if device >= 0 else "router",
+                serve_id=sreq.serve_id,
+            )
 
     # -- routing --------------------------------------------------------
 
@@ -234,7 +251,7 @@ class DevicePool:
                 # Every breaker is open: wait for the earliest half-open
                 # instant, then re-evaluate.
                 reopen = min(b.reopens_at for b in self.breakers)
-                delay = max(reopen - time.monotonic(), 0.0)
+                delay = max(reopen - self._clock(), 0.0)
                 await asyncio.sleep(min(delay, 0.05) or 0.001)
 
     # -- execution ------------------------------------------------------
@@ -257,7 +274,7 @@ class DevicePool:
                 self._emit("bounce", sreq, tpu_index)
                 self._inbox.put_nowait(work)
                 continue
-            now = time.monotonic()
+            now = self._clock()
             if sreq.expired(now):
                 if sreq.reject(RequestTimeout(
                     f"request {sreq.serve_id} expired before dispatch"
@@ -266,6 +283,14 @@ class DevicePool:
                 self._emit("timeout", sreq, tpu_index)
                 self._retire()
                 continue
+            span = self._tracer.begin(
+                "exec_group",
+                cat="device",
+                track=device.name,
+                serve_id=sreq.serve_id,
+                attempt=work.attempts,
+                instructions=work.group.instruction_count,
+            )
             try:
                 # Fault hook: an armed injector trips here, modeling the
                 # device dying while holding the group.
@@ -279,12 +304,28 @@ class DevicePool:
                 else:
                     await asyncio.sleep(0)
             except DeviceFailure as exc:
+                self._tracer.end(span.set(outcome="failure"))
+                opened_before = breaker.opened
                 breaker.record_failure()
+                if breaker.opened > opened_before:
+                    self._tracer.instant(
+                        "breaker_open",
+                        cat="serve.lifecycle",
+                        track=device.name,
+                        serve_id=sreq.serve_id,
+                    )
                 self.metrics.record_device_failure(device.name)
                 self._emit("failure", sreq, tpu_index)
                 self._requeue(work, tpu_index, exc)
                 continue
-            # Success: accounting, then exactly-once delivery.
+            # Success: accounting, then exactly-once delivery.  The span
+            # carries the group's *modeled* device seconds only on this
+            # path, mirroring busy_by_device — failed attempts charge no
+            # device time, so trace totals reconcile with the metrics.
+            span.add_device_seconds(cost.exec_seconds)
+            self._tracer.end(
+                span.set(outcome="ok", service_seconds=cost.service_seconds)
+            )
             device.instructions_executed += work.group.instruction_count
             device.busy_seconds += cost.exec_seconds
             breaker.record_success()
@@ -292,8 +333,9 @@ class DevicePool:
                 device.name, cost.exec_seconds, cost.bytes_in, cost.bytes_out
             )
             sreq.outstanding -= 1
-            if sreq.outstanding == 0 and sreq.resolve():
-                self.metrics.record_completion(time.monotonic() - sreq.submitted)
+            if sreq.outstanding == 0 and self.metrics.record_delivery(
+                sreq, self._clock()
+            ):
                 self._emit("deliver", sreq, tpu_index)
             self._retire()
 

@@ -8,10 +8,16 @@ the ``repro serve`` report table).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.metrics import LatencySummary
+from repro.metrics import LatencySummary, ReservoirSample
+
+#: Bound on retained latency / queue-depth samples.  Below this the
+#: sample is exact; past it, reservoir sampling keeps percentiles honest
+#: while a sustained run's memory stays O(1).
+SAMPLE_RESERVOIR_CAPACITY = 8192
 
 
 class ServingMetrics:
@@ -24,9 +30,9 @@ class ServingMetrics:
         self.completed = 0  # futures resolved with a result
         self.failed = 0  # futures rejected with DeviceFailure
         #: Per-request end-to-end latencies (seconds, completed only).
-        self.latencies: List[float] = []
+        self.latencies = ReservoirSample(SAMPLE_RESERVOIR_CAPACITY, seed=1)
         #: Admission-queue depth sampled at each dispatch-loop drain.
-        self.queue_depth_samples: List[int] = []
+        self.queue_depth_samples = ReservoirSample(SAMPLE_RESERVOIR_CAPACITY, seed=2)
         #: Dispatch-group retries after a device failure.
         self.retries = 0
         #: Device failures observed (fault hook firings seen by workers).
@@ -50,7 +56,21 @@ class ServingMetrics:
     def record_completion(self, latency_seconds: float) -> None:
         """One request delivered; account its end-to-end latency."""
         self.completed += 1
-        self.latencies.append(latency_seconds)
+        self.latencies.add(latency_seconds)
+
+    def record_delivery(self, sreq, now: float) -> bool:
+        """THE single completion path: resolve *sreq* and account it.
+
+        Every layer that delivers a result (the dispatcher's last-group
+        completion, the server's degenerate-op fast path) must go
+        through here, so resolve and latency accounting cannot drift
+        apart.  Returns True when this call won the once-only resolve —
+        i.e. exactly one caller per request sees True.
+        """
+        if not sreq.resolve():
+            return False
+        self.record_completion(now - sreq.submitted)
+        return True
 
     def record_group(self, device: str, exec_seconds: float, bytes_in: int, bytes_out: int) -> None:
         """One dispatch group retired on *device*."""
@@ -66,7 +86,7 @@ class ServingMetrics:
 
     def sample_queue_depth(self, depth: int) -> None:
         """Record the admission-queue depth at a dispatch-loop drain."""
-        self.queue_depth_samples.append(depth)
+        self.queue_depth_samples.add(depth)
 
     # -- reporting ------------------------------------------------------
 
@@ -81,10 +101,38 @@ class ServingMetrics:
         return self.submitted - self.rejected - self.delivered
 
     def latency_summary(self) -> Optional[LatencySummary]:
-        """p50/p90/p99 summary, or None before the first completion."""
+        """p50/p90/p99 summary, or None before the first completion.
+
+        Percentiles come from the retained reservoir (exact below
+        capacity); count, mean, and max come from the exact running
+        aggregates, so they never degrade past the bound.
+        """
         if not self.latencies:
             return None
-        return LatencySummary.from_samples(self.latencies)
+        summary = LatencySummary.from_samples(self.latencies.values())
+        return dataclasses.replace(
+            summary,
+            count=self.latencies.count,
+            mean=self.latencies.mean,
+            max=self.latencies.max_value,
+        )
+
+    def counters(self) -> Dict[str, float]:
+        """Flat scalar counters for the telemetry CounterRegistry."""
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "completed": self.completed,
+            "failed": self.failed,
+            "lost": self.lost,
+            "retries": self.retries,
+            "device_failures": self.device_failures,
+            "coalesce_groups": self.coalesce_groups,
+            "coalesced_requests": self.coalesced_requests,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
 
     def snapshot(self, elapsed_seconds: Optional[float] = None) -> dict:
         """JSON-friendly state dump (stable keys; see docs/serving.md)."""
@@ -114,9 +162,9 @@ class ServingMetrics:
             },
             "latency": latency.as_dict() if latency is not None else None,
             "queue_depth": {
-                "samples": len(depth),
-                "max": max(depth) if depth else 0,
-                "mean": sum(depth) / len(depth) if depth else 0.0,
+                "samples": depth.count,
+                "max": int(depth.max_value) if depth else 0,
+                "mean": depth.mean,
             },
             "retries": self.retries,
             "device_failures": self.device_failures,

@@ -27,7 +27,7 @@ import asyncio
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional
+from typing import Any, Callable, List, Mapping, Optional
 
 import numpy as np
 
@@ -42,6 +42,14 @@ from repro.serve.coalescer import coalesce
 from repro.serve.dispatcher import DevicePool, DispatchWork
 from repro.serve.metrics import ServingMetrics
 from repro.serve.request import ServeRequest
+from repro.telemetry import (
+    CounterRegistry,
+    SpanTracer,
+    get_tracer,
+    memory_counters,
+    serving_counters,
+    tensorizer_counters,
+)
 
 
 @dataclass(frozen=True)
@@ -77,11 +85,18 @@ class TpuServer:
         self,
         platform: Optional[Platform] = None,
         config: Optional[ServeConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         self.platform = platform or Platform()
         self.config = config or ServeConfig()
+        self._clock = clock
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.tensorizer = Tensorizer(
-            self.platform.config.edgetpu, self.config.options, self.platform.cpu
+            self.platform.config.edgetpu,
+            self.config.options,
+            self.platform.cpu,
+            tracer=self.tracer,
         )
         self.metrics = ServingMetrics()
         self.admission = AdmissionController(
@@ -95,6 +110,8 @@ class TpuServer:
             breaker_threshold=self.config.breaker_threshold,
             breaker_cooldown=self.config.breaker_cooldown,
             time_scale=self.config.time_scale,
+            clock=clock,
+            tracer=self.tracer,
         )
         self._serve_seq = 0
         self._wakeup = asyncio.Event()
@@ -107,7 +124,7 @@ class TpuServer:
         """Start the device pool and the dispatch loop (idempotent)."""
         if self._loop_task is not None:
             return
-        self.started_at = time.monotonic()
+        self.started_at = self._clock()
         self.pool.start()
         self._loop_task = asyncio.get_running_loop().create_task(
             self._dispatch_loop(), name="serve-dispatch"
@@ -156,7 +173,7 @@ class TpuServer:
         """
         if self._loop_task is None:
             raise ServingError("server is not started; use 'async with TpuServer(...)'")
-        now = time.monotonic()
+        now = self._clock()
         self._serve_seq += 1
         serve_id = self._serve_seq
         # Stamp server-side identity: unique task ids keep lowered
@@ -180,7 +197,13 @@ class TpuServer:
             self.admission.offer(sreq)
         except Exception:
             self.metrics.rejected += 1
+            self.tracer.instant(
+                "reject", cat="serve", track="server", serve_id=serve_id
+            )
             raise
+        self.tracer.instant(
+            "submit", cat="serve", track="server", serve_id=serve_id, tenant=request.tenant
+        )
         self._wakeup.set()
         return sreq.future
 
@@ -227,7 +250,7 @@ class TpuServer:
             # One cooperative tick lets concurrent submitters land in the
             # same drain — the serving-window analogue of batch lowering.
             await asyncio.sleep(0)
-            now = time.monotonic()
+            now = self._clock()
             for sreq in self.admission.expire(now):
                 if sreq.reject(RequestTimeout(
                     f"request {sreq.serve_id} expired in the admission queue"
@@ -237,8 +260,12 @@ class TpuServer:
             batch = self.admission.drain(self.config.max_batch)
             if not batch:
                 continue
+            sp = self.tracer.begin(
+                "dispatch_batch", cat="serve", track="server", drained=len(batch)
+            )
             for group in coalesce(batch, self.config.max_coalesce):
                 self._lower_and_launch(group)
+            self.tracer.end(sp)
 
     def _lower_and_launch(self, group: List[ServeRequest]) -> None:
         live = [s for s in group if not s.failed]
@@ -263,11 +290,12 @@ class TpuServer:
 
     def _launch(self, sreq: ServeRequest, op: Any) -> None:
         sreq.op = op
-        groups = build_dispatch_groups(op.instrs, self.config.policy)
+        groups = build_dispatch_groups(op.instrs, self.config.policy, tracer=self.tracer)
         if not groups:
-            # Nothing to execute on-device (degenerate op): deliver now.
-            if sreq.resolve():
-                self.metrics.record_completion(time.monotonic() - sreq.submitted)
+            # Nothing to execute on-device (degenerate op): deliver now,
+            # through the same once-only accounting path the dispatcher
+            # uses (these two used to duplicate the latency arithmetic).
+            self.metrics.record_delivery(sreq, self._clock())
             return
         sreq.outstanding = len(groups)
         for dgroup in groups:
@@ -275,10 +303,19 @@ class TpuServer:
 
     # -- reporting ------------------------------------------------------
 
+    def counter_registry(self) -> CounterRegistry:
+        """Unified counter snapshot: lowering + serving + device memory."""
+        registry = CounterRegistry()
+        registry.register("tensorizer", tensorizer_counters(self.tensorizer.stats))
+        registry.register("serving", serving_counters(self.metrics))
+        for device in self.platform.devices:
+            registry.register(f"memory.{device.name}", memory_counters(device.memory))
+        return registry
+
     def snapshot(self) -> dict:
         """Metrics snapshot including elapsed serving time."""
         elapsed = (
-            time.monotonic() - self.started_at if self.started_at is not None else None
+            self._clock() - self.started_at if self.started_at is not None else None
         )
         snap = self.metrics.snapshot(elapsed)
         snap["platform"] = {

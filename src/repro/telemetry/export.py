@@ -1,0 +1,171 @@
+"""Exporters for :class:`~repro.telemetry.tracer.SpanTracer` traces.
+
+Two consumers:
+
+* **Chrome trace / Perfetto** — :func:`to_chrome_trace` emits the JSON
+  object format (``{"traceEvents": [...]}``) with one ``pid`` for the
+  host process and one ``tid`` lane per span track.  Timestamps are
+  microseconds relative to the first span, ``"X"`` complete events for
+  spans and ``"i"`` instants for lifecycle events; every event's
+  ``args`` carries its modeled ``device_seconds``.  Load the file at
+  https://ui.perfetto.dev or ``chrome://tracing``.
+* **Attribution table** — :func:`attribution` aggregates host and
+  modeled device seconds per ``(cat, name)``; ``repro profile`` and
+  ``repro trace`` print it via :func:`format_attribution`.
+
+:func:`validate_chrome_trace` is the schema gate CI runs on emitted
+artifacts — shape checks only, no external JSON-schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.tracer import SpanTracer
+
+#: Event phases we emit and accept ("M" = metadata).
+_VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C"}
+
+
+def to_chrome_trace(
+    tracer: SpanTracer, counters: Optional[dict] = None
+) -> dict:
+    """Render a tracer's spans as a Chrome-trace JSON object."""
+    spans = tracer.spans
+    t0 = min((s.start for s in spans), default=0.0)
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": "host",
+            "ts": 0,
+            "args": {"name": "repro-host"},
+        }
+    ]
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.cat or "span",
+            "ph": span.phase,
+            "ts": (span.start - t0) * 1e6,
+            "pid": 0,
+            "tid": span.track,
+            "args": dict(span.args, device_seconds=span.device_seconds),
+        }
+        if span.phase == "X":
+            event["dur"] = span.duration * 1e6
+        else:
+            event["s"] = "t"  # thread-scoped instant
+        events.append(event)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if counters is not None:
+        payload["otherData"] = {"counters": counters}
+    return payload
+
+
+def save_chrome_trace(
+    tracer: SpanTracer, path: str, counters: Optional[dict] = None
+) -> str:
+    """Write :func:`to_chrome_trace` JSON to *path*; returns *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tracer, counters), fh, indent=1)
+    return path
+
+
+def validate_chrome_trace(payload: Union[dict, list, str]) -> List[str]:
+    """Schema-check a Chrome-trace payload (dict, list, or file path).
+
+    Returns a list of human-readable problems — empty means valid.
+    Accepts both the JSON-object format and a bare event array (the two
+    shapes the Trace Event format defines).
+    """
+    if isinstance(payload, str):
+        try:
+            with open(payload, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable trace file: {exc}"]
+    problems: List[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["object-format trace must carry a 'traceEvents' list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"trace must be a JSON object or array, got {type(payload).__name__}"]
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing or empty 'name'")
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where} ({name!r}): bad phase {ph!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"{where} ({name!r}): missing pid/tid")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where} ({name!r}): bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where} ({name!r}): 'X' event needs dur >= 0, got {dur!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where} ({name!r}): 'args' must be an object")
+    return problems
+
+
+def attribution(tracer: SpanTracer) -> List[dict]:
+    """Per-phase attribution rows, heaviest host time first.
+
+    One row per ``(cat, name)``: span count, total host wall seconds,
+    total modeled device seconds.  Instants count as zero-duration rows
+    so lifecycle events (retries, breaker opens) still show up.
+    """
+    totals: Dict[Tuple[str, str], List[float]] = {}
+    for span in tracer:
+        key = (span.cat or "span", span.name)
+        row = totals.setdefault(key, [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += span.duration
+        row[2] += span.device_seconds
+    rows = [
+        {
+            "cat": cat,
+            "name": name,
+            "count": int(count),
+            "host_seconds": host,
+            "device_seconds": device,
+        }
+        for (cat, name), (count, host, device) in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r["host_seconds"], r["cat"], r["name"]))
+    return rows
+
+
+def format_attribution(tracer: SpanTracer, title: str = "Telemetry attribution") -> str:
+    """The flat per-phase table ``repro profile`` prints."""
+    from repro.bench.reporting import format_table
+
+    rows = [
+        (
+            r["cat"],
+            r["name"],
+            r["count"],
+            f"{r['host_seconds'] * 1e3:.3f}",
+            f"{r['device_seconds'] * 1e3:.3f}",
+        )
+        for r in attribution(tracer)
+    ]
+    return format_table(
+        ["cat", "span", "count", "host ms", "device ms"], rows, title=title
+    )

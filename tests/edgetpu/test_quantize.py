@@ -171,3 +171,33 @@ class TestRangeHelpers:
         rng = np.random.default_rng(2)
         data = rng.normal(size=50_000)
         assert sample_range(data, seed=5) == sample_range(data, seed=5)
+
+
+class TestDenormalRanges:
+    """Regression: denormal-range data must never yield inf/NaN scales.
+
+    ``operator_output_scale`` guards its own closed forms, but the
+    effective factor is ``127 * S`` — which used to overflow to inf for
+    S near the float max (denormal input ranges) and then trip the
+    QuantParams finite-positive validator deep inside lowering.
+    """
+
+    def test_output_params_survive_denormal_range(self):
+        from repro.edgetpu.quantize import output_quant_params
+
+        tiny = 1.11253693e-308  # the hypothesis counterexample
+        for opname in ("conv2D", "add", "mul", "relu"):
+            params = output_quant_params(opname, -tiny, tiny, n=1)
+            assert np.isfinite(params.scale) and params.scale > 0
+
+    def test_operator_output_scale_stays_finite(self):
+        tiny = 5e-324  # smallest subnormal
+        for opname in ("conv2D", "FullyConnected", "add", "sub", "mul", "relu"):
+            scale = operator_output_scale(opname, -tiny, tiny, n=4)
+            assert np.isfinite(scale) and scale > 0
+
+    def test_normal_ranges_unaffected_by_the_guard(self):
+        from repro.edgetpu.quantize import output_quant_params
+
+        params = output_quant_params("add", 0.0, 4.0)
+        assert params.scale == pytest.approx(QMAX / 8.0)

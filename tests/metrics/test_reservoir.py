@@ -1,0 +1,107 @@
+"""Satellite 2: bounded reservoir sampling behind ServingMetrics.
+
+The serving metrics used to hold every latency and queue-depth sample
+in an unbounded list — a sustained run leaked memory linearly.  The
+reservoir keeps memory O(capacity) while percentiles stay honest and
+count/mean/max stay exact.
+"""
+
+import random
+
+import pytest
+
+from repro.metrics import LatencySummary, ReservoirSample
+from repro.serve.metrics import SAMPLE_RESERVOIR_CAPACITY, ServingMetrics
+
+
+class TestReservoirSample:
+    def test_exact_below_capacity(self):
+        sample = ReservoirSample(capacity=100)
+        stream = [float(i) for i in range(100)]
+        for value in stream:
+            sample.add(value)
+        assert sample.values() == stream
+        assert sample.count == 100
+        assert sample.mean == pytest.approx(sum(stream) / 100)
+        assert sample.max_value == 99.0
+
+    def test_bounded_past_capacity_with_exact_aggregates(self):
+        sample = ReservoirSample(capacity=64, seed=3)
+        n = 10_000
+        for i in range(n):
+            sample.add(float(i))
+        assert len(sample) == 64
+        assert sample.count == n
+        assert sample.total == pytest.approx(n * (n - 1) / 2)
+        assert sample.mean == pytest.approx((n - 1) / 2)
+        assert sample.max_value == float(n - 1)
+
+    def test_percentile_fidelity_on_uniform_stream(self):
+        # A uniform [0, 1) stream: reservoir percentiles must track the
+        # true ones even when only 2048 of 100k samples are retained.
+        rng = random.Random(11)
+        sample = ReservoirSample(capacity=2048, seed=5)
+        for _ in range(100_000):
+            sample.add(rng.random())
+        summary = LatencySummary.from_samples(sample.values())
+        assert summary.p50 == pytest.approx(0.5, abs=0.05)
+        assert summary.p90 == pytest.approx(0.9, abs=0.05)
+        assert summary.p99 == pytest.approx(0.99, abs=0.02)
+
+    def test_deterministic_for_a_seed(self):
+        def run(seed):
+            s = ReservoirSample(capacity=16, seed=seed)
+            for i in range(1000):
+                s.add(float(i))
+            return s.values()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(capacity=0)
+
+    def test_append_alias_and_dunder_protocol(self):
+        sample = ReservoirSample(capacity=4)
+        assert not sample
+        sample.append(1.0)
+        assert sample
+        assert list(sample) == [1.0]
+        assert len(sample) == 1
+
+
+class TestServingMetricsBounded:
+    def test_million_completions_stay_bounded(self):
+        metrics = ServingMetrics()
+        n = 1_000_000
+        for i in range(n):
+            metrics.record_completion(i * 1e-6)
+        assert len(metrics.latencies) == SAMPLE_RESERVOIR_CAPACITY
+        summary = metrics.latency_summary()
+        # count/mean/max come from exact running aggregates, untouched
+        # by sampling.
+        assert summary.count == n
+        assert summary.mean == pytest.approx((n - 1) / 2 * 1e-6)
+        assert summary.max == pytest.approx((n - 1) * 1e-6)
+        # Percentiles of the uniform ramp survive sampling.
+        assert summary.p50 == pytest.approx(0.5, abs=0.02)
+        assert summary.p99 == pytest.approx(0.99, abs=0.02)
+
+    def test_queue_depth_samples_bounded(self):
+        metrics = ServingMetrics()
+        for i in range(SAMPLE_RESERVOIR_CAPACITY * 3):
+            metrics.sample_queue_depth(i % 17)
+        assert len(metrics.queue_depth_samples) == SAMPLE_RESERVOIR_CAPACITY
+        snap = metrics.snapshot()
+        assert snap["queue_depth"]["samples"] == SAMPLE_RESERVOIR_CAPACITY * 3
+        assert snap["queue_depth"]["max"] == 16
+
+    def test_summary_exact_below_capacity(self):
+        metrics = ServingMetrics()
+        for value in [0.1, 0.2, 0.3, 0.4]:
+            metrics.record_completion(value)
+        summary = metrics.latency_summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.max == pytest.approx(0.4)

@@ -1,0 +1,71 @@
+"""Satellite 3: the Tensorizer's quant-param memo is a true LRU.
+
+Regression tests for the wholesale ``clear()``-at-capacity behaviour
+(a full miss storm exactly when the cache was hottest) and for the
+float-key pathologies: ``-0.0`` vs ``0.0`` must share one entry, and
+NaN keys — which can never hit, since NaN != NaN — are rejected.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import QuantizationError
+from repro.runtime.tensorizer import Tensorizer
+
+
+@pytest.fixture()
+def tz():
+    tensorizer = Tensorizer()
+    tensorizer._quant_cache_max = 4  # small enough to exercise eviction
+    return tensorizer
+
+
+class TestLruEviction:
+    def test_evicts_least_recently_used_not_everything(self, tz):
+        for value in (1.0, 2.0, 3.0, 4.0):
+            tz._params_for_range(value)
+        assert len(tz._quant_cache) == 4
+        tz._params_for_range(5.0)  # at capacity: evict exactly one
+        assert len(tz._quant_cache) == 4
+        assert 1.0 not in tz._quant_cache  # oldest went, the rest stayed
+        assert {2.0, 3.0, 4.0, 5.0} == set(tz._quant_cache)
+
+    def test_hit_refreshes_recency(self, tz):
+        for value in (1.0, 2.0, 3.0, 4.0):
+            tz._params_for_range(value)
+        tz._params_for_range(1.0)  # touch the oldest entry
+        tz._params_for_range(5.0)  # now 2.0 is LRU, not 1.0
+        assert 1.0 in tz._quant_cache
+        assert 2.0 not in tz._quant_cache
+
+    def test_hits_and_misses_counted(self, tz):
+        tz._params_for_range(1.0)
+        tz._params_for_range(1.0)
+        tz._params_for_range(2.0)
+        assert tz.stats.quant_cache_hits == 1
+        assert tz.stats.quant_cache_misses == 2
+
+    def test_sustained_distinct_ranges_stay_bounded(self, tz):
+        for i in range(100):
+            tz._params_for_range(1.0 + i * 0.5)
+        assert len(tz._quant_cache) == 4
+
+
+class TestKeyCanonicalization:
+    def test_negative_zero_folds_into_positive_zero(self, tz):
+        first = tz._params_for_range(0.0)
+        second = tz._params_for_range(-0.0)
+        assert second is first  # one entry, second call is a hit
+        assert len(tz._quant_cache) == 1
+        assert tz.stats.quant_cache_hits == 1
+
+    def test_nan_range_rejected_before_caching(self, tz):
+        with pytest.raises(QuantizationError):
+            tz._params_for_range(float("nan"))
+        with pytest.raises(QuantizationError):
+            tz._params_for_range(math.nan)
+        assert len(tz._quant_cache) == 0  # never admitted
+
+    def test_same_range_returns_identical_params(self, tz):
+        assert tz._params_for_range(3.5) is tz._params_for_range(3.5)

@@ -263,3 +263,106 @@ class TestDevicePool:
         # probes rather than every request.
         assert metrics.failures_by_device["tpu1"] <= 2
         assert metrics.groups_by_device["tpu0"] == 6
+
+
+class TestInjectableClock:
+    """Every time read in the pool must route through the injected clock.
+
+    Regression tests for the direct ``time.monotonic()`` calls the worker
+    and router used to make, which made deadline and latency behaviour
+    untestable (and wrong under any non-wall time base).
+    """
+
+    def test_latency_measured_on_injected_clock(self):
+        async def main():
+            clock = FakeClock()
+            clock.now = 10.0
+            platform = Platform.with_tpus(1)
+            works, sreq = _work()
+            sreq.submitted = 10.0
+            metrics = ServingMetrics()
+            pool = DevicePool(platform, metrics, time_scale=0.0, clock=clock)
+            pool.start()
+            try:
+                clock.now = 13.5  # "time passes" only on the fake clock
+                for work in works:
+                    pool.submit(work)
+                await asyncio.wait_for(pool.drain(), timeout=10.0)
+            finally:
+                await pool.stop()
+            await sreq.future
+            return metrics
+
+        metrics = asyncio.run(main())
+        assert metrics.completed == 1
+        assert list(metrics.latencies.values()) == [pytest.approx(3.5)]
+
+    def test_deadline_checks_read_injected_clock(self):
+        # Fake time 0, deadline 100: live under the fake clock, long
+        # expired under time.monotonic().  A lingering direct monotonic
+        # read in the worker would wrongly time this request out.
+        async def main():
+            clock = FakeClock()
+            platform = Platform.with_tpus(1)
+            works, sreq = _work()
+            sreq.deadline = 100.0
+            metrics = ServingMetrics()
+            pool = DevicePool(platform, metrics, time_scale=0.0, clock=clock)
+            pool.start()
+            try:
+                for work in works:
+                    pool.submit(work)
+                await asyncio.wait_for(pool.drain(), timeout=10.0)
+            finally:
+                await pool.stop()
+            return metrics, sreq
+
+        metrics, sreq = asyncio.run(main())
+        assert metrics.timeouts == 0
+        assert metrics.completed == 1
+        assert not sreq.failed
+
+    def test_expired_deadline_on_injected_clock_times_out(self):
+        async def main():
+            clock = FakeClock()
+            clock.now = 200.0
+            platform = Platform.with_tpus(1)
+            works, sreq = _work()
+            sreq.deadline = 100.0  # already past on the fake clock
+            metrics = ServingMetrics()
+            pool = DevicePool(platform, metrics, time_scale=0.0, clock=clock)
+            pool.start()
+            try:
+                for work in works:
+                    pool.submit(work)
+                await asyncio.wait_for(pool.drain(), timeout=10.0)
+            finally:
+                await pool.stop()
+            with pytest.raises(RequestTimeout):
+                await sreq.future
+            return metrics
+
+        metrics = asyncio.run(main())
+        assert metrics.timeouts == 1
+        assert metrics.completed == 0
+
+    def test_breakers_share_the_pool_clock(self):
+        async def main():
+            clock = FakeClock()
+            platform = Platform.with_tpus(2)
+            pool = DevicePool(
+                platform,
+                ServingMetrics(),
+                breaker_threshold=1,
+                breaker_cooldown=3.0,
+                clock=clock,
+            )
+            breaker = pool.breakers[0]
+            breaker.record_failure()
+            assert breaker.is_open
+            clock.now = 2.9
+            assert breaker.is_open
+            clock.now = 3.1  # cooldown elapses on the fake clock only
+            assert not breaker.is_open
+
+        asyncio.run(main())

@@ -1,0 +1,52 @@
+"""Satellite 5: tracing disabled must cost O(1) extra work on lower().
+
+With the default (disabled) tracer, a full 512x512 GEMM lowering must
+allocate zero spans — the hot path pays a single ``enabled`` check and
+gets back the NULL_SPAN singleton.  With tracing on, the span count per
+lower() call is a small constant (1 op span + 3 phase spans), not a
+function of tile/chunk count.
+"""
+
+import numpy as np
+
+from repro.edgetpu.isa import Opcode
+from repro.runtime.opqueue import OperationRequest, QuantMode
+from repro.runtime.tensorizer import Tensorizer
+from repro.telemetry import SpanTracer
+
+
+def _gemm_request(n=512, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.0, 2.0, (n, n))
+    b = rng.uniform(0.0, 2.0, (n, n))
+    return OperationRequest(
+        task_id=0,
+        opcode=Opcode.CONV2D,
+        inputs=(a, b),
+        quant=QuantMode.SCALE,
+        attrs={"gemm": True},
+    )
+
+
+class TestDisabledOverhead:
+    def test_lower_allocates_no_spans_when_disabled(self):
+        tracer = SpanTracer()  # disabled by default
+        tz = Tensorizer(tracer=tracer)
+        lowered = tz.lower(_gemm_request())
+        assert lowered.instruction_count > 1  # a real multi-instr lowering
+        assert tracer.spans_created == 0
+        assert tracer.instants_created == 0
+        assert len(tracer) == 0
+
+    def test_span_count_is_constant_per_lower_call(self):
+        # Enabled: spans per lower() must not scale with problem size.
+        counts = {}
+        for n in (128, 512):
+            tracer = SpanTracer(enabled=True)
+            tz = Tensorizer(tracer=tracer)
+            lowered = tz.lower(_gemm_request(n))
+            counts[n] = tracer.spans_created
+            assert lowered.instruction_count >= 1
+        assert counts[128] == counts[512]
+        # 1 op-level span + quantize/slab_gemm/requantize phase spans.
+        assert counts[512] <= 8

@@ -1,0 +1,139 @@
+"""SpanTracer core semantics: spans, instants, disabled fast path."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import NULL_SPAN, SpanTracer
+from repro.telemetry.tracer import Span
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDisabledFastPath:
+    def test_begin_returns_null_singleton(self):
+        tracer = SpanTracer()
+        assert tracer.begin("x") is NULL_SPAN
+        assert tracer.span("x") is NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tracer = SpanTracer()
+        sp = tracer.begin("x", cat="c")
+        sp.set(a=1).add_device_seconds(2.0)
+        tracer.end(sp)
+        tracer.instant("i")
+        with tracer.span("y") as sp2:
+            sp2.set(b=2)
+        assert len(tracer) == 0
+        assert tracer.spans_created == 0
+        assert tracer.instants_created == 0
+
+    def test_null_span_is_inert(self):
+        assert NULL_SPAN.set(k=1) is NULL_SPAN
+        assert NULL_SPAN.add_device_seconds(5.0) is NULL_SPAN
+        assert NULL_SPAN.duration == 0.0
+        assert NULL_SPAN.device_seconds == 0.0
+        with NULL_SPAN as sp:
+            assert sp is NULL_SPAN
+
+
+class TestRecording:
+    def test_explicit_begin_end(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock, enabled=True)
+        sp = tracer.begin("work", cat="test", track="t0", tag=7)
+        clock.now = 1.5
+        tracer.end(sp)
+        assert len(tracer) == 1
+        [span] = tracer
+        assert span.name == "work"
+        assert span.cat == "test"
+        assert span.track == "t0"
+        assert span.duration == pytest.approx(1.5)
+        assert span.args == {"tag": 7}
+        assert tracer.spans_created == 1
+
+    def test_context_manager(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock, enabled=True)
+        with tracer.span("cm", cat="test") as sp:
+            clock.now = 2.0
+            sp.set(extra="yes").add_device_seconds(0.25)
+        [span] = tracer
+        assert span.duration == pytest.approx(2.0)
+        assert span.device_seconds == pytest.approx(0.25)
+        assert span.args["extra"] == "yes"
+
+    def test_double_end_is_idempotent(self):
+        tracer = SpanTracer(clock=FakeClock(), enabled=True)
+        sp = tracer.begin("once")
+        tracer.end(sp)
+        tracer.end(sp)
+        assert len(tracer) == 1
+
+    def test_end_of_null_span_while_enabled_is_safe(self):
+        tracer = SpanTracer(enabled=False)
+        sp = tracer.begin("x")  # NULL_SPAN
+        tracer.enable()
+        tracer.end(sp)
+        assert len(tracer) == 0
+
+    def test_instants(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock, enabled=True)
+        clock.now = 3.0
+        tracer.instant("retry", cat="serve.lifecycle", track="tpu1", serve_id=9)
+        [span] = tracer
+        assert span.phase == "i"
+        assert span.start == span.end == 3.0
+        assert tracer.instants_created == 1
+        assert tracer.spans_created == 0
+
+    def test_clear_resets(self):
+        tracer = SpanTracer(clock=FakeClock(), enabled=True)
+        tracer.end(tracer.begin("a"))
+        tracer.instant("b")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.spans_created == 0
+        assert tracer.instants_created == 0
+
+    def test_device_seconds_by_track(self):
+        tracer = SpanTracer(clock=FakeClock(), enabled=True)
+        for track, secs in [("tpu0", 1.0), ("tpu0", 2.0), ("tpu1", 4.0)]:
+            sp = tracer.begin("exec", cat="device", track=track)
+            sp.add_device_seconds(secs)
+            tracer.end(sp)
+        sp = tracer.begin("lower", cat="lower", track="tensorizer")
+        sp.add_device_seconds(8.0)
+        tracer.end(sp)
+        assert tracer.device_seconds_by_track(cat="device") == {
+            "tpu0": pytest.approx(3.0),
+            "tpu1": pytest.approx(4.0),
+        }
+        total = tracer.device_seconds_by_track()
+        assert total["tensorizer"] == pytest.approx(8.0)
+
+
+class TestDefaultTracer:
+    def test_set_tracer_swaps_and_restores(self):
+        mine = SpanTracer(enabled=True)
+        previous = telemetry.set_tracer(mine)
+        try:
+            assert telemetry.get_tracer() is mine
+        finally:
+            telemetry.set_tracer(previous)
+        assert telemetry.get_tracer() is previous
+
+    def test_default_tracer_starts_disabled(self):
+        assert not telemetry.get_tracer().enabled
+
+    def test_span_slots_reject_unknown_attributes(self):
+        span = Span("n", "c", "t", 0.0)
+        with pytest.raises(AttributeError):
+            span.bogus = 1

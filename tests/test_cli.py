@@ -114,3 +114,44 @@ def test_report_command_bundles_results(capsys, tmp_path):
 def test_report_command_requires_results():
     with pytest.raises(SystemExit, match="not found"):
         main(["report", "--results-dir", "/nonexistent/dir"])
+
+
+class TestTraceCommand:
+    def test_trace_wraps_loadgen_and_validates(self, capsys, tmp_path):
+        out = str(tmp_path / "trace.json")
+        code = main(
+            [
+                "trace", "--out", out, "--validate", "--",
+                "loadgen", "--tpus", "2", "--tenants", "2",
+                "--requests", "2", "--size", "64",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "trace schema: valid" in captured
+        assert "perfetto" in captured
+        payload = json.loads(open(out).read())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert any(n.startswith("lower:") for n in names)
+        assert "exec_group" in names
+
+    def test_trace_needs_a_wrapped_command(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--out", "t.json"])
+
+    def test_trace_cannot_wrap_itself(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--", "trace", "--", "loadgen"])
+
+    def test_trace_restores_the_default_tracer(self, tmp_path):
+        from repro import telemetry
+
+        before = telemetry.get_tracer()
+        main(
+            [
+                "trace", "--out", str(tmp_path / "t.json"), "--",
+                "loadgen", "--tpus", "1", "--tenants", "1",
+                "--requests", "1", "--size", "32",
+            ]
+        )
+        assert telemetry.get_tracer() is before
