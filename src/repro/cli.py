@@ -192,6 +192,8 @@ def _loadgen_spec(args: argparse.Namespace):
         seed=args.seed,
         fail_after_instructions=args.fail_after,
         fail_device=args.fail_device,
+        fail_mode=args.fail_mode,
+        integrity=args.integrity,
         time_scale=args.time_scale,
         deadline_seconds=args.deadline,
     )
@@ -215,6 +217,14 @@ def _serving_rows(snapshot: dict) -> List[tuple]:
         ("coalesced requests", str(snapshot["coalescing"]["requests_coalesced"])),
         ("healthy TPUs", f"{snapshot['platform']['healthy']}/{snapshot['platform']['tpus']}"),
     ]
+    integrity = snapshot.get("integrity", {})
+    if integrity.get("tiles_verified"):
+        rows += [
+            ("tiles verified", str(integrity["tiles_verified"])),
+            ("SDC detected (tiles)", str(integrity["sdc_detected"])),
+            ("SDC corrected (groups)", str(integrity["sdc_corrected"])),
+            ("quarantines", str(integrity["quarantines"])),
+        ]
     for name, dev in sorted(snapshot["devices"].items()):
         rows.append(
             (f"  {name}", f"{dev['groups']} groups, {dev['failures']} failures")
@@ -273,6 +283,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             problems.append("no request completed")
         if args.fail_after > 0 and snapshot["retries"] == 0:
             problems.append("fault injected but no retries observed")
+        if (
+            args.fail_after > 0
+            and args.fail_mode != "fail-stop"
+            and args.integrity != "off"
+            and snapshot["integrity"]["sdc_incidents"] == 0
+        ):
+            problems.append("corruption injected but no SDC detections")
         if problems:
             print("STRICT CHECK FAILED: " + ", ".join(problems))
             return 1
@@ -331,6 +348,16 @@ def cmd_conformance(args: argparse.Namespace) -> int:
             serve = report.sections["serve"]
             rows.append(("serve", f"{len(serve['scenarios'])} scenarios, "
                          "all zero-lost" if serve["ok"] else "FAILED"))
+        if "integrity" in report.sections:
+            integ = report.sections["integrity"]
+            detected = sum(
+                s["integrity_counters"]["sdc_detected"]
+                for s in integ["scenarios"]
+            )
+            rows.append(("integrity",
+                         f"{len(integ['scenarios'])} scenarios, "
+                         f"{detected} corruptions caught"
+                         if integ["ok"] else "FAILED"))
         rows.append(("seed", str(report.seed)))
         rows.append(("verdict", "PASS" if report.ok else "FAIL"))
         print(format_table(["suite", "result"], rows,
@@ -445,6 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kill one TPU after N instructions (0 = none)")
         p.add_argument("--fail-device", type=int, default=0,
                        help="index of the TPU to kill")
+        p.add_argument("--fail-mode", default="fail-stop",
+                       choices=["fail-stop", "bitflip", "stuck", "skew"],
+                       help="injected fault mode: fail-stop raises; the "
+                            "rest silently corrupt returned tiles")
+        p.add_argument("--integrity", default="off",
+                       choices=["off", "abft", "vote"],
+                       help="SDC defense: abft checksum-verifies GEMM "
+                            "tiles, vote dual-executes on a witness TPU")
         p.add_argument("--time-scale", type=float, default=0.0,
                        help="real seconds per modeled second (0 = free-run)")
         p.add_argument("--deadline", type=float, default=None, metavar="SEC",
@@ -465,7 +500,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the differential/metamorphic/fuzz/fault conformance suites",
     )
     conf_p.add_argument("--suite", default="ops,apps,format,serve",
-                        help="comma-separated subset of ops,apps,format,serve")
+                        help="comma-separated subset of "
+                             "ops,apps,format,serve,integrity")
     conf_p.add_argument("--seed", type=int, default=0,
                         help="campaign seed; the JSON report records it and "
                              "reproduces every case exactly")

@@ -15,6 +15,13 @@ from repro.conformance.campaign import (
 )
 from repro.conformance.cases import APP_PARAMS, OP_CASES, OpCase
 from repro.conformance.format_fuzz import MUTATIONS, FuzzReport, run_fuzz
+from repro.conformance.integrity import (
+    DEFAULT_INTEGRITY_SCENARIOS,
+    CorruptionPlan,
+    IntegrityResult,
+    IntegrityScenario,
+    run_integrity_campaign,
+)
 from repro.conformance.metamorphic import (
     PROPERTIES,
     PropertyResult,
@@ -38,9 +45,13 @@ from repro.conformance.runner import (
 __all__ = [
     "APP_PARAMS",
     "ConformanceReport",
+    "CorruptionPlan",
+    "DEFAULT_INTEGRITY_SCENARIOS",
     "DEFAULT_SCENARIOS",
     "FaultPlan",
     "FaultScenario",
+    "IntegrityResult",
+    "IntegrityScenario",
     "FuzzReport",
     "MUTATIONS",
     "OP_CASES",
@@ -57,6 +68,7 @@ __all__ = [
     "run_campaign",
     "run_conformance",
     "run_fuzz",
+    "run_integrity_campaign",
     "run_oracles",
     "run_properties",
     "scalar_context",

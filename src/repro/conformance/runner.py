@@ -10,7 +10,9 @@
 * ``format`` — the §3.3 model-binary mutation fuzzer
   (:mod:`repro.conformance.format_fuzz`);
 * ``serve``  — the fault-injection campaign
-  (:mod:`repro.conformance.campaign`).
+  (:mod:`repro.conformance.campaign`);
+* ``integrity`` — the silent-data-corruption campaign over the
+  ABFT/vote-defended stack (:mod:`repro.conformance.integrity`).
 
 The report is reproducible from the recorded ``seed`` alone: every RNG
 stream derives from it (:func:`repro.conformance.oracles.derive_rng`)
@@ -29,12 +31,17 @@ from repro.apps import all_applications
 from repro.conformance.campaign import DEFAULT_SCENARIOS, FaultScenario, run_campaign
 from repro.conformance.cases import APP_PARAMS, OP_CASES
 from repro.conformance.format_fuzz import run_fuzz
+from repro.conformance.integrity import (
+    DEFAULT_INTEGRITY_SCENARIOS,
+    IntegrityScenario,
+    run_integrity_campaign,
+)
 from repro.conformance.metamorphic import run_properties
 from repro.conformance.oracles import app_oracles, derive_rng, run_oracles
 from repro.metrics.errors import bound_for_app, bound_for_op
 
 #: Suites in canonical execution/report order.
-SUITES = ("ops", "apps", "format", "serve")
+SUITES = ("ops", "apps", "format", "serve", "integrity")
 
 
 @dataclass
@@ -166,11 +173,29 @@ def _run_serve_suite(
     }
 
 
+def _run_integrity_suite(
+    seed: int,
+    report: ConformanceReport,
+    scenarios: Optional[Tuple[IntegrityScenario, ...]],
+) -> None:
+    results = run_integrity_campaign(seed, scenarios)
+    for result in results:
+        for violation in result.violations:
+            report.failures.append(
+                f"integrity: {result.scenario.name}: {violation}"
+            )
+    report.sections["integrity"] = {
+        "scenarios": [result.as_dict() for result in results],
+        "ok": not any(f.startswith("integrity:") for f in report.failures),
+    }
+
+
 def run_conformance(
     suites: Sequence[str] = SUITES,
     seed: int = 0,
     fuzz_iterations: int = 400,
     scenarios: Optional[Tuple[FaultScenario, ...]] = None,
+    integrity_scenarios: Optional[Tuple[IntegrityScenario, ...]] = None,
 ) -> ConformanceReport:
     """Run the requested suites and return the aggregate report."""
     ordered = parse_suites(",".join(suites)) if suites else SUITES
@@ -183,4 +208,8 @@ def run_conformance(
         _run_format_suite(report.seed, report, fuzz_iterations)
     if "serve" in ordered:
         _run_serve_suite(report.seed, report, scenarios or DEFAULT_SCENARIOS)
+    if "integrity" in ordered:
+        _run_integrity_suite(
+            report.seed, report, integrity_scenarios or DEFAULT_INTEGRITY_SCENARIOS
+        )
     return report

@@ -39,6 +39,23 @@ class DeviceFailure(DeviceError):
         self.device = device
 
 
+class SilentDataCorruption(DeviceFailure):
+    """An integrity check caught a device returning wrong int8 bytes.
+
+    Unlike a plain :class:`DeviceFailure` (fail-stop: the device raised
+    instead of answering), silent corruption means the device *answered*
+    — with data whose ABFT checksums (or a witness device's copy)
+    disagree beyond the requantization error bound.  The dispatcher
+    treats it as retriable like a failure, but feeds the device's
+    quarantine score instead of its circuit breaker.
+    """
+
+    def __init__(self, message: str, device: str = "", detections: int = 0) -> None:
+        super().__init__(message, device=device)
+        #: Number of tiles that failed verification in this incident.
+        self.detections = detections
+
+
 class OutOfDeviceMemoryError(DeviceError):
     """Raised when an allocation exceeds the 8 MB on-chip memory."""
 

@@ -1,0 +1,162 @@
+"""Per-operation integrity plans built by the Tensorizer at lowering.
+
+A plan is pure bookkeeping: it records, for each device instruction
+that returns a result tile, what a clean device must send back
+(`expected`), where that tile lands in the operation's result array,
+and the checksums + tolerance the verifier compares against.  Building
+a plan never changes the lowering arithmetic — ``--integrity off``
+skips construction entirely, so the GEMM path stays bit-identical and
+allocation-free (the overhead-guard test pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.integrity.abft import checksum_tolerance, tile_checksums
+
+
+@dataclass(frozen=True)
+class TileCheck:
+    """Everything needed to verify one device-returned result tile."""
+
+    #: :attr:`LoweredInstr.label` of the instruction producing this tile.
+    label: str
+    #: Result-array row / column ranges ``[start, stop)`` the tile fills.
+    rows: Tuple[int, int]
+    cols: Tuple[int, int]
+    #: The int8 tile a clean device returns over the wire.
+    expected: np.ndarray
+    #: Output quantization scale (write-back divides by this).
+    out_scale: float
+    #: Recorded checksums (float64) and their detection thresholds.
+    row_sums: np.ndarray
+    col_sums: np.ndarray
+    row_tol: float
+    col_tol: float
+    #: True when the sums are exact post-requantization checksums
+    #: (saturating GEMM strips, non-GEMM tiles) rather than
+    #: accumulator-derived ABFT sums with the quantization tolerance.
+    exact: bool = False
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows[1] - self.rows[0], self.cols[1] - self.cols[0])
+
+    def write_back(self, result: np.ndarray, returned: np.ndarray) -> None:
+        """Install the device-returned tile into the delivered result.
+
+        For a clean transmission this reproduces the host's own
+        requantize arithmetic bit-for-bit: the host divided the same
+        integer values by the same ``out_scale``.
+        """
+        r0, r1 = self.rows
+        c0, c1 = self.cols
+        np.divide(
+            np.asarray(returned, dtype=np.float64),
+            self.out_scale,
+            out=result[r0:r1, c0:c1],
+        )
+
+
+def make_gemm_check(
+    label: str,
+    rows: Tuple[int, int],
+    cols: Tuple[int, int],
+    q: np.ndarray,
+    out_scale: float,
+    acc_row_sums: Optional[np.ndarray],
+    acc_col_sums: Optional[np.ndarray],
+    rescale: float,
+) -> TileCheck:
+    """Build the check for one GEMM chunk×kernel-batch piece.
+
+    *q* is the requantized strip slice (float64 holding exact int8
+    values).  When accumulator sums are available (non-saturating
+    strip), the checksums are ABFT sums — ``rescale *`` the exact
+    accumulator row/column sums — with the half-quantum-per-element
+    tolerance.  A saturating strip passes ``None`` sums and falls back
+    to exact post-clip checksums of *q* itself.
+    """
+    expected = q.astype(np.int8)
+    nrows, ncols = expected.shape
+    if acc_row_sums is None or acc_col_sums is None:
+        row_sums, col_sums = tile_checksums(q)
+        return TileCheck(
+            label=label,
+            rows=rows,
+            cols=cols,
+            expected=expected,
+            out_scale=out_scale,
+            row_sums=row_sums,
+            col_sums=col_sums,
+            row_tol=checksum_tolerance(0, row_sums),
+            col_tol=checksum_tolerance(0, col_sums),
+            exact=True,
+        )
+    row_sums = np.asarray(acc_row_sums, dtype=np.float64) * rescale
+    col_sums = np.asarray(acc_col_sums, dtype=np.float64) * rescale
+    return TileCheck(
+        label=label,
+        rows=rows,
+        cols=cols,
+        expected=expected,
+        out_scale=out_scale,
+        row_sums=row_sums,
+        col_sums=col_sums,
+        row_tol=checksum_tolerance(ncols, row_sums),
+        col_tol=checksum_tolerance(nrows, col_sums),
+        exact=False,
+    )
+
+
+def make_exact_check(
+    label: str,
+    rows: Tuple[int, int],
+    cols: Tuple[int, int],
+    q: np.ndarray,
+    out_scale: float,
+) -> TileCheck:
+    """Exact output checksum for a non-GEMM tile (pairwise ops).
+
+    These ops have no linear accumulator structure to exploit, so the
+    checksums are the expected tile's own integer sums (tolerance ~0);
+    under ``vote`` they additionally get dual-device byte comparison.
+    """
+    expected = np.asarray(q).astype(np.int8)
+    row_sums, col_sums = tile_checksums(expected)
+    return TileCheck(
+        label=label,
+        rows=rows,
+        cols=cols,
+        expected=expected,
+        out_scale=out_scale,
+        row_sums=row_sums,
+        col_sums=col_sums,
+        row_tol=checksum_tolerance(0, row_sums),
+        col_tol=checksum_tolerance(0, col_sums),
+        exact=True,
+    )
+
+
+@dataclass
+class IntegrityPlan:
+    """All tile checks for one lowered operation, keyed by instr label."""
+
+    #: ``"abft"`` or ``"vote"`` (``"off"`` never constructs a plan).
+    mode: str
+    checks: Dict[str, TileCheck] = field(default_factory=dict)
+
+    def add(self, check: TileCheck) -> None:
+        self.checks[check.label] = check
+
+    def pieces_for(self, labels: Iterable[str]) -> List[TileCheck]:
+        """Checks covering a dispatch group's instruction labels."""
+        return [self.checks[lb] for lb in labels if lb in self.checks]
+
+    @property
+    def tiles(self) -> int:
+        return len(self.checks)

@@ -1,0 +1,151 @@
+"""Transmit-and-verify: the execution half of the integrity layer.
+
+The Tensorizer computes functional results on the host and records an
+:class:`~repro.integrity.plan.IntegrityPlan`; devices "execute" by
+returning the expected int8 tiles over the modeled PCIe path
+(:meth:`EdgeTPUDevice.transmit`) — which is exactly where an armed
+corruption injector mangles bytes.  The verifier pushes every tile of
+a dispatch group through that path, checks what came back, and only on
+a fully clean group stages the returned bytes for write-back into the
+delivered result.  A single bad tile fails the whole group (no partial
+write-back), so the dispatcher can re-dispatch it elsewhere with
+exactly-once delivery intact.
+
+``vote`` mode transmits each tile from a second, *witness* device and
+byte-compares the copies.  Disagreement is adjudicated with the
+recorded checksums when present: if the primary copy passes and the
+witness copy fails, the group still delivers and only the witness is
+implicated (the dispatcher bumps its suspicion score); otherwise the
+primary is treated as corrupt.  Two independently seeded injectors
+producing byte-identical corruption is the only blind spot, and it is
+vanishingly unlikely by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.integrity.abft import verify_tile
+from repro.integrity.plan import IntegrityPlan, TileCheck
+
+
+@dataclass(frozen=True)
+class TileVerdict:
+    """Outcome of verifying one device-returned tile."""
+
+    label: str
+    ok: bool
+    #: ``"abft"`` (accumulator checksums), ``"exact"`` (post-requant
+    #: checksums), or ``"vote"`` (witness disagreement).
+    kind: str
+    #: Localization: indices of rows/columns whose sums exceeded the
+    #: bound (a flipped element sits on an intersection).
+    bad_rows: Tuple[int, ...] = ()
+    bad_cols: Tuple[int, ...] = ()
+    #: Largest checksum deviation seen, in output quanta.
+    max_deviation: float = 0.0
+
+
+@dataclass
+class GroupVerdict:
+    """Outcome of verifying one dispatch group on one device."""
+
+    mode: str
+    #: Tiles transmitted and checked.
+    checked: int = 0
+    detections: List[TileVerdict] = field(default_factory=list)
+    #: Vote adjudications that cleared the primary and implicated the
+    #: witness device instead.
+    witness_flags: int = 0
+    _staged: List[Tuple[TileCheck, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.detections
+
+    def apply(self, result: np.ndarray) -> None:
+        """Write the verified device-returned tiles into *result*.
+
+        Must only be called when :attr:`ok`; bit-identical to the
+        host-computed result for clean transmissions.
+        """
+        assert self.ok, "refusing to write back a group with detections"
+        for check, returned in self._staged:
+            check.write_back(result, returned)
+
+
+class IntegrityVerifier:
+    """Stateless verification engine shared by the pool's workers."""
+
+    def __init__(self, mode: str) -> None:
+        if mode not in ("abft", "vote"):
+            raise ValueError(f"verifier mode must be 'abft' or 'vote', got {mode!r}")
+        self.mode = mode
+
+    def verify_op(
+        self,
+        plan: IntegrityPlan,
+        labels: Sequence[str],
+        device,
+        witness=None,
+    ) -> GroupVerdict:
+        """Transmit and verify the plan's tiles for *labels* on *device*."""
+        verdict = GroupVerdict(mode=self.mode)
+        for check in plan.pieces_for(labels):
+            returned = device.transmit(check.expected)
+            verdict.checked += 1
+            tv = self._verify_one(check, returned, witness, verdict)
+            if tv is not None:
+                verdict.detections.append(tv)
+            else:
+                verdict._staged.append((check, returned))
+        return verdict
+
+    # -- internals ------------------------------------------------------
+
+    def _verify_one(
+        self,
+        check: TileCheck,
+        returned: np.ndarray,
+        witness,
+        verdict: GroupVerdict,
+    ) -> Optional[TileVerdict]:
+        """Returns a detection verdict, or None when the tile is clean."""
+        if self.mode == "vote" and witness is not None:
+            other = witness.transmit(check.expected)
+            if np.array_equal(returned, other):
+                return None
+            # Disagreement: adjudicate with the checksums.
+            p_ok, p_rows, p_cols, p_dev = self._checksum(check, returned)
+            w_ok = self._checksum(check, other)[0]
+            if p_ok and not w_ok:
+                verdict.witness_flags += 1
+                return None
+            return TileVerdict(
+                label=check.label,
+                ok=False,
+                kind="vote",
+                bad_rows=p_rows,
+                bad_cols=p_cols,
+                max_deviation=p_dev,
+            )
+        ok, bad_rows, bad_cols, max_dev = self._checksum(check, returned)
+        if ok:
+            return None
+        return TileVerdict(
+            label=check.label,
+            ok=False,
+            kind="exact" if check.exact else "abft",
+            bad_rows=bad_rows,
+            bad_cols=bad_cols,
+            max_deviation=max_dev,
+        )
+
+    @staticmethod
+    def _checksum(check: TileCheck, returned: np.ndarray):
+        return verify_tile(
+            returned, check.row_sums, check.col_sums, check.row_tol, check.col_tol
+        )

@@ -45,6 +45,7 @@ from repro.runtime.tensorizer import Tensorizer, TensorizerOptions
 from repro.telemetry import (
     CounterRegistry,
     SpanTracer,
+    device_counters,
     get_tracer,
     memory_counters,
     tensorizer_counters,
@@ -260,11 +261,12 @@ class OpenCtpu:
         return len(self._pending)
 
     def counter_registry(self) -> CounterRegistry:
-        """Unified counter snapshot: lowering stats + device memory."""
+        """Unified counter snapshot: lowering stats + device state."""
         registry = CounterRegistry()
         registry.register("tensorizer", tensorizer_counters(self.tensorizer.stats))
         for device in self.platform.devices:
             registry.register(f"memory.{device.name}", memory_counters(device.memory))
+            registry.register(f"device.{device.name}", device_counters(device))
         return registry
 
     @staticmethod

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.edgetpu.isa import Opcode
+
+if TYPE_CHECKING:  # no runtime dependency on the integrity package
+    from repro.integrity.plan import IntegrityPlan
 
 
 class QuantMode(enum.Enum):
@@ -122,6 +125,10 @@ class LoweredOperation:
     cpu_seconds: float = 0.0
     #: Total output values clipped during device requantization.
     saturated: int = 0
+    #: SDC-defense plan (expected tiles + checksums) built when the
+    #: Tensorizer runs with ``options.integrity != "off"``; None
+    #: otherwise — the execution layer then skips verification.
+    integrity: Optional["IntegrityPlan"] = None
 
     @property
     def instruction_count(self) -> int:

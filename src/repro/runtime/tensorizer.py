@@ -66,6 +66,7 @@ from repro.edgetpu.quantize import (
 )
 from repro.edgetpu.timing import TimingModel
 from repro.host.cpu import CPUCoreModel
+from repro.integrity.plan import IntegrityPlan, make_exact_check, make_gemm_check
 from repro.runtime.opqueue import (
     LoweredInstr,
     LoweredOperation,
@@ -122,6 +123,13 @@ class TensorizerOptions:
     #: operand stack) instead of one scratch-device call per tile.  Both
     #: paths are bit-identical; False keeps the scalar reference oracle.
     vectorized: bool = True
+    #: Silent-data-corruption defense (:mod:`repro.integrity`): "off"
+    #: builds nothing (bit-identical, allocation-free); "abft" records
+    #: Huang–Abraham row/column checksums for GEMM pieces (plus exact
+    #: output checksums for pairwise tiles); "vote" records the same
+    #: plans for dual-device cross-checking at dispatch.  Requires the
+    #: vectorized path.
+    integrity: str = "off"
 
 
 @dataclass
@@ -145,6 +153,10 @@ class TensorizerStats:
     #: Operations lowered through :meth:`Tensorizer.lower_gemm_coalesced`
     #: (multi-client GEMMs that shared one batched dispatch).
     coalesced_operations: int = 0
+    #: Integrity plans attached to lowered operations (SDC defense).
+    integrity_plans: int = 0
+    #: Tile checks (expected tile + checksums) recorded across plans.
+    integrity_tiles_planned: int = 0
 
 
 class Tensorizer:
@@ -165,6 +177,16 @@ class Tensorizer:
             raise TensorizerError(
                 f"unknown scaling_rule {self.options.scaling_rule!r}; "
                 "choose 'measured' or 'formula'"
+            )
+        if self.options.integrity not in ("off", "abft", "vote"):
+            raise TensorizerError(
+                f"unknown integrity mode {self.options.integrity!r}; "
+                "choose 'off', 'abft' or 'vote'"
+            )
+        if self.options.integrity != "off" and not self.options.vectorized:
+            raise TensorizerError(
+                "integrity checking requires the vectorized lowering path "
+                "(the scalar path is the bit-identity oracle and stays plan-free)"
             )
         self._scratch = EdgeTPUDevice("tensorizer-scratch", self.tpu_config, self.timing)
         self.stats = TensorizerStats()
@@ -484,6 +506,14 @@ class Tensorizer:
         self.stats.tiles_lowered += len(tiles)
         self.stats.batched_dispatches += 1
 
+        # Pairwise ops have no linear accumulator structure for ABFT, so
+        # their plan carries exact post-requantization checksums (and,
+        # under "vote", the payload for dual-device byte comparison).
+        plan = (
+            IntegrityPlan(mode=self.options.integrity)
+            if self.options.integrity != "off"
+            else None
+        )
         instrs: List[LoweredInstr] = []
         for i, t in enumerate(tiles):
             elems = int(sizes[i])
@@ -503,7 +533,19 @@ class Tensorizer:
                     label=f"{op.opname}@{t.index}",
                 )
             )
-        return LoweredOperation(request, instrs, result, saturated=saturated)
+            if plan is not None:
+                h, w = t.shape()
+                plan.add(make_exact_check(
+                    label=f"{op.opname}@{t.index}",
+                    rows=(t.rows.start, t.rows.stop),
+                    cols=(t.cols.start, t.cols.stop),
+                    q=q_out[i, :h, :w],
+                    out_scale=float(out_scales[i]),
+                ))
+        if plan is not None:
+            self.stats.integrity_plans += 1
+            self.stats.integrity_tiles_planned += plan.tiles
+        return LoweredOperation(request, instrs, result, saturated=saturated, integrity=plan)
 
     # ------------------------------------------------------------------
     # element-wise unary operators: tanh / ReLu (§6.2.1 rule 1)
@@ -1226,6 +1268,11 @@ class Tensorizer:
         rescale_row = np.empty(n_cols)
         instrs: List[LoweredInstr] = []
         saturated = 0
+        plan = (
+            IntegrityPlan(mode=self.options.integrity)
+            if self.options.integrity != "off"
+            else None
+        )
         for ci, c0 in enumerate(row_starts):
             c1 = min(c0 + rows_per_chunk, m)
             p_rows = row_params[ci]
@@ -1254,6 +1301,15 @@ class Tensorizer:
                 # and the saturation count and clip are provably no-ops.
                 if not acc_bound * rescale_row[bi] < 127.5:
                     may_saturate = True
+            # ABFT checksums come from the exact accumulator strip, so
+            # they must be captured before the in-place requantize below
+            # destroys it.  A saturating strip breaks the linear relation
+            # (clipping); it falls back to exact post-clip sums instead.
+            if plan is not None and not may_saturate:
+                acc_row_seg = np.add.reduceat(st, col_idx, axis=1)
+                acc_col = st.sum(axis=0)
+            else:
+                acc_row_seg = acc_col = None
             rvec = np.repeat(rescale_row, batch_sizes)
             np.multiply(st, rvec, out=st)
             np.rint(st, out=st)
@@ -1278,9 +1334,26 @@ class Tensorizer:
                         nk * s * s, exec_seconds, out_elems,
                     )
                 )
+                if plan is not None:
+                    plan.add(make_gemm_check(
+                        label=f"convGEMM:r{c0}:k{j0}",
+                        rows=(c0, c1),
+                        cols=(j0, j0 + nk),
+                        q=st[:, j0 : j0 + nk],
+                        out_scale=float(out_scales_row[bi]),
+                        acc_row_sums=None if acc_row_seg is None else acc_row_seg[:, bi],
+                        acc_col_sums=None if acc_col is None else acc_col[j0 : j0 + nk],
+                        rescale=float(rescale_row[bi]),
+                    ))
         tracer.end(sp)
+        if plan is not None:
+            self.stats.integrity_plans += 1
+            self.stats.integrity_tiles_planned += plan.tiles
         cpu_seconds = self.cpu.elementwise_seconds(m * s * s + k * s * s, bytes_per_elem=2)
-        return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
+        return LoweredOperation(
+            request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated,
+            integrity=plan,
+        )
 
     # ------------------------------------------------------------------
     # coalesced multi-client GEMM (serving layer)
@@ -1427,6 +1500,11 @@ class Tensorizer:
             result = np.empty((m, k), dtype=np.float64)
             instrs: List[LoweredInstr] = []
             saturated = 0
+            plan = (
+                IntegrityPlan(mode=self.options.integrity)
+                if self.options.integrity != "off"
+                else None
+            )
             for ci, c0 in enumerate(row_starts):
                 c1 = min(c0 + rows_per_chunk, m)
                 p_rows = all_row_params[idx][ci]
@@ -1453,6 +1531,13 @@ class Tensorizer:
                     rescale_row[bi] = out_params.scale / scale_prod
                     if not acc_bound * rescale_row[bi] < 127.5:
                         may_saturate = True
+                # Checksums from the exact accumulator, captured before
+                # the in-place requantize (same rule as the solo path).
+                if plan is not None and not may_saturate:
+                    acc_row_seg = np.add.reduceat(st, col_idx, axis=1)
+                    acc_col = st.sum(axis=0)
+                else:
+                    acc_row_seg = acc_col = None
                 rvec = np.repeat(rescale_row, batch_sizes)
                 np.multiply(st, rvec, out=st)
                 np.rint(st, out=st)
@@ -1475,13 +1560,28 @@ class Tensorizer:
                             model_source=model_source,
                         )
                     )
+                    if plan is not None:
+                        plan.add(make_gemm_check(
+                            label=f"convGEMM:r{c0}:k{j0}",
+                            rows=(c0, c1),
+                            cols=(j0, j0 + nk),
+                            q=st[:, j0 : j0 + nk],
+                            out_scale=float(out_scales_row[bi]),
+                            acc_row_sums=None if acc_row_seg is None else acc_row_seg[:, bi],
+                            acc_col_sums=None if acc_col is None else acc_col[j0 : j0 + nk],
+                            rescale=float(rescale_row[bi]),
+                        ))
             # Host data transformation: each request reshapes its own
             # rows; the shared kernels are built once for the group.
             elems = m * s * s + (k * s * s if idx == 0 else 0)
             cpu_seconds = self.cpu.elementwise_seconds(elems, bytes_per_elem=2)
             op = LoweredOperation(
-                request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated
+                request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated,
+                integrity=plan,
             )
+            if plan is not None:
+                self.stats.integrity_plans += 1
+                self.stats.integrity_tiles_planned += plan.tiles
             self.stats.operations_lowered += 1
             self.stats.instructions_emitted += op.instruction_count
             self.stats.saturated_values += saturated

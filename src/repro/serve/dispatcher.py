@@ -15,7 +15,19 @@ against real time and drive the fault-tolerance machinery:
   times before the owning request fails;
 * **circuit breaker** — ``breaker_threshold`` consecutive failures open
   a device's breaker for ``breaker_cooldown`` real seconds; an open
-  device receives no work, and a half-open probe follows the cooldown.
+  device receives no work, and a half-open probe follows the cooldown;
+* **integrity verification** (``integrity="abft"|"vote"``) — after a
+  group's service time is charged, the worker transmits the operation's
+  expected int8 tiles through the device's modeled PCIe return path
+  (where armed corruption injectors silently mangle bytes) and checks
+  them against the Tensorizer's recorded checksums (or a witness
+  device's copy, in ``vote`` mode).  A detection fails the group
+  *without* write-back, feeds the device's **quarantine** score
+  (distinct from the circuit breaker — see
+  :class:`repro.integrity.QuarantineManager`), and requeues the work
+  elsewhere; only cleanly verified tiles are written into the
+  delivered result, so delivered bytes are bit-identical to a clean
+  run.
 
 Delivery is exactly-once by construction: group completions decrement
 the owning request's outstanding count, and both resolve and reject
@@ -24,9 +36,9 @@ paths go through the :class:`ServeRequest` once-only guards.
 The pool exposes a campaign hook: assign :attr:`DevicePool.observer`
 before :meth:`DevicePool.start` and every lifecycle transition
 (``dispatch``, ``failure``, ``retry``, ``give-up``, ``timeout``,
-``deliver``, ``bounce``, ``drop``) is reported with its serve ID and
-device.  The conformance fault-injection campaigns replay these event
-streams to prove the zero-lost / exactly-once invariants from the
+``deliver``, ``bounce``, ``drop``, ``sdc``) is reported with its serve
+ID and device.  The conformance fault-injection campaigns replay these
+event streams to prove the zero-lost / exactly-once invariants from the
 outside rather than trusting the pool's own counters.
 """
 
@@ -37,8 +49,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
-from repro.errors import DeviceFailure, RequestTimeout
+from repro.errors import DeviceFailure, RequestTimeout, SilentDataCorruption
 from repro.host.platform import Platform
+from repro.integrity import IntegrityVerifier, QuarantineManager
 from repro.runtime.executor import group_service_seconds
 from repro.runtime.scheduler import DispatchGroup, SchedulePolicy
 from repro.serve.metrics import ServingMetrics
@@ -60,6 +73,9 @@ class DispatchWork:
     attempts: int = 0
     #: Devices observed failing this work item (never re-tried first).
     excluded: Set[int] = field(default_factory=set)
+    #: Integrity-verification failures this work item has survived; a
+    #: later clean delivery counts as an SDC *correction*.
+    sdc_attempts: int = 0
 
 
 class CircuitBreaker:
@@ -122,16 +138,38 @@ class DevicePool:
         time_scale: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[SpanTracer] = None,
+        integrity: str = "off",
+        quarantine_seconds: float = 0.05,
+        quarantine_threshold: float = 1.0,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if time_scale < 0:
             raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        if integrity not in ("off", "abft", "vote"):
+            raise ValueError(
+                f"integrity must be 'off', 'abft' or 'vote', got {integrity!r}"
+            )
         self.platform = platform
         self.metrics = metrics
         self.policy = policy or SchedulePolicy()
         self.max_retries = max_retries
         self.time_scale = time_scale
+        #: SDC-defense mode; "off" skips verification entirely.
+        self.integrity = integrity
+        self._verifier = IntegrityVerifier(integrity) if integrity != "off" else None
+        #: Suspicion scores / quarantine state, present only when the
+        #: integrity layer is on (shares the pool's injectable clock).
+        self.quarantine: Optional[QuarantineManager] = (
+            QuarantineManager(
+                platform.num_tpus,
+                clock=clock,
+                threshold=quarantine_threshold,
+                quarantine_seconds=quarantine_seconds,
+            )
+            if integrity != "off"
+            else None
+        )
         #: The pool's single time base.  Deadline checks, breaker
         #: cooldowns, and latency accounting all read this clock — a
         #: fake clock in tests therefore governs *every* time decision.
@@ -225,13 +263,21 @@ class DevicePool:
 
     # -- routing --------------------------------------------------------
 
+    def _available(self, index: int) -> bool:
+        """Schedulable: breaker closed AND not under SDC quarantine."""
+        if self.breakers[index].is_open:
+            return False
+        if self.quarantine is not None and self.quarantine.is_quarantined(index):
+            return False
+        return True
+
     def _candidates(self, work: DispatchWork) -> List[int]:
         """Healthy routing targets, preferring never-failed devices."""
-        closed = [i for i in range(len(self.breakers)) if not self.breakers[i].is_open]
-        fresh = [i for i in closed if i not in work.excluded]
+        ready = [i for i in range(len(self.breakers)) if self._available(i)]
+        fresh = [i for i in ready if i not in work.excluded]
         # Fall back to a previously failed device only when nothing else
-        # is closed (single-TPU pools, transient faults).
-        return fresh or closed
+        # is available (single-TPU pools, transient faults).
+        return fresh or ready
 
     async def _router(self) -> None:
         while True:
@@ -248,9 +294,18 @@ class DevicePool:
                     )
                     self._device_queues[pick].put_nowait(work)
                     break
-                # Every breaker is open: wait for the earliest half-open
-                # instant, then re-evaluate.
-                reopen = min(b.reopens_at for b in self.breakers)
+                # Every device is unavailable (breaker open or
+                # quarantined): wait for the earliest release instant —
+                # breaker half-open or quarantine probation — then
+                # re-evaluate.
+                releases = [b.reopens_at for b in self.breakers if b.is_open]
+                if self.quarantine is not None:
+                    releases += [
+                        self.quarantine.release_at(i)
+                        for i in range(len(self.breakers))
+                        if self.quarantine.is_quarantined(i)
+                    ]
+                reopen = min(releases) if releases else self._clock()
                 delay = max(reopen - self._clock(), 0.0)
                 await asyncio.sleep(min(delay, 0.05) or 0.001)
 
@@ -267,10 +322,14 @@ class DevicePool:
                 self._emit("drop", sreq, tpu_index)
                 self._retire()
                 continue
-            if breaker.is_open:
-                # The breaker opened after this work was queued here:
-                # bounce it back to the router (not a failure, not a
-                # retry — the work never touched the device).
+            if breaker.is_open or (
+                self.quarantine is not None
+                and self.quarantine.is_quarantined(tpu_index)
+            ):
+                # The breaker opened (or the device was quarantined)
+                # after this work was queued here: bounce it back to the
+                # router (not a failure, not a retry — the work never
+                # touched the device).
                 self._emit("bounce", sreq, tpu_index)
                 self._inbox.put_nowait(work)
                 continue
@@ -318,6 +377,69 @@ class DevicePool:
                 self._emit("failure", sreq, tpu_index)
                 self._requeue(work, tpu_index, exc)
                 continue
+            # Integrity verification: transmit the group's expected
+            # tiles through the device's wire-return path (where armed
+            # corruption injectors fire) and compare against the plan's
+            # checksums.  Detection means the device answered with wrong
+            # bytes: no write-back, no success accounting — the group is
+            # requeued elsewhere and the device's quarantine score (not
+            # its breaker) takes the hit.
+            plan = getattr(sreq.op, "integrity", None)
+            if self._verifier is not None and plan is not None:
+                vspan = self._tracer.begin(
+                    "verify_group",
+                    cat="integrity",
+                    track=device.name,
+                    serve_id=sreq.serve_id,
+                )
+                witness_index = (
+                    self._pick_witness(tpu_index)
+                    if self._verifier.mode == "vote"
+                    else None
+                )
+                witness = (
+                    None
+                    if witness_index is None
+                    else self.platform.devices[witness_index]
+                )
+                verdict = self._verifier.verify_op(
+                    plan,
+                    [instr.label for instr in work.group.instrs],
+                    device,
+                    witness,
+                )
+                self.metrics.tiles_verified += verdict.checked
+                if verdict.witness_flags and witness_index is not None:
+                    # Vote adjudication: this device's copy passed the
+                    # checksums, the witness's did not — the group still
+                    # delivers, but the witness is caught corrupting.
+                    self.metrics.vote_adjudications += verdict.witness_flags
+                    self._record_sdc(witness_index, verdict.witness_flags, sreq)
+                if not verdict.ok:
+                    self._tracer.end(
+                        vspan.set(outcome="sdc", detections=len(verdict.detections))
+                    )
+                    self._tracer.end(span.set(outcome="sdc"))
+                    self._record_sdc(tpu_index, len(verdict.detections), sreq)
+                    work.sdc_attempts += 1
+                    worst = verdict.detections[0]
+                    self._requeue(work, tpu_index, SilentDataCorruption(
+                        f"{device.name}: {len(verdict.detections)} corrupted "
+                        f"tile(s) detected by {worst.kind} check "
+                        f"(max deviation {worst.max_deviation:.1f} quanta)",
+                        device=device.name,
+                        detections=len(verdict.detections),
+                    ))
+                    continue
+                # Clean: install the verified device-returned bytes into
+                # the delivered result (bit-identical to the host's own
+                # requantize for an honest transmission).
+                verdict.apply(sreq.op.result)
+                if self.quarantine is not None:
+                    self.quarantine.record_clean(tpu_index)
+                if work.sdc_attempts:
+                    self.metrics.sdc_corrected += 1
+                self._tracer.end(vspan.set(outcome="ok", tiles=verdict.checked))
             # Success: accounting, then exactly-once delivery.  The span
             # carries the group's *modeled* device seconds only on this
             # path, mirroring busy_by_device — failed attempts charge no
@@ -338,6 +460,29 @@ class DevicePool:
             ):
                 self._emit("deliver", sreq, tpu_index)
             self._retire()
+
+    def _pick_witness(self, primary: int) -> Optional[int]:
+        """Second device for vote mode: nearest available non-primary."""
+        n = len(self.breakers)
+        for step in range(1, n):
+            i = (primary + step) % n
+            if self._available(i):
+                return i
+        return None
+
+    def _record_sdc(self, tpu_index: int, tiles: int, sreq: ServeRequest) -> None:
+        """Account one SDC incident on a device (metrics + quarantine)."""
+        name = self.platform.devices[tpu_index].name
+        self.metrics.record_sdc(name, tiles)
+        if self.quarantine is not None and self.quarantine.record_sdc(tpu_index):
+            self.metrics.quarantines += 1
+            self._tracer.instant(
+                "quarantine",
+                cat="serve.lifecycle",
+                track=name,
+                serve_id=sreq.serve_id,
+            )
+        self._emit("sdc", sreq, tpu_index)
 
     def _requeue(self, work: DispatchWork, tpu_index: int, exc: DeviceFailure) -> None:
         """Retry a failed group elsewhere, or fail its request."""

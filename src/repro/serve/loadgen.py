@@ -42,6 +42,13 @@ class LoadgenSpec:
     #: fault injection).  -1 failures = permanent death.
     fail_after_instructions: int = 0
     fail_device: int = 0
+    #: Fault mode for the injected plan: "fail-stop" raises, while the
+    #: corruption modes ("bitflip", "stuck", "skew") silently mangle
+    #: returned tiles — pair those with ``integrity != "off"`` or the
+    #: bit-identity verification below will flag mismatches.
+    fail_mode: str = "fail-stop"
+    #: SDC-defense mode for the server ("off", "abft", "vote").
+    integrity: str = "off"
     #: Real seconds per modeled second; 0 runs as fast as asyncio allows.
     time_scale: float = 0.0
     #: Per-request deadline, or None.
@@ -92,6 +99,8 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
         max_queue_depth=max(spec.tenants * spec.requests_per_tenant, 8),
         time_scale=spec.time_scale,
         breaker_cooldown=0.02,
+        integrity=spec.integrity,
+        quarantine_seconds=0.02,
     )
     # One shared weight matrix across all tenants → coalescible traffic.
     b = rng.integers(-64, 64, size=(spec.size, spec.size)).astype(np.float32)
@@ -120,6 +129,8 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
             after_instructions=spec.fail_after_instructions,
             failures=-1,
             reason="loadgen-injected permanent fault",
+            mode=spec.fail_mode,
+            seed=spec.seed,
         )
 
     results: dict = {}

@@ -50,6 +50,19 @@ class ServingMetrics:
         #: Bytes moved host<->device (after residency hits).
         self.bytes_in = 0
         self.bytes_out = 0
+        #: Integrity layer (repro.integrity): tiles transmitted through
+        #: the verifier, detected-corrupt tiles, group-level incidents,
+        #: groups delivered clean after at least one SDC retry
+        #: (corrections), quarantine entries, and vote disagreements
+        #: adjudicated against the witness.
+        self.tiles_verified = 0
+        self.sdc_detected = 0
+        self.sdc_incidents = 0
+        self.sdc_corrected = 0
+        self.quarantines = 0
+        self.vote_adjudications = 0
+        #: SDC incidents per device name.
+        self.sdc_by_device: Dict[str, int] = defaultdict(int)
 
     # -- recording ------------------------------------------------------
 
@@ -83,6 +96,12 @@ class ServingMetrics:
         """One fault-hook firing on *device*."""
         self.device_failures += 1
         self.failures_by_device[device] += 1
+
+    def record_sdc(self, device: str, tiles: int) -> None:
+        """One silent-data-corruption incident (*tiles* bad) on *device*."""
+        self.sdc_incidents += 1
+        self.sdc_detected += tiles
+        self.sdc_by_device[device] += 1
 
     def sample_queue_depth(self, depth: int) -> None:
         """Record the admission-queue depth at a dispatch-loop drain."""
@@ -132,6 +151,12 @@ class ServingMetrics:
             "coalesced_requests": self.coalesced_requests,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
+            "tiles_verified": self.tiles_verified,
+            "sdc_detected": self.sdc_detected,
+            "sdc_incidents": self.sdc_incidents,
+            "sdc_corrected": self.sdc_corrected,
+            "quarantines": self.quarantines,
+            "vote_adjudications": self.vote_adjudications,
         }
 
     def snapshot(self, elapsed_seconds: Optional[float] = None) -> dict:
@@ -146,6 +171,7 @@ class ServingMetrics:
                 "groups": self.groups_by_device.get(name, 0),
                 "busy_seconds": busy,
                 "failures": self.failures_by_device.get(name, 0),
+                "sdc_incidents": self.sdc_by_device.get(name, 0),
             }
             if elapsed_seconds:
                 entry["utilization"] = busy / elapsed_seconds
@@ -174,5 +200,13 @@ class ServingMetrics:
             },
             "devices": devices,
             "bytes": {"in": self.bytes_in, "out": self.bytes_out},
+            "integrity": {
+                "tiles_verified": self.tiles_verified,
+                "sdc_detected": self.sdc_detected,
+                "sdc_incidents": self.sdc_incidents,
+                "sdc_corrected": self.sdc_corrected,
+                "quarantines": self.quarantines,
+                "vote_adjudications": self.vote_adjudications,
+            },
             "elapsed_seconds": elapsed_seconds,
         }

@@ -45,6 +45,7 @@ from repro.serve.request import ServeRequest
 from repro.telemetry import (
     CounterRegistry,
     SpanTracer,
+    device_counters,
     get_tracer,
     memory_counters,
     serving_counters,
@@ -76,6 +77,12 @@ class ServeConfig:
     policy: SchedulePolicy = field(default_factory=SchedulePolicy)
     #: Tensorizer options (tiling, scaling rule, ...).
     options: Optional[TensorizerOptions] = None
+    #: SDC-defense mode: "off" (no verification, today's fast path),
+    #: "abft" (checksum-verified GEMM tiles), or "vote" (dual-execution
+    #: byte compare with checksum adjudication).  See repro.integrity.
+    integrity: str = "off"
+    #: Base real-seconds hold for an SDC-quarantined device.
+    quarantine_seconds: float = 0.05
 
 
 class TpuServer:
@@ -92,9 +99,19 @@ class TpuServer:
         self.config = config or ServeConfig()
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
+        # The integrity mode may arrive on ServeConfig (the serving-layer
+        # knob) or on TensorizerOptions; the lowering side records the
+        # checksum plans and the pool side verifies them, so both must
+        # agree on one effective mode.
+        options = self.config.options or TensorizerOptions()
+        self.integrity = (
+            self.config.integrity if self.config.integrity != "off" else options.integrity
+        )
+        if options.integrity != self.integrity:
+            options = dataclasses.replace(options, integrity=self.integrity)
         self.tensorizer = Tensorizer(
             self.platform.config.edgetpu,
-            self.config.options,
+            options,
             self.platform.cpu,
             tracer=self.tracer,
         )
@@ -112,6 +129,8 @@ class TpuServer:
             time_scale=self.config.time_scale,
             clock=clock,
             tracer=self.tracer,
+            integrity=self.integrity,
+            quarantine_seconds=self.config.quarantine_seconds,
         )
         self._serve_seq = 0
         self._wakeup = asyncio.Event()
@@ -310,6 +329,7 @@ class TpuServer:
         registry.register("serving", serving_counters(self.metrics))
         for device in self.platform.devices:
             registry.register(f"memory.{device.name}", memory_counters(device.memory))
+            registry.register(f"device.{device.name}", device_counters(device))
         return registry
 
     def snapshot(self) -> dict:
@@ -329,4 +349,8 @@ class TpuServer:
             }
             for i, b in enumerate(self.pool.breakers)
         }
+        if self.pool.quarantine is not None:
+            snap["quarantine"] = self.pool.quarantine.snapshot(
+                [d.name for d in self.platform.devices]
+            )
         return snap

@@ -15,6 +15,7 @@ plumbing.
 
 from repro.telemetry.counters import (
     CounterRegistry,
+    device_counters,
     memory_counters,
     serving_counters,
     tensorizer_counters,
@@ -50,6 +51,7 @@ __all__ = [
     "Span",
     "SpanTracer",
     "attribution",
+    "device_counters",
     "format_attribution",
     "get_tracer",
     "memory_counters",

@@ -85,3 +85,22 @@ def memory_counters(memory) -> CounterSource:
 def serving_counters(metrics) -> CounterSource:
     """Source over a :class:`~repro.serve.metrics.ServingMetrics`."""
     return metrics.counters
+
+
+def device_counters(device) -> CounterSource:
+    """Source over an :class:`~repro.edgetpu.device.EdgeTPUDevice`.
+
+    Lifetime execution counters, including ``saturated_values`` — the
+    total output values clipped to the int8 rails across every packet
+    the device executed (surfaced per §6.2.2's accuracy/saturation
+    trade-off).
+    """
+
+    def sample() -> Dict[str, float]:
+        return {
+            "instructions_executed": device.instructions_executed,
+            "busy_seconds": device.busy_seconds,
+            "saturated_values": device.saturated_values,
+        }
+
+    return sample

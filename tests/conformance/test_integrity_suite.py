@@ -1,0 +1,85 @@
+"""Integrity conformance suite: catalog shape and the full campaign."""
+
+import pytest
+
+from repro.conformance import (
+    DEFAULT_INTEGRITY_SCENARIOS,
+    run_conformance,
+    run_integrity_campaign,
+)
+
+
+def scenario_by_name(name):
+    return next(s for s in DEFAULT_INTEGRITY_SCENARIOS if s.name == name)
+
+
+class TestScenarioCatalog:
+    def test_names_are_unique(self):
+        names = [s.name for s in DEFAULT_INTEGRITY_SCENARIOS]
+        assert len(names) == len(set(names))
+
+    def test_catalog_covers_the_fault_model(self):
+        modes = {
+            plan.mode
+            for s in DEFAULT_INTEGRITY_SCENARIOS
+            for plan in s.corruptions
+        }
+        assert {"bitflip", "stuck", "skew"} <= modes
+        # Both a clean-traffic false-positive gate and an off-mode
+        # purity gate must be present alongside the corruption runs.
+        assert any(
+            not s.corruptions and s.integrity == "abft"
+            for s in DEFAULT_INTEGRITY_SCENARIOS
+        )
+        assert any(s.integrity == "off" for s in DEFAULT_INTEGRITY_SCENARIOS)
+        assert any(s.integrity == "vote" for s in DEFAULT_INTEGRITY_SCENARIOS)
+
+    def test_exact_detection_scenario_exists(self):
+        # At least one scenario pins detections == injections exactly
+        # (100% detection, nothing double-counted).
+        assert any(s.exact_detection for s in DEFAULT_INTEGRITY_SCENARIOS)
+
+
+class TestSingleScenarios:
+    def test_bitflip_catches_every_injection(self):
+        (result,) = run_integrity_campaign(
+            3, (scenario_by_name("bitflip-abft"),)
+        )
+        assert result.ok, result.violations
+        assert result.injected > 0
+        assert result.snapshot["integrity"]["sdc_detected"] == result.injected
+        assert result.snapshot["integrity"]["sdc_corrected"] >= 1
+
+    def test_clean_run_has_zero_false_positives(self):
+        (result,) = run_integrity_campaign(3, (scenario_by_name("clean-abft"),))
+        assert result.ok, result.violations
+        assert result.injected == 0
+        assert result.snapshot["integrity"]["sdc_incidents"] == 0
+        assert result.snapshot["integrity"]["tiles_verified"] > 0
+
+
+class TestFullCampaign:
+    def test_default_campaign_all_scenarios_pass(self):
+        results = run_integrity_campaign(3)
+        assert len(results) == len(DEFAULT_INTEGRITY_SCENARIOS)
+        for result in results:
+            assert result.ok, (result.scenario.name, result.violations)
+
+    def test_runner_section_shape(self):
+        report = run_conformance(suites=("integrity",), seed=3)
+        assert report.ok, report.failures
+        section = report.sections["integrity"]
+        assert section["ok"] is True
+        names = [s["name"] for s in section["scenarios"]]
+        assert names == [s.name for s in DEFAULT_INTEGRITY_SCENARIOS]
+
+    def test_verdicts_stable_across_runs(self):
+        # Scheduling-sensitive counters (bounces, retries) may vary run
+        # to run; the verdicts and detection gates must not.
+        scenarios = (scenario_by_name("bitflip-abft"),)
+        first = run_integrity_campaign(7, scenarios)[0]
+        second = run_integrity_campaign(7, scenarios)[0]
+        for result in (first, second):
+            assert result.ok, result.violations
+            assert result.mismatches == 0
+            assert result.snapshot["integrity"]["sdc_detected"] == result.injected

@@ -1,12 +1,26 @@
-"""Fault-injection hook on the simulated Edge TPU device."""
+"""Fault-injection hooks on the simulated Edge TPU device.
+
+Covers both fault families: fail-stop plans that raise from the
+progress hook, and silent-data-corruption plans that mangle bytes on
+the transmit path without raising.  ``TestFaultAccounting`` pins the
+single-owner charging rule (execute charges 1, the dispatcher charges
+a group, transmit charges nothing).
+"""
 
 import numpy as np
 import pytest
 
 from repro.edgetpu.device import EdgeTPUDevice, FaultInjector
+from repro.edgetpu.encoding import encode_instruction
 from repro.edgetpu.isa import Instruction, Opcode
 from repro.edgetpu.quantize import QuantParams
 from repro.errors import DeviceFailure
+
+
+def _relu_instr(values=((-3, 7), (5, -1))):
+    return Instruction(
+        Opcode.RELU, np.array(values, dtype=np.int8), QuantParams(1.0)
+    )
 
 
 class TestFaultInjector:
@@ -75,3 +89,166 @@ class TestDeviceFaultHook:
         with pytest.raises(DeviceFailure):
             device.execute(instr)
         assert device.instructions_executed == before  # nothing charged
+
+
+class TestCorruptionModes:
+    """The SDC modes fire silently and deterministically (seeded)."""
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(mode="gamma-ray")
+
+    def test_corrupting_never_raises_from_observe(self):
+        inj = FaultInjector(after_instructions=0, mode="bitflip")
+        for _ in range(5):
+            inj.observe("tpu0")  # must not raise
+        assert inj.fired == 0  # observe never fires a corruption plan
+        assert inj.corrupting and inj.armed
+
+    def test_bitflip_is_seeded_and_above_bound(self):
+        block = np.arange(16, dtype=np.int8).reshape(4, 4)
+        outs = []
+        for _ in range(2):
+            inj = FaultInjector(after_instructions=0, mode="bitflip", seed=42)
+            inj.observe("tpu0")
+            outs.append(inj.corrupt("tpu0", block))
+        np.testing.assert_array_equal(outs[0], outs[1])  # same seed, same flip
+        diff = np.flatnonzero(outs[0] != block)
+        assert diff.size == 1  # flips=1 default
+        # min_bit=5 guarantees every flip moves the value >= 32 quanta.
+        delta = abs(int(outs[0].reshape(-1)[diff[0]]) - int(block.reshape(-1)[diff[0]]))
+        assert delta >= 32
+
+    def test_bitflip_budget_and_fired_counter(self):
+        block = np.zeros((2, 2), dtype=np.int8)
+        inj = FaultInjector(after_instructions=0, failures=2, mode="bitflip")
+        inj.observe("tpu0")
+        assert not np.array_equal(inj.corrupt("tpu0", block), block)
+        assert not np.array_equal(inj.corrupt("tpu0", block), block)
+        assert inj.fired == 2 and not inj.armed
+        # Budget spent: the block passes through untouched.
+        out = inj.corrupt("tpu0", block)
+        assert out is block or np.array_equal(out, block)
+
+    def test_stuck_replays_previous_block(self):
+        first = np.full((2, 3), 7, dtype=np.int8)
+        second = np.full((2, 3), -9, dtype=np.int8)
+        inj = FaultInjector(after_instructions=1, mode="stuck")
+        # Below threshold: clean pass-through, remembered as replay source.
+        assert inj.corrupt("tpu0", first) is first
+        inj.observe("tpu0", 2)  # trips the threshold
+        replayed = inj.corrupt("tpu0", second)
+        np.testing.assert_array_equal(replayed, first)
+
+    def test_stuck_without_replay_source_falls_back_to_bitflip(self):
+        block = np.zeros((3, 3), dtype=np.int8)
+        inj = FaultInjector(after_instructions=0, mode="stuck", seed=1)
+        inj.observe("tpu0")
+        out = inj.corrupt("tpu0", block)
+        assert not np.array_equal(out, block)
+
+    def test_skew_rescales_and_clips(self):
+        block = np.array([[0, 8, -40, 120]], dtype=np.int8)
+        inj = FaultInjector(after_instructions=0, mode="skew", skew=1.25)
+        inj.observe("tpu0")
+        out = inj.corrupt("tpu0", block)
+        np.testing.assert_array_equal(out, [[0, 10, -50, 127]])  # 150 clips
+
+    def test_corrupt_does_not_mutate_the_input_block(self):
+        block = np.arange(9, dtype=np.int8).reshape(3, 3)
+        keep = block.copy()
+        inj = FaultInjector(after_instructions=0, mode="bitflip")
+        inj.observe("tpu0")
+        inj.corrupt("tpu0", block)
+        np.testing.assert_array_equal(block, keep)
+
+    def test_execute_flows_corrupted_bytes_silently(self):
+        clean = EdgeTPUDevice("tpu0").execute(_relu_instr())
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=0, mode="bitflip", seed=5)
+        device.check_fault(1)  # trips the threshold without raising
+        result = device.execute(_relu_instr())  # no raise: the fault is silent
+        assert not np.array_equal(result.output, clean.output)
+        assert device.instructions_executed == 1  # work was still charged
+
+    def test_transmit_is_identity_without_corruption(self):
+        block = np.ones((2, 2), dtype=np.int8)
+        device = EdgeTPUDevice("tpu0")
+        assert device.transmit(block) is block  # no injector: same object
+        device.inject_fault(after_instructions=0)  # fail-stop plan
+        assert device.transmit(block) is block  # fail-stop never corrupts
+
+
+class TestFaultAccounting:
+    """Single-owner charging: each instruction is charged exactly once.
+
+    Regression for the double-accounting bug where ``execute`` charged
+    ``check_fault(1)`` *and* the serving dispatcher charged the whole
+    group, making plans trip at half the configured threshold.
+    """
+
+    def test_execute_charges_exactly_one_per_call(self):
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=3)
+        for _ in range(3):
+            device.execute(_relu_instr())  # charges 1 each: 3 total
+        with pytest.raises(DeviceFailure):
+            device.execute(_relu_instr())  # the 4th crosses the threshold
+        assert device.instructions_executed == 3
+
+    def test_group_charge_trips_at_the_group_boundary(self):
+        # The dispatcher charges a whole dispatch group up front.
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=10)
+        device.check_fault(10)  # reaches but does not cross
+        with pytest.raises(DeviceFailure):
+            device.check_fault(4)  # the next group crosses
+
+    def test_transmit_never_charges_the_plan(self):
+        device = EdgeTPUDevice("tpu0")
+        inj = device.inject_fault(after_instructions=2, mode="bitflip")
+        block = np.zeros((2, 2), dtype=np.int8)
+        for _ in range(50):
+            device.transmit(block)
+        # 50 transmits advanced nothing: the plan is still below its
+        # threshold, so a corrupt() attempt does not fire.
+        assert inj.fired == 0
+        device.check_fault(3)  # the real owner charges the progress
+        assert not np.array_equal(device.transmit(block), block)
+        assert inj.fired == 1
+
+
+class TestWirePath:
+    """``execute_packet`` under fail-stop and corruption injection."""
+
+    def test_packet_failstop_raises_and_charges_nothing(self):
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=0)
+        blob = encode_instruction(_relu_instr())
+        with pytest.raises(DeviceFailure):
+            device.execute_packet(blob)
+        assert device.instructions_executed == 0
+
+    def test_packet_corruption_is_silent_and_detectable(self):
+        blob = encode_instruction(_relu_instr())
+        clean = EdgeTPUDevice("tpu0").execute_packet(blob)
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=0, mode="skew", seed=2)
+        device.check_fault(1)
+        got = device.execute_packet(blob)  # decodes and runs, no raise
+        assert not np.array_equal(got.output, clean.output)
+        assert device.instructions_executed == 1
+        # The corruption respects int8 rails (it models wire bytes).
+        assert got.output.dtype == np.int8
+
+    def test_packet_transient_corruption_clears(self):
+        blob = encode_instruction(_relu_instr())
+        clean = EdgeTPUDevice("tpu0").execute_packet(blob)
+        device = EdgeTPUDevice("tpu0")
+        device.inject_fault(after_instructions=0, failures=1, mode="bitflip")
+        device.check_fault(1)
+        first = device.execute_packet(blob)
+        assert not np.array_equal(first.output, clean.output)
+        second = device.execute_packet(blob)  # budget spent: clean again
+        np.testing.assert_array_equal(second.output, clean.output)
+        assert device.healthy

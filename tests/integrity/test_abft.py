@@ -1,0 +1,104 @@
+"""ABFT checksum arithmetic: bounds, detection, and localization."""
+
+import numpy as np
+import pytest
+
+from repro.integrity.abft import (
+    TOLERANCE_QUANTA,
+    checksum_tolerance,
+    tile_checksums,
+    verify_tile,
+)
+
+
+def _clean_tile(seed=0, m=12, n=9):
+    """A requantized GEMM tile with its accumulator-derived checksums."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, 16))
+    b = rng.standard_normal((16, n))
+    acc = a @ b
+    rescale = 127.0 / np.abs(acc).max()
+    q = np.rint(acc * rescale)  # never saturates at this rescale
+    row_sums = acc.sum(axis=1) * rescale
+    col_sums = acc.sum(axis=0) * rescale
+    row_tol = checksum_tolerance(n, row_sums)
+    col_tol = checksum_tolerance(m, col_sums)
+    return q.astype(np.int8), row_sums, col_sums, row_tol, col_tol
+
+
+class TestChecksumTolerance:
+    def test_half_quantum_per_summed_element(self):
+        tol = checksum_tolerance(10, np.zeros(3))
+        assert tol == pytest.approx(TOLERANCE_QUANTA * 10, abs=1e-6)
+
+    def test_scales_with_checksum_magnitude(self):
+        small = checksum_tolerance(4, np.array([1.0]))
+        large = checksum_tolerance(4, np.array([1e9]))
+        assert large > small
+
+    def test_empty_sums(self):
+        assert checksum_tolerance(0, np.array([])) >= 0.0
+
+
+class TestTileChecksums:
+    def test_exact_integer_sums(self):
+        tile = np.array([[1, -2, 3], [4, 5, -6]], dtype=np.int8)
+        rows, cols = tile_checksums(tile)
+        np.testing.assert_array_equal(rows, [2, 3])
+        np.testing.assert_array_equal(cols, [5, 3, -3])
+
+
+class TestVerifyTile:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_clean_tile_within_bound(self, seed):
+        q, rs, cs, rt, ct = _clean_tile(seed)
+        ok, bad_rows, bad_cols, dev = verify_tile(q, rs, cs, rt, ct)
+        assert ok
+        assert bad_rows == () and bad_cols == ()
+        # Clean deviation is pure rounding noise, below the threshold.
+        assert dev <= rt and dev <= ct
+
+    def test_single_flip_localized_at_intersection(self):
+        q, rs, cs, rt, ct = _clean_tile(3)
+        corrupted = q.copy()
+        corrupted[4, 2] ^= np.int8(1 << 6)  # 64-quanta flip
+        ok, bad_rows, bad_cols, dev = verify_tile(corrupted, rs, cs, rt, ct)
+        assert not ok
+        assert bad_rows == (4,) and bad_cols == (2,)
+        assert dev >= 32  # far above the half-quantum-per-element bound
+
+    def test_deviation_below_bound_is_tolerated(self):
+        # A sub-bound deviation is indistinguishable from rounding noise
+        # by construction; the verifier must not flag it.
+        q = np.zeros((4, 8), dtype=np.int8)
+        rows, cols = tile_checksums(q)
+        rt = checksum_tolerance(8, rows)  # 4.0 quanta
+        ct = checksum_tolerance(4, cols)  # 2.0 quanta
+        shifted_rows = rows + 3.9  # within the 8-element row tolerance
+        ok, *_ = verify_tile(q, shifted_rows, cols, rt, ct)
+        assert ok
+
+    def test_every_bit_ge_5_flip_is_above_bound(self):
+        # min_bit=5 on the injector guarantees >= 32-quanta deviations;
+        # the row tolerance for a <= 63-column tile is < 32, so every
+        # such flip must be detected.
+        q, rs, cs, rt, ct = _clean_tile(1, m=16, n=63)
+        assert rt < 32 and ct < 32
+        for bit in (5, 6, 7):
+            corrupted = q.copy()
+            corrupted.view(np.uint8)[0, 0] ^= np.uint8(1 << bit)
+            ok, *_ = verify_tile(corrupted, rs, cs, rt, ct)
+            assert not ok
+
+    def test_exact_checksums_catch_off_by_one(self):
+        # Exact (post-requantization) checks have ~zero tolerance: a
+        # single-quantum error — invisible to the ABFT bound — is caught.
+        tile = np.arange(-8, 8, dtype=np.int8).reshape(4, 4)
+        rows, cols = tile_checksums(tile)
+        rt = checksum_tolerance(0, rows)
+        ct = checksum_tolerance(0, cols)
+        nudged = tile.copy()
+        nudged[2, 1] += 1
+        ok, bad_rows, bad_cols, _ = verify_tile(nudged, rows, cols, rt, ct)
+        assert not ok
+        assert bad_rows == (2,) and bad_cols == (1,)

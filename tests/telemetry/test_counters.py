@@ -3,11 +3,15 @@
 import numpy as np
 import pytest
 
+from repro.edgetpu.device import EdgeTPUDevice
+from repro.edgetpu.isa import Instruction, Opcode
 from repro.edgetpu.memory import OnChipMemory
+from repro.edgetpu.quantize import QuantParams
 from repro.runtime.tensorizer import TensorizerStats
 from repro.serve.metrics import ServingMetrics
 from repro.telemetry import (
     CounterRegistry,
+    device_counters,
     memory_counters,
     serving_counters,
     tensorizer_counters,
@@ -66,6 +70,27 @@ class TestAdapters:
         assert counters["hits"] == 2
         assert counters["regions"] == 1
         assert counters["used_bytes"] >= 128
+
+    def test_device_counters_track_lifetime_saturation(self):
+        device = EdgeTPUDevice("tpu0")
+        source = device_counters(device)
+        assert source()["saturated_values"] == 0
+        # An ADD whose quantized sum exceeds the int8 rails saturates.
+        block = np.full((2, 2), 100, dtype=np.int8)
+        instr = Instruction(
+            Opcode.ADD,
+            block,
+            QuantParams(1.0),
+            block,
+            QuantParams(1.0),
+            out_params=QuantParams(1.0),
+        )
+        result = device.execute(instr)
+        assert result.saturated > 0
+        counters = source()
+        assert counters["saturated_values"] == result.saturated
+        assert counters["instructions_executed"] == 1
+        assert counters["busy_seconds"] > 0
 
     def test_serving_counters(self):
         metrics = ServingMetrics()
