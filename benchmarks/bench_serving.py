@@ -90,6 +90,8 @@ def test_serving_under_device_failure(benchmark, report):
                 ("device failures observed", str(snapshot["device_failures"])),
                 ("group retries", str(snapshot["retries"])),
                 ("coalesced requests", str(snapshot["coalescing"]["requests_coalesced"])),
+                ("plan-cache hit rate", f"{snapshot['plan_cache']['hit_rate']:.1%}"),
+                ("plan binds (warm requests)", str(snapshot["plan_cache"]["binds"])),
                 (f"groups retired on {failed_dev}",
                  str(snapshot["devices"].get(failed_dev, {}).get("groups", 0))),
                 ("healthy TPUs at end",
@@ -110,6 +112,11 @@ def test_serving_under_device_failure(benchmark, report):
     assert outcomes["failed"] == 0 and outcomes["timeouts"] == 0
     # Bit-identity: delivered results match solo lowering exactly.
     assert result.mismatches == 0
+    # AOT plan cache: a steady-shape workload (every request the same
+    # GEMM signature) must lower once and replay from then on.
+    plan = snapshot["plan_cache"]
+    assert plan["hit_rate"] >= 0.9
+    assert plan["binds"] > 0 and plan["entries"] >= 1
     # The latency summary is well-formed (p50 <= p99 <= max).
     assert 0 < latency["p50_seconds"] <= latency["p99_seconds"] <= latency["max_seconds"]
     # Work actually spread across the surviving devices.

@@ -129,7 +129,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     tracer = telemetry.SpanTracer(enabled=True)
     previous = telemetry.set_tracer(tracer)
     try:
-        ctx = OpenCtpu(platform)
+        plan_cache = None
+        if args.plan_cache:
+            from repro.plan import PlanCache
+
+            plan_cache = PlanCache()
+        ctx = OpenCtpu(platform, plan_cache=plan_cache)
         app.run_gptpu(inputs, ctx)
     finally:
         telemetry.set_tracer(previous)
@@ -196,6 +201,7 @@ def _loadgen_spec(args: argparse.Namespace):
         integrity=args.integrity,
         time_scale=args.time_scale,
         deadline_seconds=args.deadline,
+        plan_cache=args.plan_cache,
     )
 
 
@@ -217,6 +223,13 @@ def _serving_rows(snapshot: dict) -> List[tuple]:
         ("coalesced requests", str(snapshot["coalescing"]["requests_coalesced"])),
         ("healthy TPUs", f"{snapshot['platform']['healthy']}/{snapshot['platform']['tpus']}"),
     ]
+    plan = snapshot.get("plan_cache")
+    if plan is not None:
+        rows += [
+            ("plan-cache hit rate", f"{plan['hit_rate'] * 100:.1f} %"),
+            ("plan-cache entries", str(int(plan["entries"]))),
+            ("plan binds", str(int(plan["binds"]))),
+        ]
     integrity = snapshot.get("integrity", {})
     if integrity.get("tiles_verified"):
         rows += [
@@ -348,6 +361,12 @@ def cmd_conformance(args: argparse.Namespace) -> int:
             serve = report.sections["serve"]
             rows.append(("serve", f"{len(serve['scenarios'])} scenarios, "
                          "all zero-lost" if serve["ok"] else "FAILED"))
+        if "plans" in report.sections:
+            plans = report.sections["plans"]
+            rows.append(("plans",
+                         f"{plans['ops_checked']} ops + {plans['apps_checked']} apps "
+                         f"replay bit-identical, {plans['roundtrips']} byte-exact "
+                         "round-trips" if plans["ok"] else "FAILED"))
         if "integrity" in report.sections:
             integ = report.sections["integrity"]
             detected = sum(
@@ -454,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also export a Chrome trace JSON (simulated time)")
     prof_p.add_argument("--host-trace", metavar="FILE.json",
                         help="also export the host span trace (telemetry)")
+    prof_p.add_argument("--plan-cache", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run with the AOT compiled-plan cache and "
+                             "surface its hit/miss/bind counters")
 
     report_p = sub.add_parser("report", help="bundle archived benchmark results")
     report_p.add_argument("--results-dir", default="benchmarks/results")
@@ -484,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="real seconds per modeled second (0 = free-run)")
         p.add_argument("--deadline", type=float, default=None, metavar="SEC",
                        help="per-request deadline in real seconds")
+        p.add_argument("--plan-cache", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="AOT compiled-plan cache: lower each distinct "
+                            "GEMM signature once, bind cached plans after")
 
     serve_p = sub.add_parser("serve", help="run a multi-tenant serving session")
     add_serving_args(serve_p)
@@ -501,7 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf_p.add_argument("--suite", default="ops,apps,format,serve",
                         help="comma-separated subset of "
-                             "ops,apps,format,serve,integrity")
+                             "ops,apps,format,serve,integrity,plans")
     conf_p.add_argument("--seed", type=int, default=0,
                         help="campaign seed; the JSON report records it and "
                              "reproduces every case exactly")

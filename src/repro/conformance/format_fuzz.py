@@ -13,6 +13,7 @@ the seed in the JSON report reproduces every mutation exactly.
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, List
@@ -28,6 +29,21 @@ from repro.edgetpu.model_format import (
 )
 from repro.edgetpu.quantize import QuantParams
 from repro.errors import ModelFormatError, ModelSizeMismatchError
+from repro.plan.compiled import (
+    KIND_GEMM,
+    KIND_GENERIC,
+    CompiledPlan,
+    GemmGeometry,
+    GemmModelBlock,
+    InstrTemplate,
+    IntegrityTemplate,
+)
+from repro.plan.serial import (
+    PLAN_HEADER_SIZE,
+    PLAN_MAGIC,
+    parse_plan,
+    serialize_plan,
+)
 
 #: Metadata layout past the data section: rows (u32), cols (u32), f32 scale.
 _META_SIZE = 12
@@ -168,6 +184,188 @@ def run_fuzz(seed: int, iterations: int = 400) -> FuzzReport:
         if back != blob:
             report.violations.append(
                 f"iter {i}: {mutation} mutation was accepted but "
+                f"re-serialized differently ({len(back)} vs {len(blob)} bytes)"
+            )
+            continue
+        report.roundtripped += 1
+    return report
+
+
+# ----------------------------------------------------------------------
+# compiled-plan blobs (the §3.3 layout extended — repro.plan.serial)
+# ----------------------------------------------------------------------
+
+#: Plan-blob mutation operators.  The plan body is a variable-length
+#: record stream (no fixed metadata tail), so the model fuzzer's
+#: ``scale``/``dims`` operators become a single ``body-byte`` operator
+#: that strikes anywhere in the stream: string lengths, record counts,
+#: kind/flag codes, f64 costs, scales, and int8 model data.
+PLAN_MUTATIONS = (
+    "identity",
+    "magic",
+    "version",
+    "size-field",
+    "truncate",
+    "extend",
+    "body-byte",
+    "reserved-header",
+)
+
+
+def _rand_template(rng: np.random.Generator, i: int) -> InstrTemplate:
+    return InstrTemplate(
+        opname=str(rng.choice(["CONV2D", "ADD", "MUL", "TANH"])),
+        label=f"fuzz:t{i}",
+        group_key="task{task}:g" + str(i),
+        cache_key="{src}:c" + str(i),
+        model_cache_key="{msrc}:m" + str(i),
+        data_bytes=int(rng.integers(0, 1 << 20)),
+        model_bytes=int(rng.integers(0, 1 << 20)),
+        out_bytes=int(rng.integers(0, 1 << 20)),
+        count=int(rng.integers(1, 8)),
+        model_build_seconds=float(rng.integers(0, 1 << 20)) / (1 << 16),
+        exec_seconds=float(rng.integers(0, 1 << 20)) / (1 << 16),
+    )
+
+
+def _fresh_plan_blob(rng: np.random.Generator) -> bytes:
+    """Serialize a random well-formed plan (generic or gemm_conv2d)."""
+    templates = [_rand_template(rng, i) for i in range(int(rng.integers(1, 5)))]
+    if rng.integers(0, 2) == 0:
+        plan = CompiledPlan(
+            signature=f"plan-v1|fuzz|{int(rng.integers(0, 1 << 30))}",
+            kind=KIND_GENERIC,
+            opname="ADD",
+            cpu_seconds=float(rng.integers(0, 1 << 20)) / (1 << 16),
+            templates=templates,
+        )
+        return serialize_plan(plan)
+
+    n = int(rng.integers(1, 65))
+    s = math.isqrt(n - 1) + 1  # ceil(sqrt(n))
+    m = int(rng.integers(1, 33))
+    k = int(rng.integers(1, 33))
+    geometry = GemmGeometry(
+        m=m,
+        n=n,
+        k=k,
+        s=s,
+        rows_per_chunk=int(rng.integers(1, m + 1)),
+        batch=int(rng.integers(1, k + 1)),
+    )
+    integrity_mode = str(rng.choice(["off", "abft", "vote"]))
+    checks = []
+    if integrity_mode != "off":
+        for i, _ in enumerate(geometry.row_starts):
+            r0 = int(rng.integers(0, m))
+            c0 = int(rng.integers(0, k))
+            checks.append(
+                IntegrityTemplate(
+                    label=f"fuzz:chk{i}",
+                    rows=(r0, r0 + int(rng.integers(1, 4))),
+                    cols=(c0, c0 + int(rng.integers(1, 4))),
+                )
+            )
+    model = None
+    if rng.integers(0, 2):
+        scales = 2.0 ** rng.integers(-6, 7, size=len(geometry.col_starts))
+        model = GemmModelBlock(
+            q_b=rng.integers(-127, 128, size=(n, k)).astype(np.float32),
+            col_scales=scales.astype(np.float64),
+            b_lo=-float(rng.integers(1, 64)),
+            b_hi=float(rng.integers(1, 64)),
+            b_digest=rng.integers(0, 256, size=32).astype(np.uint8).tobytes(),
+        )
+    plan = CompiledPlan(
+        signature=f"plan-v1|fuzz|{int(rng.integers(0, 1 << 30))}",
+        kind=KIND_GEMM,
+        opname="CONV2D",
+        cpu_seconds=float(rng.integers(0, 1 << 20)) / (1 << 16),
+        templates=templates,
+        integrity_mode=integrity_mode,
+        integrity=checks,
+        geometry=geometry,
+        model=model,
+    )
+    return serialize_plan(plan)
+
+
+def _mutate_plan(blob: bytes, mutation: str, rng: np.random.Generator) -> bytes:
+    buf = bytearray(blob)
+    if mutation == "identity":
+        return bytes(buf)
+    if mutation == "magic":
+        pos = int(rng.integers(0, len(PLAN_MAGIC)))
+        buf[pos] ^= int(rng.integers(1, 256))
+        return bytes(buf)
+    if mutation == "version":
+        bad = int(rng.integers(2, 2**31))
+        struct.pack_into("<I", buf, len(PLAN_MAGIC), bad)
+        return bytes(buf)
+    if mutation == "size-field":
+        (size,) = struct.unpack_from("<I", buf, PLAN_HEADER_SIZE - 4)
+        delta = 0
+        while delta == 0:
+            delta = int(rng.integers(-min(size, 64), 65))
+        struct.pack_into("<I", buf, PLAN_HEADER_SIZE - 4, size + delta)
+        return bytes(buf)
+    if mutation == "truncate":
+        cut = int(rng.integers(1, min(len(buf), 32) + 1))
+        return bytes(buf[:-cut])
+    if mutation == "extend":
+        extra = rng.integers(0, 256, size=int(rng.integers(1, 32))).astype(np.uint8)
+        return bytes(buf) + extra.tobytes()
+    if mutation == "body-byte":
+        pos = PLAN_HEADER_SIZE + int(rng.integers(0, len(buf) - PLAN_HEADER_SIZE))
+        buf[pos] ^= int(rng.integers(1, 256))
+        return bytes(buf)
+    if mutation == "reserved-header":
+        pos = int(rng.integers(len(PLAN_MAGIC) + 4, PLAN_HEADER_SIZE - 4))
+        buf[pos] ^= int(rng.integers(1, 256))
+        return bytes(buf)
+    raise ValueError(f"unknown plan mutation {mutation!r}")  # pragma: no cover
+
+
+def run_plan_fuzz(seed: int, iterations: int = 400) -> FuzzReport:
+    """Fuzz the compiled-plan parser with the same accept/reject contract.
+
+    Every mutated blob must be rejected with a typed error
+    (:class:`~repro.errors.PlanFormatError` is a
+    :class:`ModelFormatError`, with :class:`ModelSizeMismatchError`
+    specifically for header-size disagreements) or accepted and
+    re-serialized byte-exactly.
+    """
+    report = FuzzReport()
+    rng = derive_rng(seed, "plan-fuzz")
+    for i in range(iterations):
+        mutation = PLAN_MUTATIONS[int(rng.integers(0, len(PLAN_MUTATIONS)))]
+        blob = _mutate_plan(_fresh_plan_blob(rng), mutation, rng)
+        report.iterations += 1
+        report.by_mutation[mutation] = report.by_mutation.get(mutation, 0) + 1
+        try:
+            parsed = parse_plan(blob)
+        except ModelSizeMismatchError:
+            report.rejected += 1
+            report.typed_size_errors += 1
+            continue
+        except ModelFormatError:
+            if mutation == "size-field":
+                report.violations.append(
+                    f"iter {i}: plan size-field mutation raised an untyped "
+                    "ModelFormatError"
+                )
+            report.rejected += 1
+            continue
+        except Exception as exc:  # non-ModelFormatError escape = bug
+            report.violations.append(
+                f"iter {i}: plan {mutation} mutation escaped the typed "
+                f"hierarchy: {type(exc).__name__}: {exc}"
+            )
+            continue
+        back = serialize_plan(parsed)
+        if back != blob:
+            report.violations.append(
+                f"iter {i}: plan {mutation} mutation was accepted but "
                 f"re-serialized differently ({len(back)} vs {len(blob)} bytes)"
             )
             continue

@@ -12,7 +12,12 @@
 * ``serve``  — the fault-injection campaign
   (:mod:`repro.conformance.campaign`);
 * ``integrity`` — the silent-data-corruption campaign over the
-  ABFT/vote-defended stack (:mod:`repro.conformance.integrity`).
+  ABFT/vote-defended stack (:mod:`repro.conformance.integrity`);
+* ``plans`` — the AOT compiled-plan battery
+  (:mod:`repro.conformance.plans`): cached replay bit-identical to
+  fresh lowering across the op catalog and all applications, byte-exact
+  plan round-trips, ABFT detection through cached plans, plus the
+  plan-blob mutation fuzzer.
 
 The report is reproducible from the recorded ``seed`` alone: every RNG
 stream derives from it (:func:`repro.conformance.oracles.derive_rng`)
@@ -30,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.apps import all_applications
 from repro.conformance.campaign import DEFAULT_SCENARIOS, FaultScenario, run_campaign
 from repro.conformance.cases import APP_PARAMS, OP_CASES
-from repro.conformance.format_fuzz import run_fuzz
+from repro.conformance.format_fuzz import run_fuzz, run_plan_fuzz
 from repro.conformance.integrity import (
     DEFAULT_INTEGRITY_SCENARIOS,
     IntegrityScenario,
@@ -38,10 +43,11 @@ from repro.conformance.integrity import (
 )
 from repro.conformance.metamorphic import run_properties
 from repro.conformance.oracles import app_oracles, derive_rng, run_oracles
+from repro.conformance.plans import run_plans
 from repro.metrics.errors import bound_for_app, bound_for_op
 
 #: Suites in canonical execution/report order.
-SUITES = ("ops", "apps", "format", "serve", "integrity")
+SUITES = ("ops", "apps", "format", "serve", "integrity", "plans")
 
 
 @dataclass
@@ -190,6 +196,21 @@ def _run_integrity_suite(
     }
 
 
+def _run_plans_suite(
+    seed: int, report: ConformanceReport, fuzz_iterations: int
+) -> None:
+    plans = run_plans(seed)
+    for violation in plans.violations:
+        report.failures.append(f"plans: {violation}")
+    fuzz = run_plan_fuzz(seed, iterations=fuzz_iterations)
+    for violation in fuzz.violations:
+        report.failures.append(f"plans: fuzz: {violation}")
+    section = plans.as_dict()
+    section["fuzz"] = fuzz.as_dict()
+    section["ok"] = not any(f.startswith("plans:") for f in report.failures)
+    report.sections["plans"] = section
+
+
 def run_conformance(
     suites: Sequence[str] = SUITES,
     seed: int = 0,
@@ -212,4 +233,6 @@ def run_conformance(
         _run_integrity_suite(
             report.seed, report, integrity_scenarios or DEFAULT_INTEGRITY_SCENARIOS
         )
+    if "plans" in ordered:
+        _run_plans_suite(report.seed, report, fuzz_iterations)
     return report

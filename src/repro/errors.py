@@ -84,6 +84,18 @@ class ModelSizeMismatchError(ModelFormatError):
         self.actual = actual
 
 
+class PlanFormatError(ModelFormatError):
+    """Raised when a serialized compiled plan fails to parse or validate.
+
+    Compiled plans (:mod:`repro.plan`) extend the §3.3 model-binary
+    layout with a versioned plan header, instruction-group records, and
+    an integrity block; the same reject-typed-or-roundtrip-byte-exact
+    contract applies, so the error slots into the :class:`ModelFormatError`
+    hierarchy (size-field disagreements still raise the dedicated
+    :class:`ModelSizeMismatchError`).
+    """
+
+
 class QuantizationError(GPTPUError):
     """Raised when data cannot be quantized (e.g. non-finite inputs)."""
 

@@ -1,0 +1,56 @@
+"""repro.plan — AOT compiled-plan capture, caching, and serialization.
+
+The executorch-style lowering/delegation split (ROADMAP item 1): the
+Tensorizer *captures* the data-independent outcome of lowering one
+operation into a :class:`CompiledPlan` (tiling geometry, instruction
+templates, integrity layout, and — for GEMMs — the quantized model
+operand), a bounded-LRU :class:`PlanCache` keyed by the full lowering
+signature holds the plans, and replay *binds* a plan to each new
+request with only per-request input quantization left on the host.
+
+Plans round-trip to bytes through :func:`serialize_plan` /
+:func:`parse_plan` — a versioned extension of the §3.3 model binary
+layout — so they can be persisted, content-hashed
+(:func:`plan_digest`), shipped between processes (ROADMAP item 2), or
+segmented across devices (item 3).
+"""
+
+from repro.plan.cache import DEFAULT_MAX_ENTRIES, PlanCache, plan_signature
+from repro.plan.compiled import (
+    KIND_GEMM,
+    KIND_GENERIC,
+    CompiledPlan,
+    GemmGeometry,
+    GemmModelBlock,
+    InstrTemplate,
+    IntegrityTemplate,
+    model_block_for,
+)
+from repro.plan.serial import (
+    PLAN_FORMAT_VERSION,
+    PLAN_HEADER_SIZE,
+    PLAN_MAGIC,
+    parse_plan,
+    plan_digest,
+    serialize_plan,
+)
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "KIND_GEMM",
+    "KIND_GENERIC",
+    "PLAN_FORMAT_VERSION",
+    "PLAN_HEADER_SIZE",
+    "PLAN_MAGIC",
+    "CompiledPlan",
+    "GemmGeometry",
+    "GemmModelBlock",
+    "InstrTemplate",
+    "IntegrityTemplate",
+    "PlanCache",
+    "model_block_for",
+    "parse_plan",
+    "plan_digest",
+    "plan_signature",
+    "serialize_plan",
+]

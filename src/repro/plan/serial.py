@@ -1,0 +1,402 @@
+"""Serialized compiled plans: the §3.3 layout, extended.
+
+A plan blob keeps the model binary format's structure (paper §3.3) so
+the same tooling conventions apply:
+
+1. a **120-byte header** whose first bytes carry a magic tag and format
+   version and whose **last 4 bytes** are an unsigned little-endian
+   integer — here the size of the *plan body* that follows;
+2. the body: the lowering signature, the plan kind, the tiling
+   geometry, one **instruction-group record** per template, the
+   **integrity block** (checksum layout), and — for GEMM plans — the
+   quantized model operand as §3.3 int8 row-major data plus its
+   per-kernel-batch scales;
+3. **little-endian** encoding throughout.
+
+Parsing obeys the same contract the model parser does (and the fuzzer
+enforces): every malformed blob is rejected with a typed error —
+:class:`~repro.errors.PlanFormatError`, or
+:class:`~repro.errors.ModelSizeMismatchError` when the header's size
+field disagrees with the blob — and every accepted blob re-serializes
+**byte-exactly**.  The parser consumes the body completely; trailing or
+missing bytes are never guessed around.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List
+
+import numpy as np
+
+from repro.errors import ModelSizeMismatchError, PlanFormatError
+from repro.plan.compiled import (
+    KIND_GEMM,
+    KIND_GENERIC,
+    CompiledPlan,
+    GemmGeometry,
+    GemmModelBlock,
+    InstrTemplate,
+    IntegrityTemplate,
+)
+
+#: Header size, shared with the §3.3 model format.
+PLAN_HEADER_SIZE = 120
+#: Magic tag distinguishing plan blobs from model blobs ("GPTPUMDL").
+PLAN_MAGIC = b"GPTPUPLN"
+#: Plan format version we emit.
+PLAN_FORMAT_VERSION = 1
+
+_KIND_CODES = {KIND_GENERIC: 0, KIND_GEMM: 1}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+_INTEGRITY_MODES = ("off", "abft", "vote")
+
+#: Fixed-width tail of one instruction-group record past its strings:
+#: data/model/out bytes (u64 ×3), count (u32), build+exec seconds (f64 ×2).
+_TEMPLATE_FIXED = struct.Struct("<QQQIdd")
+#: Integrity record tail: r0, r1, c0, c1 (u32 ×4).
+_CHECK_FIXED = struct.Struct("<IIII")
+#: Smallest possible encodings, used to bound count fields up front.
+_TEMPLATE_MIN = 1 + 2 * 4 + _TEMPLATE_FIXED.size
+_CHECK_MIN = 2 + _CHECK_FIXED.size
+
+
+def plan_digest(blob: bytes) -> str:
+    """Stable content hash of a serialized plan (ship-and-verify handle)."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+
+
+def _enc_str(out: bytearray, text: str, width: str) -> None:
+    raw = text.encode("utf-8")
+    limit = 255 if width == "B" else 65535
+    if len(raw) > limit:
+        raise PlanFormatError(
+            f"plan string too long to serialize ({len(raw)} bytes > {limit})"
+        )
+    out += struct.pack(f"<{width}", len(raw))
+    out += raw
+
+
+def _finite(value: float, what: str) -> float:
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise PlanFormatError(f"{what} must be finite and non-negative, got {value}")
+    return value
+
+
+def serialize_plan(plan: CompiledPlan) -> bytes:
+    """Encode a :class:`CompiledPlan` into the versioned plan format."""
+    if plan.kind not in _KIND_CODES:
+        raise PlanFormatError(f"unknown plan kind {plan.kind!r}")
+    if plan.integrity_mode not in _INTEGRITY_MODES:
+        raise PlanFormatError(f"unknown integrity mode {plan.integrity_mode!r}")
+    if plan.integrity_mode == "off" and plan.integrity:
+        raise PlanFormatError("integrity checks recorded with mode 'off'")
+
+    body = bytearray()
+    _enc_str(body, plan.signature, "H")
+    body += struct.pack("<B", _KIND_CODES[plan.kind])
+    _enc_str(body, plan.opname, "B")
+    body += struct.pack("<d", _finite(plan.cpu_seconds, "plan cpu_seconds"))
+
+    # Geometry block: field count then u32 values (0 for generic plans).
+    if plan.kind == KIND_GEMM:
+        g = plan.geometry
+        body += struct.pack(
+            "<BIIIIII", 6, g.m, g.n, g.k, g.s, g.rows_per_chunk, g.batch
+        )
+    else:
+        if plan.geometry is not None:
+            raise PlanFormatError("generic plans carry no geometry block")
+        body += struct.pack("<B", 0)
+
+    # Instruction-group records.
+    body += struct.pack("<I", len(plan.templates))
+    for t in plan.templates:
+        _enc_str(body, t.opname, "B")
+        _enc_str(body, t.label, "H")
+        _enc_str(body, t.group_key, "H")
+        _enc_str(body, t.cache_key, "H")
+        _enc_str(body, t.model_cache_key, "H")
+        body += _TEMPLATE_FIXED.pack(
+            t.data_bytes,
+            t.model_bytes,
+            t.out_bytes,
+            t.count,
+            _finite(t.model_build_seconds, "template model_build_seconds"),
+            _finite(t.exec_seconds, "template exec_seconds"),
+        )
+
+    # Integrity block.
+    _enc_str(body, plan.integrity_mode, "B")
+    body += struct.pack("<I", len(plan.integrity))
+    for check in plan.integrity:
+        _enc_str(body, check.label, "H")
+        body += _CHECK_FIXED.pack(
+            check.rows[0], check.rows[1], check.cols[0], check.cols[1]
+        )
+
+    # Model block (GEMM plans with a captured SCALE-mode operand).
+    model = plan.model
+    if model is not None and plan.kind != KIND_GEMM:
+        raise PlanFormatError("only gemm_conv2d plans carry a model block")
+    if model is None:
+        body += struct.pack("<B", 0)
+    else:
+        q_b = np.asarray(model.q_b)
+        if q_b.ndim != 2:
+            raise PlanFormatError(f"model block data must be 2-D, got {q_b.shape}")
+        rows, cols = q_b.shape
+        scales = np.asarray(model.col_scales, dtype="<f8")
+        digest = bytes(model.b_digest)
+        if len(digest) != 32:
+            raise PlanFormatError("model block digest must be 32 bytes (sha256)")
+        body += struct.pack("<B", 1)
+        body += digest
+        body += struct.pack("<dd", model.b_lo, model.b_hi)
+        body += struct.pack("<III", rows, cols, scales.size)
+        body += scales.tobytes()
+        # §3.3 data section: binary 8-bit integers in row-major order.
+        body += np.ascontiguousarray(q_b).astype(np.int8).tobytes()
+
+    header = bytearray(PLAN_HEADER_SIZE)
+    header[: len(PLAN_MAGIC)] = PLAN_MAGIC
+    struct.pack_into("<I", header, len(PLAN_MAGIC), PLAN_FORMAT_VERSION)
+    # §3.3: the last 4 header bytes are an unsigned size integer — for
+    # plans, the size of the whole body.
+    struct.pack_into("<I", header, PLAN_HEADER_SIZE - 4, len(body))
+    return bytes(header) + bytes(body)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+
+
+class _Reader:
+    """Cursor over the plan body; every read is bounds-checked."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: memoryview) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.buf) - self.pos
+
+    def take(self, n: int) -> memoryview:
+        if n < 0 or n > self.remaining:
+            raise PlanFormatError(
+                f"plan body truncated: needed {n} bytes, {self.remaining} left"
+            )
+        out = self.buf[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def unpack(self, st: struct.Struct):
+        return st.unpack(self.take(st.size).tobytes())
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self.take(2), "little")
+
+    def u32(self) -> int:
+        return int.from_bytes(self.take(4), "little")
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8).tobytes())[0]
+
+    def string(self, width: str) -> str:
+        length = self.u8() if width == "B" else self.u16()
+        raw = self.take(length).tobytes()
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PlanFormatError(f"plan string is not valid UTF-8: {exc}") from None
+
+
+def _check_finite(value: float, what: str) -> float:
+    if not np.isfinite(value) or value < 0:
+        raise PlanFormatError(f"{what} must be finite and non-negative, got {value}")
+    return float(value)
+
+
+def parse_plan(blob: bytes) -> CompiledPlan:
+    """Decode a plan blob, validating every structural invariant."""
+    if len(blob) < PLAN_HEADER_SIZE:
+        raise PlanFormatError(
+            f"blob too short to be a plan ({len(blob)} bytes < "
+            f"{PLAN_HEADER_SIZE} header minimum)"
+        )
+    if bytes(blob[: len(PLAN_MAGIC)]) != PLAN_MAGIC:
+        raise PlanFormatError("bad magic: not a compiled-plan blob")
+    (version,) = struct.unpack_from("<I", blob, len(PLAN_MAGIC))
+    if version != PLAN_FORMAT_VERSION:
+        raise PlanFormatError(f"unsupported plan format version {version}")
+    if any(blob[len(PLAN_MAGIC) + 4 : PLAN_HEADER_SIZE - 4]):
+        # Same rule as the model header: undocumented bytes are emitted
+        # as zeros; nonzero bytes would be dropped on re-serialization,
+        # so reject rather than guess.
+        raise PlanFormatError("reserved plan header bytes must be zero")
+    (body_size,) = struct.unpack_from("<I", blob, PLAN_HEADER_SIZE - 4)
+    actual = len(blob) - PLAN_HEADER_SIZE
+    if body_size != actual:
+        raise ModelSizeMismatchError(
+            f"plan header declares a {body_size}-byte body but the blob "
+            f"holds {actual} bytes past the header",
+            declared=body_size,
+            actual=actual,
+        )
+
+    r = _Reader(memoryview(blob)[PLAN_HEADER_SIZE:])
+    signature = r.string("H")
+    kind_code = r.u8()
+    if kind_code not in _KIND_NAMES:
+        raise PlanFormatError(f"unknown plan kind code {kind_code}")
+    kind = _KIND_NAMES[kind_code]
+    opname = r.string("B")
+    if not opname:
+        raise PlanFormatError("plan opname must be non-empty")
+    cpu_seconds = _check_finite(r.f64(), "plan cpu_seconds")
+
+    geom_fields = r.u8()
+    geometry = None
+    if kind == KIND_GEMM:
+        if geom_fields != 6:
+            raise PlanFormatError(
+                f"gemm_conv2d plans carry 6 geometry fields, got {geom_fields}"
+            )
+        m, n, k, s, rows_per_chunk, batch = (r.u32() for _ in range(6))
+        if min(m, n, k, s, rows_per_chunk, batch) < 1:
+            raise PlanFormatError("geometry fields must be positive")
+        if s * s < n or (s - 1) * (s - 1) >= n:
+            raise PlanFormatError(
+                f"geometry stride {s} is not ceil(sqrt({n})) (§7.1.2)"
+            )
+        geometry = GemmGeometry(
+            m=m, n=n, k=k, s=s, rows_per_chunk=rows_per_chunk, batch=batch
+        )
+    elif geom_fields != 0:
+        raise PlanFormatError(
+            f"generic plans carry no geometry fields, got {geom_fields}"
+        )
+
+    n_templates = r.u32()
+    if n_templates * _TEMPLATE_MIN > r.remaining:
+        raise PlanFormatError(
+            f"instruction-record count {n_templates} exceeds the plan body"
+        )
+    templates: List[InstrTemplate] = []
+    for _ in range(n_templates):
+        t_opname = r.string("B")
+        label = r.string("H")
+        group_key = r.string("H")
+        cache_key = r.string("H")
+        model_cache_key = r.string("H")
+        data_bytes, model_bytes, out_bytes, count, build_s, exec_s = r.unpack(
+            _TEMPLATE_FIXED
+        )
+        if not t_opname:
+            raise PlanFormatError("instruction record opname must be non-empty")
+        if count < 1:
+            raise PlanFormatError(f"instruction record count must be >= 1, got {count}")
+        templates.append(
+            InstrTemplate(
+                opname=t_opname,
+                label=label,
+                group_key=group_key,
+                cache_key=cache_key,
+                model_cache_key=model_cache_key,
+                data_bytes=data_bytes,
+                model_bytes=model_bytes,
+                out_bytes=out_bytes,
+                count=count,
+                model_build_seconds=_check_finite(
+                    build_s, "template model_build_seconds"
+                ),
+                exec_seconds=_check_finite(exec_s, "template exec_seconds"),
+            )
+        )
+
+    integrity_mode = r.string("B")
+    if integrity_mode not in _INTEGRITY_MODES:
+        raise PlanFormatError(f"unknown integrity mode {integrity_mode!r}")
+    n_checks = r.u32()
+    if integrity_mode == "off" and n_checks:
+        raise PlanFormatError("integrity checks present with mode 'off'")
+    if n_checks * _CHECK_MIN > r.remaining:
+        raise PlanFormatError(f"integrity-check count {n_checks} exceeds the plan body")
+    checks: List[IntegrityTemplate] = []
+    for _ in range(n_checks):
+        label = r.string("H")
+        r0, r1, c0, c1 = r.unpack(_CHECK_FIXED)
+        if r1 <= r0 or c1 <= c0:
+            raise PlanFormatError(
+                f"integrity check {label!r} has an empty tile ({r0},{r1})x({c0},{c1})"
+            )
+        checks.append(IntegrityTemplate(label=label, rows=(r0, r1), cols=(c0, c1)))
+
+    model = None
+    model_flag = r.u8()
+    if model_flag not in (0, 1):
+        raise PlanFormatError(f"model-block flag must be 0 or 1, got {model_flag}")
+    if model_flag:
+        if kind != KIND_GEMM:
+            raise PlanFormatError("only gemm_conv2d plans carry a model block")
+        digest = r.take(32).tobytes()
+        b_lo = r.f64()
+        b_hi = r.f64()
+        if not (np.isfinite(b_lo) and np.isfinite(b_hi)) or b_lo > b_hi:
+            raise PlanFormatError(
+                f"model block range [{b_lo}, {b_hi}] is not a finite interval"
+            )
+        rows, cols, n_scales = (r.u32() for _ in range(3))
+        if rows != geometry.n or cols != geometry.k:
+            raise PlanFormatError(
+                f"model block is {rows}x{cols} but the geometry wants "
+                f"{geometry.n}x{geometry.k}"
+            )
+        expected_scales = len(geometry.col_starts)
+        if n_scales != expected_scales:
+            raise PlanFormatError(
+                f"model block has {n_scales} scales, geometry wants {expected_scales}"
+            )
+        scales = np.frombuffer(r.take(8 * n_scales), dtype="<f8").astype(np.float64)
+        if not np.all(np.isfinite(scales)) or np.any(scales <= 0):
+            raise PlanFormatError("model block scales must be finite and positive")
+        data = np.frombuffer(r.take(rows * cols), dtype=np.int8)
+        q_b = data.reshape(rows, cols).astype(np.float32)
+        model = GemmModelBlock(
+            q_b=q_b,
+            col_scales=scales,
+            b_lo=float(b_lo),
+            b_hi=float(b_hi),
+            b_digest=digest,
+            b_ref=None,
+        )
+
+    if r.remaining:
+        raise PlanFormatError(
+            f"plan body has {r.remaining} undeclared trailing bytes"
+        )
+    return CompiledPlan(
+        signature=signature,
+        kind=kind,
+        opname=opname,
+        cpu_seconds=cpu_seconds,
+        templates=templates,
+        integrity_mode=integrity_mode,
+        integrity=checks,
+        geometry=geometry,
+        model=model,
+    )

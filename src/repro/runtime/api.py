@@ -37,6 +37,7 @@ from repro.errors import RuntimeAPIError, TaskError
 from repro.edgetpu.isa import Opcode
 from repro.host.energy import EnergyReport
 from repro.host.platform import Platform
+from repro.plan import PlanCache
 from repro.runtime.buffers import Buffer, Dimension, alloc_dimension, create_buffer
 from repro.runtime.executor import Executor, Timeline
 from repro.runtime.opqueue import LoweredOperation, OperationRequest, QuantMode
@@ -48,6 +49,7 @@ from repro.telemetry import (
     device_counters,
     get_tracer,
     memory_counters,
+    plan_counters,
     tensorizer_counters,
 )
 
@@ -80,11 +82,14 @@ class OpenCtpu:
         policy: Optional[SchedulePolicy] = None,
         quant: QuantMode = QuantMode.SCALE,
         tracer: Optional[SpanTracer] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.platform = platform or Platform()
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.plan_cache = plan_cache
         self.tensorizer = Tensorizer(
-            self.platform.config.edgetpu, options, self.platform.cpu, tracer=self.tracer
+            self.platform.config.edgetpu, options, self.platform.cpu,
+            tracer=self.tracer, plan_cache=plan_cache,
         )
         self.executor = Executor(self.platform, policy)
         self.default_quant = quant
@@ -264,6 +269,8 @@ class OpenCtpu:
         """Unified counter snapshot: lowering stats + device state."""
         registry = CounterRegistry()
         registry.register("tensorizer", tensorizer_counters(self.tensorizer.stats))
+        if self.plan_cache is not None:
+            registry.register("plan", plan_counters(self.plan_cache))
         for device in self.platform.devices:
             registry.register(f"memory.{device.name}", memory_counters(device.memory))
             registry.register(f"device.{device.name}", device_counters(device))

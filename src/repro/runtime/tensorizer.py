@@ -67,6 +67,18 @@ from repro.edgetpu.quantize import (
 from repro.edgetpu.timing import TimingModel
 from repro.host.cpu import CPUCoreModel
 from repro.integrity.plan import IntegrityPlan, make_exact_check, make_gemm_check
+from repro.plan.cache import PlanCache, plan_signature
+from repro.plan.compiled import (
+    KIND_GEMM,
+    MODEL_SRC_TOKEN,
+    SRC_TOKEN,
+    TASK_TOKEN,
+    CompiledPlan,
+    GemmGeometry,
+    InstrTemplate,
+    IntegrityTemplate,
+    model_block_for,
+)
 from repro.runtime.opqueue import (
     LoweredInstr,
     LoweredOperation,
@@ -89,6 +101,11 @@ MODEL_OVERHEAD_BYTES = HEADER_SIZE + 12
 #: Quant-param memo bound; ranges seen per run are few (repeated chunks,
 #: iterative apps), but pathological streams must not grow without bound.
 _QUANT_CACHE_MAX = 65536
+
+#: Conv2D-GEMM scratch-buffer LRU bound.  A serving mix alternating
+#: between a few GEMM geometries keeps each one's ~tens-of-MB buffers
+#: resident; anything beyond a handful of live geometries is churn.
+_GEMM_SCRATCH_SLOTS = 4
 
 
 @dataclass(frozen=True)
@@ -157,6 +174,12 @@ class TensorizerStats:
     integrity_plans: int = 0
     #: Tile checks (expected tile + checksums) recorded across plans.
     integrity_tiles_planned: int = 0
+    #: Compiled plans captured into the plan cache (misses that lowered
+    #: fresh and stored their outcome).
+    plan_captures: int = 0
+    #: Operations replayed from a cached plan (warm binds; a coalesced
+    #: group counts one per member request).
+    plan_replays: int = 0
 
 
 class Tensorizer:
@@ -168,6 +191,7 @@ class Tensorizer:
         options: Optional[TensorizerOptions] = None,
         cpu: Optional[CPUCoreModel] = None,
         tracer: Optional["SpanTracer"] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.tpu_config = tpu_config or EdgeTPUConfig()
         self.options = options or TensorizerOptions()
@@ -195,8 +219,20 @@ class Tensorizer:
         self._quant_cache: "OrderedDict[float, QuantParams]" = OrderedDict()
         self._quant_cache_max = _QUANT_CACHE_MAX
         self._global_params: Optional[QuantParams] = None
-        # Last-used conv2D-GEMM scratch buffers: (geometry key, dict).
-        self._gemm_scratch: Optional[tuple] = None
+        # AOT compiled-plan cache (opt-in).  None keeps the legacy
+        # lower-every-time path — including its per-call model-build
+        # accounting, which several tests and the ablation CLI pin.
+        self.plan_cache = plan_cache
+        if plan_cache is not None and not self.options.vectorized:
+            raise TensorizerError(
+                "the plan cache requires the vectorized lowering path "
+                "(the scalar path is the bit-identity oracle and stays plan-free)"
+            )
+        # True while re-running a lowering rule under a cached plan;
+        # model builds then bind at zero cost without touching stats.
+        self._replaying = False
+        # Keyed LRU of conv2D-GEMM scratch buffers: geometry key -> dict.
+        self._gemm_scratch: "OrderedDict[tuple, dict]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # public entry point
@@ -221,6 +257,107 @@ class Tensorizer:
     def _lower_impl(self, request: OperationRequest) -> LoweredOperation:
         self._normalize_inputs(request)
         self._global_params = None  # per-operation GLOBAL-params memo
+        cache = self.plan_cache
+        gemm = request.opcode is Opcode.CONV2D and request.attrs.get("gemm", False)
+        if cache is None or not self.options.vectorized or gemm:
+            # conv2D-GEMM consults the cache inside its own rule (it has
+            # a dedicated fast-replay path reusing the quantized model);
+            # every other vectorized rule replays generically below.
+            lowered = self._dispatch_rule(request)
+        else:
+            lowered = self._lower_generic_planned(request, cache)
+        self.stats.operations_lowered += 1
+        self.stats.instructions_emitted += lowered.instruction_count
+        self.stats.saturated_values += lowered.saturated
+        self._op_seq += 1
+        return lowered
+
+    def _lower_generic_planned(
+        self, request: OperationRequest, cache: PlanCache
+    ) -> LoweredOperation:
+        """Plan capture/replay for every rule without a dedicated path.
+
+        A miss runs the rule as usual and freezes its instruction stream
+        into a plan; a hit re-runs the same rule under ``_replaying``, so
+        the §6.2.3 model builds — already accounted at capture — bind at
+        zero cost, and the emitted stream is validated against the plan.
+        Results are bit-identical either way: the rule's arithmetic is
+        a pure function of the request.
+        """
+        signature = plan_signature(request, self.options, self.tpu_config)
+        plan = cache.get(signature)
+        tracer = self._tracer
+        if plan is None:
+            tracer.instant(
+                "plan_miss", cat="plan", track="tensorizer", op=request.opcode.opname
+            )
+            lowered = self._dispatch_rule(request)
+            cache.put(signature, self._capture_generic(signature, request, lowered))
+            self.stats.plan_captures += 1
+            return lowered
+        tracer.instant(
+            "plan_hit", cat="plan", track="tensorizer", op=request.opcode.opname
+        )
+        sp = tracer.begin(
+            "plan_bind", cat="plan", track="tensorizer", op=request.opcode.opname
+        )
+        self._replaying = True
+        try:
+            lowered = self._dispatch_rule(request)
+        finally:
+            self._replaying = False
+            tracer.end(sp)
+        if len(lowered.instrs) != len(plan.templates):
+            raise TensorizerError(
+                f"cached plan for {request.opcode.opname} records "
+                f"{len(plan.templates)} instruction templates but replay "
+                f"emitted {len(lowered.instrs)}"
+            )
+        plan.replays += 1
+        cache.note_bind()
+        self.stats.plan_replays += 1
+        return lowered
+
+    def _capture_generic(
+        self, signature: str, request: OperationRequest, lowered: LoweredOperation
+    ) -> CompiledPlan:
+        """Freeze a just-lowered operation's stream into a generic plan."""
+        templates = [
+            InstrTemplate(
+                opname=i.opcode.opname,
+                label=i.label,
+                group_key=i.group_key,
+                cache_key=i.cache_key,
+                model_cache_key=i.model_cache_key,
+                data_bytes=i.data_bytes,
+                model_bytes=i.model_bytes,
+                out_bytes=i.out_bytes,
+                count=i.count,
+                model_build_seconds=i.model_build_seconds,
+                exec_seconds=i.exec_seconds,
+            )
+            for i in lowered.instrs
+        ]
+        integ = lowered.integrity
+        checks = (
+            [
+                IntegrityTemplate(label=c.label, rows=c.rows, cols=c.cols)
+                for c in integ.checks.values()
+            ]
+            if integ is not None
+            else []
+        )
+        return CompiledPlan(
+            signature=signature,
+            kind="generic",
+            opname=request.opcode.opname,
+            cpu_seconds=lowered.cpu_seconds,
+            templates=templates,
+            integrity_mode=integ.mode if integ is not None else "off",
+            integrity=checks,
+        )
+
+    def _dispatch_rule(self, request: OperationRequest) -> LoweredOperation:
         op = request.opcode
         vec = self.options.vectorized
         if op.is_pairwise:
@@ -270,10 +407,6 @@ class Tensorizer:
             lowered = self._lower_ext(request)
         else:  # pragma: no cover - all opcodes handled above
             raise TensorizerError(f"no lowering rule for {op!r}")
-        self.stats.operations_lowered += 1
-        self.stats.instructions_emitted += lowered.instruction_count
-        self.stats.saturated_values += lowered.saturated
-        self._op_seq += 1
         return lowered
 
     # ------------------------------------------------------------------
@@ -297,6 +430,10 @@ class Tensorizer:
 
     def _model_build_seconds(self, elems: int) -> float:
         """Cost of creating one model blob (fast path or TFLite)."""
+        if self._replaying:
+            # AOT replay: the model was built — and its cost accounted —
+            # once, at plan capture.  The warm bind ships it for free.
+            return 0.0
         if self.options.fast_model_builder:
             seconds = self.timing.tensorizer_build_seconds(elems)
         else:
@@ -346,6 +483,17 @@ class Tensorizer:
         if not np.all(np.isfinite(data)):
             raise QuantizationError("data contains non-finite values")
         return self._params_for_range(float(np.max(np.abs(data))))
+
+    def _chunk_params(self, chunk: np.ndarray) -> QuantParams:
+        """Replay-path :meth:`_params_for_data`: bit-identical params from
+        one max and one min pass (``max|x| == max(max, -min)``, exact in
+        IEEE), without materializing an ``|x|`` temporary.  NaN anywhere
+        makes both reductions NaN and inf survives the fold, so the same
+        inputs are rejected with the same error."""
+        mx = max(float(chunk.max()), -float(chunk.min()))
+        if not math.isfinite(mx):
+            raise QuantizationError("data contains non-finite values")
+        return self._params_for_range(mx)
 
     def _input_params(self, request: OperationRequest, *tiles: np.ndarray) -> QuantParams:
         """Input quantization: per-tile (SCALE) or whole-dataset (GLOBAL)."""
@@ -1098,6 +1246,104 @@ class Tensorizer:
             model_cache_key=f"{model_source or source}:kernels{j0}",
         )
 
+    def _gemm_scratch_for(
+        self, m: int, n: int, k: int, rows_per_chunk: int, batch: int
+    ) -> dict:
+        """Keyed LRU of conv2D-GEMM scratch buffers.
+
+        Scratch (quantized operands, slab products, one strip
+        accumulator) survives between calls of the same geometry —
+        iterative apps re-lower identical shapes every step, and
+        refaulting ~50 MB of pages per call costs more than the
+        arithmetic.  The old single slot thrashed the moment a serving
+        mix *alternated* between two geometries (every call refaulted);
+        a small LRU keeps the few live geometries resident.
+        """
+        key = (m, n, k, rows_per_chunk, batch)
+        sc = self._gemm_scratch.get(key)
+        if sc is not None:
+            self._gemm_scratch.move_to_end(key)
+            return sc
+        strip_h = min(rows_per_chunk, m)
+        sc = {
+            "q_a": np.empty((m, n), dtype=np.float32),
+            "q_b": np.empty((n, k), dtype=np.float32),
+            "tmp_a": np.empty((strip_h, n), dtype=np.float64),
+            "tmp_b": np.empty((n, min(batch, k)), dtype=np.float64),
+            "strip": np.empty((strip_h, k), dtype=np.float64),
+            "parts": [
+                np.empty((m, k), dtype=np.float32)
+                for _ in functional.f32_slab_starts(n)
+            ],
+        }
+        self._gemm_scratch[key] = sc
+        while len(self._gemm_scratch) > _GEMM_SCRATCH_SLOTS:
+            self._gemm_scratch.popitem(last=False)
+        return sc
+
+    def _gemm_capture(self, request: OperationRequest, signature: str) -> CompiledPlan:
+        """Capture the data-independent half of one conv2D-GEMM lowering.
+
+        Geometry, per-piece instruction templates (identity left as
+        ``{src}``/``{task}``/``{msrc}`` placeholders, in the exact
+        (chunk, kernel-batch) emission order), the integrity-check
+        layout, and the §7.1.3 host-transform cost.  Model builds are
+        costed here, once — binding a warm replay charges nothing.
+        """
+        a, b = self._require_2d_pair(request)
+        if a.shape[1] != b.shape[0]:
+            raise TensorizerError(f"GEMM inner dims differ: {a.shape} x {b.shape}")
+        m, n = a.shape
+        k = b.shape[1]
+        s, rows_per_chunk, batch = self._gemm_conv2d_geometry(request, m, n)
+        geometry = GemmGeometry(m=m, n=n, k=k, s=s, rows_per_chunk=rows_per_chunk, batch=batch)
+        templates: List[InstrTemplate] = []
+        checks: List[IntegrityTemplate] = []
+        integrity_on = self.options.integrity != "off"
+        for c0 in geometry.row_starts:
+            c1 = min(c0 + rows_per_chunk, m)
+            chunk_bytes = (c1 - c0) * s * s
+            cache_key = f"{SRC_TOKEN}:rows{c0}"
+            for j0 in geometry.col_starts:
+                j1 = min(j0 + batch, k)
+                nk = j1 - j0
+                out_elems = (c1 - c0) * nk
+                model_elems = nk * s * s
+                label = f"convGEMM:r{c0}:k{j0}"
+                templates.append(
+                    InstrTemplate(
+                        opname=Opcode.CONV2D.opname,
+                        label=label,
+                        group_key=f"task{TASK_TOKEN}:{cache_key}",
+                        cache_key=cache_key,
+                        model_cache_key=f"{MODEL_SRC_TOKEN}:kernels{j0}",
+                        data_bytes=chunk_bytes,
+                        model_bytes=self._model_bytes(model_elems),
+                        out_bytes=out_elems,
+                        count=1,
+                        model_build_seconds=self._model_build_seconds(model_elems),
+                        exec_seconds=self.timing.instruction_seconds(
+                            Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
+                        ),
+                    )
+                )
+                if integrity_on:
+                    checks.append(
+                        IntegrityTemplate(label=label, rows=(c0, c1), cols=(j0, j1))
+                    )
+        return CompiledPlan(
+            signature=signature,
+            kind=KIND_GEMM,
+            opname=Opcode.CONV2D.opname,
+            cpu_seconds=self.cpu.elementwise_seconds(
+                m * s * s + k * s * s, bytes_per_elem=2
+            ),
+            templates=templates,
+            integrity_mode=self.options.integrity,
+            integrity=checks,
+            geometry=geometry,
+        )
+
     def _lower_gemm_conv2d_scalar(self, request: OperationRequest) -> LoweredOperation:
         a, b = self._require_2d_pair(request)
         if a.shape[1] != b.shape[0]:
@@ -1160,17 +1406,107 @@ class Tensorizer:
         return LoweredOperation(request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated)
 
     def _lower_gemm_conv2d_batched(self, request: OperationRequest) -> LoweredOperation:
+        cache = self.plan_cache
+        plan: Optional[CompiledPlan] = None
+        replay = False
+        if cache is not None:
+            signature = plan_signature(request, self.options, self.tpu_config)
+            plan = cache.get(signature)
+            if plan is None:
+                self._tracer.instant(
+                    "plan_miss", cat="plan", track="tensorizer", op=request.opcode.opname
+                )
+                sp = self._tracer.begin("plan_capture", cat="plan", track="tensorizer")
+                plan = self._gemm_capture(request, signature)
+                self._tracer.end(sp)
+                cache.put(signature, plan)
+                self.stats.plan_captures += 1
+            else:
+                self._tracer.instant(
+                    "plan_hit", cat="plan", track="tensorizer", op=request.opcode.opname
+                )
+                replay = True
+        lowered = self._gemm_execute(request, plan, replay=replay)
+        if replay:
+            plan.replays += 1
+            cache.note_bind()
+            self.stats.plan_replays += 1
+        return lowered
+
+    def _gemm_execute(
+        self,
+        request: OperationRequest,
+        plan: Optional[CompiledPlan],
+        *,
+        replay: bool,
+    ) -> LoweredOperation:
+        """Execute one conv2D-GEMM: legacy (``plan=None``), fresh bind of
+        a just-captured plan, or warm replay.
+
+        All three produce bit-identical results: the slab product and the
+        requantize arithmetic re-run per request with the same float64
+        values, and a replay reuses only data-independent artifacts (the
+        geometry, the instruction templates, and — after a value check —
+        the quantized model operand).
+        """
         a, b = self._require_2d_pair(request)
         if a.shape[1] != b.shape[0]:
             raise TensorizerError(f"GEMM inner dims differ: {a.shape} x {b.shape}")
         m, n = a.shape
         k = b.shape[1]
-        s, rows_per_chunk, batch = self._gemm_conv2d_geometry(request, m, n)
-        lo, hi = data_range(a, b)
+        if plan is not None:
+            g = plan.geometry
+            s, rows_per_chunk, batch = g.s, g.rows_per_chunk, g.batch
+        else:
+            s, rows_per_chunk, batch = self._gemm_conv2d_geometry(request, m, n)
         source = request.input_name or f"op{self._op_seq}"
 
         row_starts = list(range(0, m, rows_per_chunk))
         col_starts = list(range(0, k, batch))
+        n_rows = len(row_starts)
+        n_cols = len(col_starts)
+        if plan is not None and len(plan.templates) != n_rows * n_cols:
+            raise TensorizerError(
+                f"cached GEMM plan records {len(plan.templates)} pieces but the "
+                f"geometry yields {n_rows * n_cols}"
+            )
+
+        tracer = self._tracer
+        # The warm-path host work the plan cache does NOT amortize: input
+        # range scans + quantization of A, and template binding.  (The
+        # slab product and requantize below are the modeled *device*
+        # math — on real hardware they run on the TPU.)
+        bind_sp = (
+            tracer.begin("plan_bind", cat="plan", track="tensorizer", op=request.opcode.opname)
+            if replay
+            else None
+        )
+
+        # A warm replay with the cached model block skips every pass over
+        # B: quantized weights, per-batch scales, and B's value range all
+        # come from the plan, value-checked against this request's
+        # operand.  SCALE only — GLOBAL scales depend on A as well.
+        block = plan.model if plan is not None else None
+        reuse_model = (
+            replay
+            and request.quant is QuantMode.SCALE
+            and block is not None
+            and block.matches(b)
+        )
+
+        # Value range for the Eqs. 5-8 fallback.  data_range over both
+        # operands equals the fold of the per-operand ranges, so the
+        # split scans (reusing / capturing B's range) are bit-identical.
+        b_lo = b_hi = 0.0
+        if reuse_model:
+            a_lo, a_hi = data_range(a)
+            lo, hi = min(a_lo, block.b_lo), max(a_hi, block.b_hi)
+        elif plan is not None and request.quant is QuantMode.SCALE:
+            a_lo, a_hi = data_range(a)
+            b_lo, b_hi = data_range(b)
+            lo, hi = min(a_lo, b_lo), max(a_hi, b_hi)
+        else:
+            lo, hi = data_range(a, b)
 
         # Per-chunk / per-kernel-batch input scales.  The scalar loop
         # recomputes the column-batch params for *every* row chunk; they
@@ -1182,8 +1518,17 @@ class Tensorizer:
             p_glob = self._input_params(request, a)
             if not np.all(np.isfinite(a)) or not np.all(np.isfinite(b)):
                 raise QuantizationError("data contains non-finite values")
-            row_params = [p_glob] * len(row_starts)
-            col_params = [p_glob] * len(col_starts)
+            row_params = [p_glob] * n_rows
+            col_params = [p_glob] * n_cols
+        elif replay:
+            row_params = [
+                self._chunk_params(a[c0 : c0 + rows_per_chunk]) for c0 in row_starts
+            ]
+            col_params = (
+                None
+                if reuse_model
+                else [self._params_for_data(b[:, j0 : j0 + batch]) for j0 in col_starts]
+            )
         else:
             row_params = [
                 self._params_for_data(a[c0 : c0 + rows_per_chunk]) for c0 in row_starts
@@ -1191,31 +1536,13 @@ class Tensorizer:
             col_params = [
                 self._params_for_data(b[:, j0 : j0 + batch]) for j0 in col_starts
             ]
+        col_scales = (
+            block.col_scales
+            if reuse_model
+            else np.array([p.scale for p in col_params])
+        )
 
-        # Scratch buffers (quantized operands, slab products, one strip
-        # accumulator) survive between calls of the same geometry —
-        # iterative apps (PageRank, backprop) re-lower identical shapes
-        # every step, and refaulting ~50 MB of pages per call costs more
-        # than the arithmetic.
-        n_rows = len(row_starts)
-        n_cols = len(col_starts)
-        strip_h = min(rows_per_chunk, m)
-        key = (m, n, k, rows_per_chunk, batch)
-        if self._gemm_scratch is not None and self._gemm_scratch[0] == key:
-            sc = self._gemm_scratch[1]
-        else:
-            sc = {
-                "q_a": np.empty((m, n), dtype=np.float32),
-                "q_b": np.empty((n, k), dtype=np.float32),
-                "tmp_a": np.empty((strip_h, n), dtype=np.float64),
-                "tmp_b": np.empty((n, min(batch, k)), dtype=np.float64),
-                "strip": np.empty((strip_h, k), dtype=np.float64),
-                "parts": [
-                    np.empty((m, k), dtype=np.float32)
-                    for _ in functional.f32_slab_starts(n)
-                ],
-            }
-            self._gemm_scratch = (key, sc)
+        sc = self._gemm_scratch_for(m, n, k, rows_per_chunk, batch)
 
         # Quantize each operand once — chunk by chunk into a float32
         # buffer.  The scaling and rint arithmetic stay float64, so the
@@ -1225,23 +1552,47 @@ class Tensorizer:
         # ``+ 0.0`` normalizes rint's ``-0.0`` to the ``+0.0`` the scalar
         # path's int8 round-trip produces, keeping signed zeros in the
         # accumulator (and so in the dequantized result) bit-identical.
-        tracer = self._tracer
         sp = tracer.begin("quantize", cat="lower.phase", track="tensorizer", chunks=n_rows, batches=n_cols)
-        q_a, q_b = sc["q_a"], sc["q_b"]
-        tmp_a, tmp_b = sc["tmp_a"], sc["tmp_b"]
+        q_a = sc["q_a"]
+        tmp_a = sc["tmp_a"]
         for c0, p_rows in zip(row_starts, row_params):
             c1 = min(c0 + rows_per_chunk, m)
             t = tmp_a[: c1 - c0]
             np.multiply(a[c0:c1], p_rows.scale, out=t)
             np.rint(t, out=t)
             np.add(t, 0.0, out=q_a[c0:c1])
-        for j0, p_cols in zip(col_starts, col_params):
-            j1 = min(j0 + batch, k)
-            t = tmp_b[:, : j1 - j0]
-            np.multiply(b[:, j0:j1], p_cols.scale, out=t)
-            np.rint(t, out=t)
-            np.add(t, 0.0, out=q_b[:, j0:j1])
+        if reuse_model:
+            q_b = block.q_b
+        else:
+            q_b, tmp_b = sc["q_b"], sc["tmp_b"]
+            for j0, p_cols in zip(col_starts, col_params):
+                j1 = min(j0 + batch, k)
+                t = tmp_b[:, : j1 - j0]
+                np.multiply(b[:, j0:j1], p_cols.scale, out=t)
+                np.rint(t, out=t)
+                np.add(t, 0.0, out=q_b[:, j0:j1])
         tracer.end(sp)
+
+        if plan is not None and request.quant is QuantMode.SCALE and not reuse_model:
+            # Cache the quantized model operand with the plan.  Copy: the
+            # scratch q_b is overwritten by the next GEMM of this
+            # geometry, and the block must outlive it.
+            plan.model = model_block_for(b, q_b.copy(), col_scales, b_lo, b_hi)
+
+        # Bind the cached instruction templates (plan paths) in the same
+        # (chunk, kernel-batch) order the legacy loop emits.  A fresh
+        # bind (the capture miss) carries the capture-time model-build
+        # seconds; a warm replay binds them at zero.
+        if plan is not None:
+            instrs = [
+                t.bind(Opcode.CONV2D, request.task_id, source, source, fresh=not replay)
+                for t in plan.templates
+            ]
+        else:
+            instrs = []
+        if bind_sp is not None:
+            tracer.end(bind_sp)
+
         sp = tracer.begin("slab_gemm", cat="lower.phase", track="tensorizer", m=m, n=n, k=k)
         partials = functional.f32_slab_products(q_a, q_b, out=sc["parts"])
         tracer.end(sp)
@@ -1263,12 +1614,10 @@ class Tensorizer:
         batch_sizes = np.array(
             [min(j0 + batch, k) - j0 for j0 in col_starts], dtype=np.intp
         )
-        col_scales = np.array([p.scale for p in col_params])
         out_scales_row = np.empty(n_cols)
         rescale_row = np.empty(n_cols)
-        instrs: List[LoweredInstr] = []
         saturated = 0
-        plan = (
+        integ = (
             IntegrityPlan(mode=self.options.integrity)
             if self.options.integrity != "off"
             else None
@@ -1305,7 +1654,7 @@ class Tensorizer:
             # they must be captured before the in-place requantize below
             # destroys it.  A saturating strip breaks the linear relation
             # (clipping); it falls back to exact post-clip sums instead.
-            if plan is not None and not may_saturate:
+            if integ is not None and not may_saturate:
                 acc_row_seg = np.add.reduceat(st, col_idx, axis=1)
                 acc_col = st.sum(axis=0)
             else:
@@ -1324,18 +1673,19 @@ class Tensorizer:
             np.divide(st, np.repeat(out_scales_row, batch_sizes), out=result[c0:c1])
             for bi, j0 in enumerate(col_starts):
                 nk = int(batch_sizes[bi])
-                out_elems = (c1 - c0) * nk
-                exec_seconds = self.timing.instruction_seconds(
-                    Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
-                )
-                instrs.append(
-                    self._gemm_conv2d_instr(
-                        request, source, c0, j0, chunk_bytes,
-                        nk * s * s, exec_seconds, out_elems,
+                if plan is None:
+                    out_elems = (c1 - c0) * nk
+                    exec_seconds = self.timing.instruction_seconds(
+                        Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
                     )
-                )
-                if plan is not None:
-                    plan.add(make_gemm_check(
+                    instrs.append(
+                        self._gemm_conv2d_instr(
+                            request, source, c0, j0, chunk_bytes,
+                            nk * s * s, exec_seconds, out_elems,
+                        )
+                    )
+                if integ is not None:
+                    integ.add(make_gemm_check(
                         label=f"convGEMM:r{c0}:k{j0}",
                         rows=(c0, c1),
                         cols=(j0, j0 + nk),
@@ -1346,13 +1696,22 @@ class Tensorizer:
                         rescale=float(rescale_row[bi]),
                     ))
         tracer.end(sp)
-        if plan is not None:
+        if integ is not None:
             self.stats.integrity_plans += 1
-            self.stats.integrity_tiles_planned += plan.tiles
-        cpu_seconds = self.cpu.elementwise_seconds(m * s * s + k * s * s, bytes_per_elem=2)
+            self.stats.integrity_tiles_planned += integ.tiles
+        if reuse_model:
+            # §7.1.3 host transform: a warm bind only reshapes this
+            # request's rows; the shared-kernel build happened at capture.
+            cpu_seconds = self.cpu.elementwise_seconds(m * s * s, bytes_per_elem=2)
+        elif plan is not None:
+            cpu_seconds = plan.cpu_seconds
+        else:
+            cpu_seconds = self.cpu.elementwise_seconds(
+                m * s * s + k * s * s, bytes_per_elem=2
+            )
         return LoweredOperation(
             request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated,
-            integrity=plan,
+            integrity=integ,
         )
 
     # ------------------------------------------------------------------
@@ -1429,25 +1788,82 @@ class Tensorizer:
         n_rows = len(row_starts)
         n_cols = len(col_starts)
 
+        # The coalescing compatibility key (shape / quant / gemm_chunks
+        # / shared B) is a sub-key of the plan signature, so one cached
+        # plan serves the whole group — and a group captures one plan.
+        cache = self.plan_cache
+        plan: Optional[CompiledPlan] = None
+        replay = False
+        if cache is not None:
+            signature = plan_signature(first, self.options, self.tpu_config)
+            plan = cache.get(signature)
+            if plan is None:
+                self._tracer.instant(
+                    "plan_miss", cat="plan", track="tensorizer",
+                    op=Opcode.CONV2D.opname, coalesced=n_req,
+                )
+                sp = self._tracer.begin("plan_capture", cat="plan", track="tensorizer")
+                plan = self._gemm_capture(first, signature)
+                self._tracer.end(sp)
+                cache.put(signature, plan)
+                self.stats.plan_captures += 1
+            else:
+                self._tracer.instant(
+                    "plan_hit", cat="plan", track="tensorizer",
+                    op=Opcode.CONV2D.opname, coalesced=n_req,
+                )
+                replay = True
+                plan.replays += 1
+                cache.note_bind(n_req)
+                self.stats.plan_replays += n_req
+            if len(plan.templates) != n_rows * n_cols:
+                raise TensorizerError(
+                    f"cached GEMM plan records {len(plan.templates)} pieces but "
+                    f"the geometry yields {n_rows * n_cols}"
+                )
+
         tracer = self._tracer
         sp_op = tracer.begin(
             "lower:conv2D-coalesced", cat="lower", track="tensorizer", requests=n_req
         )
         sp = tracer.begin("quantize", cat="lower.phase", track="tensorizer", requests=n_req)
         # Shared model operand: one set of column-batch params and one
-        # quantized copy — identical values to every solo lowering.
-        col_params = [self._params_for_data(b[:, j0 : j0 + batch]) for j0 in col_starts]
-        q_b = np.empty((n, k), dtype=np.float32)
-        tmp_b = np.empty((n, min(batch, k)), dtype=np.float64)
-        for j0, p_cols in zip(col_starts, col_params):
-            j1 = min(j0 + batch, k)
-            t = tmp_b[:, : j1 - j0]
-            np.multiply(b[:, j0:j1], p_cols.scale, out=t)
-            np.rint(t, out=t)
-            np.add(t, 0.0, out=q_b[:, j0:j1])
+        # quantized copy — identical values to every solo lowering.  A
+        # warm replay whose cached model block matches B skips every
+        # pass over it (quantized weights, scales, and value range all
+        # come from the plan).
+        block = plan.model if plan is not None else None
+        reuse_model = replay and block is not None and block.matches(b)
+        if reuse_model:
+            col_scales = block.col_scales
+            q_b = block.q_b
+            b_lo, b_hi = block.b_lo, block.b_hi
+        else:
+            col_params = [
+                self._params_for_data(b[:, j0 : j0 + batch]) for j0 in col_starts
+            ]
+            col_scales = np.array([p.scale for p in col_params])
+            q_b = np.empty((n, k), dtype=np.float32)
+            tmp_b = np.empty((n, min(batch, k)), dtype=np.float64)
+            for j0, p_cols in zip(col_starts, col_params):
+                j1 = min(j0 + batch, k)
+                t = tmp_b[:, : j1 - j0]
+                np.multiply(b[:, j0:j1], p_cols.scale, out=t)
+                np.rint(t, out=t)
+                np.add(t, 0.0, out=q_b[:, j0:j1])
+            b_lo, b_hi = data_range(b)
+            if plan is not None:
+                plan.model = model_block_for(b, q_b.copy(), col_scales, b_lo, b_hi)
 
         # Per-request data operands, quantized chunk by chunk with each
         # request's own scales, stacked row-wise for one slab product.
+        # Splitting the range scans (A alone, folded with B's cached
+        # range) is bit-identical to data_range(a, b).
+        bind_sp = (
+            tracer.begin("plan_bind", cat="plan", track="tensorizer", requests=n_req)
+            if replay
+            else None
+        )
         sources: List[str] = []
         ranges: List[Tuple[float, float]] = []
         all_row_params: List[List[QuantParams]] = []
@@ -1455,12 +1871,19 @@ class Tensorizer:
         tmp_a = np.empty((min(rows_per_chunk, m), n), dtype=np.float64)
         for idx, request in enumerate(requests):
             a = request.inputs[0]
-            ranges.append(data_range(a, b))
+            a_lo, a_hi = data_range(a)
+            ranges.append((min(a_lo, b_lo), max(a_hi, b_hi)))
             sources.append(request.input_name or f"op{self._op_seq}")
             self._op_seq += 1
-            row_params = [
-                self._params_for_data(a[c0 : c0 + rows_per_chunk]) for c0 in row_starts
-            ]
+            if replay:
+                row_params = [
+                    self._chunk_params(a[c0 : c0 + rows_per_chunk]) for c0 in row_starts
+                ]
+            else:
+                row_params = [
+                    self._params_for_data(a[c0 : c0 + rows_per_chunk])
+                    for c0 in row_starts
+                ]
             all_row_params.append(row_params)
             base = idx * m
             for c0, p_rows in zip(row_starts, row_params):
@@ -1470,6 +1893,8 @@ class Tensorizer:
                 np.rint(t, out=t)
                 np.add(t, 0.0, out=q_a[base + c0 : base + c1])
 
+        if bind_sp is not None:
+            tracer.end(bind_sp)
         tracer.end(sp)
         # THE coalesced dispatch: one exact-f32 slab GEMM over every
         # client's rows at once.  Slab partials are exact integers, so
@@ -1490,7 +1915,6 @@ class Tensorizer:
         batch_sizes = np.array(
             [min(j0 + batch, k) - j0 for j0 in col_starts], dtype=np.intp
         )
-        col_scales = np.array([p.scale for p in col_params])
         out_scales_row = np.empty(n_cols)
         rescale_row = np.empty(n_cols)
         lowered: List[LoweredOperation] = []
@@ -1500,7 +1924,7 @@ class Tensorizer:
             result = np.empty((m, k), dtype=np.float64)
             instrs: List[LoweredInstr] = []
             saturated = 0
-            plan = (
+            integ = (
                 IntegrityPlan(mode=self.options.integrity)
                 if self.options.integrity != "off"
                 else None
@@ -1533,7 +1957,7 @@ class Tensorizer:
                         may_saturate = True
                 # Checksums from the exact accumulator, captured before
                 # the in-place requantize (same rule as the solo path).
-                if plan is not None and not may_saturate:
+                if integ is not None and not may_saturate:
                     acc_row_seg = np.add.reduceat(st, col_idx, axis=1)
                     acc_col = st.sum(axis=0)
                 else:
@@ -1549,19 +1973,31 @@ class Tensorizer:
                 np.divide(st, np.repeat(out_scales_row, batch_sizes), out=result[c0:c1])
                 for bi, j0 in enumerate(col_starts):
                     nk = int(batch_sizes[bi])
-                    out_elems = (c1 - c0) * nk
-                    exec_seconds = self.timing.instruction_seconds(
-                        Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
-                    )
-                    instrs.append(
-                        self._gemm_conv2d_instr(
-                            request, sources[idx], c0, j0, chunk_bytes,
-                            nk * s * s, exec_seconds, out_elems,
-                            model_source=model_source,
-                        )
-                    )
                     if plan is not None:
-                        plan.add(make_gemm_check(
+                        # Capture accounted the group's model builds
+                        # once; the miss charges them to the first
+                        # request, every other bind ships them free.
+                        instrs.append(
+                            plan.templates[ci * n_cols + bi].bind(
+                                Opcode.CONV2D, request.task_id,
+                                sources[idx], model_source,
+                                fresh=(not replay and idx == 0),
+                            )
+                        )
+                    else:
+                        out_elems = (c1 - c0) * nk
+                        exec_seconds = self.timing.instruction_seconds(
+                            Opcode.CONV2D, out_elems=out_elems, macs=out_elems * s * s
+                        )
+                        instrs.append(
+                            self._gemm_conv2d_instr(
+                                request, sources[idx], c0, j0, chunk_bytes,
+                                nk * s * s, exec_seconds, out_elems,
+                                model_source=model_source,
+                            )
+                        )
+                    if integ is not None:
+                        integ.add(make_gemm_check(
                             label=f"convGEMM:r{c0}:k{j0}",
                             rows=(c0, c1),
                             cols=(j0, j0 + nk),
@@ -1572,16 +2008,17 @@ class Tensorizer:
                             rescale=float(rescale_row[bi]),
                         ))
             # Host data transformation: each request reshapes its own
-            # rows; the shared kernels are built once for the group.
-            elems = m * s * s + (k * s * s if idx == 0 else 0)
+            # rows; the shared kernels are built once for the group (at
+            # capture, when the model block is warm — then nobody pays).
+            elems = m * s * s + (k * s * s if idx == 0 and not reuse_model else 0)
             cpu_seconds = self.cpu.elementwise_seconds(elems, bytes_per_elem=2)
             op = LoweredOperation(
                 request, instrs, result, cpu_seconds=cpu_seconds, saturated=saturated,
-                integrity=plan,
+                integrity=integ,
             )
-            if plan is not None:
+            if integ is not None:
                 self.stats.integrity_plans += 1
-                self.stats.integrity_tiles_planned += plan.tiles
+                self.stats.integrity_tiles_planned += integ.tiles
             self.stats.operations_lowered += 1
             self.stats.instructions_emitted += op.instruction_count
             self.stats.saturated_values += saturated

@@ -55,6 +55,8 @@ class LoadgenSpec:
     deadline_seconds: Optional[float] = None
     #: Verify every delivered result bit-for-bit against solo lowering.
     verify: bool = True
+    #: AOT compiled-plan cache on the server (lower once, bind many).
+    plan_cache: bool = True
 
 
 @dataclass
@@ -101,6 +103,7 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
         breaker_cooldown=0.02,
         integrity=spec.integrity,
         quarantine_seconds=0.02,
+        plan_cache=spec.plan_cache,
     )
     # One shared weight matrix across all tenants → coalescible traffic.
     b = rng.integers(-64, 64, size=(spec.size, spec.size)).astype(np.float32)

@@ -34,6 +34,7 @@ import numpy as np
 from repro.edgetpu.isa import Opcode
 from repro.errors import RequestTimeout, ServingError
 from repro.host.platform import Platform
+from repro.plan import PlanCache
 from repro.runtime.opqueue import OperationRequest, QuantMode
 from repro.runtime.scheduler import SchedulePolicy, build_dispatch_groups
 from repro.runtime.tensorizer import Tensorizer, TensorizerOptions
@@ -48,6 +49,7 @@ from repro.telemetry import (
     device_counters,
     get_tracer,
     memory_counters,
+    plan_counters,
     serving_counters,
     tensorizer_counters,
 )
@@ -83,6 +85,12 @@ class ServeConfig:
     integrity: str = "off"
     #: Base real-seconds hold for an SDC-quarantined device.
     quarantine_seconds: float = 0.05
+    #: AOT compiled-plan cache (:mod:`repro.plan`): lower each distinct
+    #: lowering signature once, then bind cached plans to later requests
+    #: with only per-request input quantization on the host.
+    plan_cache: bool = True
+    #: Plan-cache LRU bound (distinct live lowering signatures).
+    plan_cache_entries: int = 256
 
 
 class TpuServer:
@@ -109,11 +117,17 @@ class TpuServer:
         )
         if options.integrity != self.integrity:
             options = dataclasses.replace(options, integrity=self.integrity)
+        self.plan_cache = (
+            PlanCache(self.config.plan_cache_entries)
+            if self.config.plan_cache
+            else None
+        )
         self.tensorizer = Tensorizer(
             self.platform.config.edgetpu,
             options,
             self.platform.cpu,
             tracer=self.tracer,
+            plan_cache=self.plan_cache,
         )
         self.metrics = ServingMetrics()
         self.admission = AdmissionController(
@@ -327,6 +341,8 @@ class TpuServer:
         registry = CounterRegistry()
         registry.register("tensorizer", tensorizer_counters(self.tensorizer.stats))
         registry.register("serving", serving_counters(self.metrics))
+        if self.plan_cache is not None:
+            registry.register("plan", plan_counters(self.plan_cache))
         for device in self.platform.devices:
             registry.register(f"memory.{device.name}", memory_counters(device.memory))
             registry.register(f"device.{device.name}", device_counters(device))
@@ -353,4 +369,6 @@ class TpuServer:
             snap["quarantine"] = self.pool.quarantine.snapshot(
                 [d.name for d in self.platform.devices]
             )
+        if self.plan_cache is not None:
+            snap["plan_cache"] = self.plan_cache.counters()
         return snap

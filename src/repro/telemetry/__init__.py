@@ -17,6 +17,7 @@ from repro.telemetry.counters import (
     CounterRegistry,
     device_counters,
     memory_counters,
+    plan_counters,
     serving_counters,
     tensorizer_counters,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "format_attribution",
     "get_tracer",
     "memory_counters",
+    "plan_counters",
     "save_chrome_trace",
     "serving_counters",
     "set_tracer",

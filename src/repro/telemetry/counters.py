@@ -82,6 +82,12 @@ def memory_counters(memory) -> CounterSource:
     return sample
 
 
+def plan_counters(cache) -> CounterSource:
+    """Source over a :class:`~repro.plan.cache.PlanCache` (hits, misses,
+    evictions, binds, live entries, hit rate)."""
+    return cache.counters
+
+
 def serving_counters(metrics) -> CounterSource:
     """Source over a :class:`~repro.serve.metrics.ServingMetrics`."""
     return metrics.counters

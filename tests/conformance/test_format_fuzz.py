@@ -4,10 +4,18 @@ import numpy as np
 import pytest
 
 from repro.conformance import MUTATIONS, run_fuzz
-from repro.conformance.format_fuzz import _fresh_blob, _mutate
+from repro.conformance.format_fuzz import (
+    PLAN_MUTATIONS,
+    _fresh_blob,
+    _fresh_plan_blob,
+    _mutate,
+    _mutate_plan,
+    run_plan_fuzz,
+)
 from repro.conformance.oracles import derive_rng
 from repro.edgetpu.model_format import parse_model, serialize_model
 from repro.errors import ModelFormatError, ModelSizeMismatchError
+from repro.plan import parse_plan, serialize_plan
 
 
 class TestFuzzCampaign:
@@ -65,3 +73,50 @@ class TestMutationOperators:
             blob = _mutate(_fresh_blob(rng), "data-byte", rng)
             parsed = parse_model(blob)
             assert serialize_model(parsed.data, parsed.params) == blob
+
+
+class TestPlanFuzzCampaign:
+    """Satellite 3: the same contract over compiled-plan blobs."""
+
+    def test_default_campaign_holds_the_property(self):
+        report = run_plan_fuzz(seed=3, iterations=300)
+        assert report.ok, report.violations
+        assert report.iterations == 300
+        assert report.rejected + report.roundtripped == 300
+        assert report.rejected > 0 and report.roundtripped > 0
+
+    def test_campaign_is_seed_deterministic(self):
+        assert run_plan_fuzz(seed=9, iterations=100).as_dict() == run_plan_fuzz(
+            seed=9, iterations=100
+        ).as_dict()
+
+    def test_every_plan_mutation_operator_is_exercised(self):
+        report = run_plan_fuzz(seed=3, iterations=400)
+        assert set(report.by_mutation) == set(PLAN_MUTATIONS)
+
+    def test_size_field_mutations_raise_the_typed_subclass(self):
+        report = run_plan_fuzz(seed=5, iterations=300)
+        assert report.ok, report.violations
+        assert report.by_mutation.get("size-field", 0) > 0
+        assert report.typed_size_errors >= report.by_mutation["size-field"]
+
+
+class TestPlanMutationOperators:
+    @pytest.mark.parametrize("mutation", ["magic", "version", "reserved-header"])
+    def test_header_mutations_are_rejected(self, mutation):
+        rng = derive_rng(1, "plan-fuzz-test", mutation)
+        for _ in range(10):
+            with pytest.raises(ModelFormatError):
+                parse_plan(_mutate_plan(_fresh_plan_blob(rng), mutation, rng))
+
+    def test_size_field_mutation_is_a_size_mismatch(self):
+        rng = derive_rng(2, "plan-fuzz-test", "size-field")
+        for _ in range(10):
+            with pytest.raises(ModelSizeMismatchError):
+                parse_plan(_mutate_plan(_fresh_plan_blob(rng), "size-field", rng))
+
+    def test_identity_plans_always_roundtrip(self):
+        rng = derive_rng(0, "plan-fuzz-test")
+        for _ in range(20):
+            blob = _mutate_plan(_fresh_plan_blob(rng), "identity", rng)
+            assert serialize_plan(parse_plan(blob)) == blob

@@ -1,0 +1,48 @@
+"""Serving with the AOT plan cache: warm binds, counters, opt-out."""
+
+import numpy as np
+
+from repro.host.platform import Platform
+from repro.plan import PlanCache
+from repro.runtime.api import OpenCtpu
+from repro.serve import LoadgenSpec, run_loadgen
+
+
+def _spec(**over) -> LoadgenSpec:
+    base = dict(tpus=2, tenants=2, requests_per_tenant=3, size=32, seed=3)
+    base.update(over)
+    return LoadgenSpec(**base)
+
+
+class TestServingPlanCache:
+    def test_steady_shape_workload_binds_from_cache(self):
+        result = run_loadgen(_spec())
+        plan = result.snapshot["plan_cache"]
+        assert plan["entries"] >= 1
+        assert plan["misses"] >= 1 and plan["hits"] >= 1
+        assert plan["binds"] >= 1
+        # Replayed plans never change delivered bytes.
+        assert result.mismatches == 0
+
+    def test_plan_cache_opt_out_removes_the_surface(self):
+        result = run_loadgen(_spec(plan_cache=False))
+        assert "plan_cache" not in result.snapshot
+        assert result.mismatches == 0
+
+
+class TestRuntimeCounterRegistry:
+    def test_plan_source_registered_when_cache_present(self):
+        cache = PlanCache()
+        ctx = OpenCtpu(Platform.with_tpus(1), plan_cache=cache)
+        a = np.ones((16, 16))
+        from repro import ops
+
+        ops.tpu_gemm(ctx, a, a, method="conv2d")
+        ops.tpu_gemm(ctx, a, a, method="conv2d")
+        snapshot = ctx.counter_registry().snapshot()
+        assert snapshot["plan"]["hits"] >= 1
+        assert snapshot["plan"]["entries"] >= 1
+
+    def test_no_plan_source_without_a_cache(self):
+        ctx = OpenCtpu(Platform.with_tpus(1))
+        assert "plan" not in ctx.counter_registry().snapshot()
