@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.apps.base import Application, CPUResult, GPTPUResult
 from repro.host.cpu import CPUCoreModel
-from repro.ops.conv import tpu_conv2d
+from repro.ops.conv import tpu_stencil2d
 from repro.runtime.api import OpenCtpu
 
 #: In-plane relaxation stencil (center keeps most weight).
@@ -105,7 +105,7 @@ class HotSpot3DApp(Application):
                 # affine — conv(T) = conv(T−μ) + μ·Σk — so the device
                 # only sees the ±deviation range (§6.2.2 calibration).
                 mu = float(temps[z].mean())
-                plane = tpu_conv2d(
+                plane = tpu_stencil2d(
                     ctx, _pad_edge(temps[z] - mu), STENCIL, model_name="hotspot-k"
                 )
                 new[z] = plane + mu * stencil_gain + _z_term(temps, z) + DT * power[z]

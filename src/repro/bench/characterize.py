@@ -36,6 +36,11 @@ OP_DESCRIPTIONS: Dict[str, str] = {
     "max": "Find the maximum value within a matrix",
     "tanh": "Perform tanh function on a matrix pair-wisely",
     "ReLu": "Leave only non-zero values on a matrix pair-wisely",
+    # NN-inference extension entries (docs/nn.md) — not in the paper's
+    # Table 1; conv2D_nn is a host macro and is never characterized.
+    "conv2D_nn": "Multichannel NCHW convolution (host macro over conv2D-GEMM)",
+    "pool": "Windowed max/average pooling over a matrix",
+    "softmax": "Row-wise max-subtracted softmax through an exp LUT",
 }
 
 
@@ -92,7 +97,13 @@ def _optimal_instruction(op: Opcode, timing: TimingModel) -> Instruction:
         side = int(round(np.sqrt(timing.optimal_out_elems(op))))
         return Instruction(op, mat(side - 2, side - 2), params,
                            attrs={"ext_shape": (side, side), "ext_offset": (1, 1)})
-    # tanh / ReLu: a square matrix of the optimal result count.
+    if op is Opcode.POOL:
+        # 2x2/stride-2 max pooling halves each side, so a doubled-side
+        # input lands exactly on the optimal result count.
+        side = 2 * int(round(np.sqrt(timing.optimal_out_elems(op))))
+        return Instruction(op, mat(side, side), params,
+                           attrs={"window": (2, 2), "stride": (2, 2), "kind": "max"})
+    # tanh / ReLu / softmax: a square matrix of the optimal result count.
     side = int(round(np.sqrt(timing.optimal_out_elems(op))))
     return Instruction(op, mat(side, side), params)
 
@@ -139,9 +150,13 @@ def characterize_op(
 
 
 def characterize_all(config: Optional[EdgeTPUConfig] = None) -> List[CharacterizationRow]:
-    """Measure every instruction — the full Table 1."""
+    """Measure every device instruction — the full Table 1.
+
+    Macro opcodes (``conv2D_nn``) are skipped: they lower onto other
+    instructions on the host and never execute on a device.
+    """
     device = EdgeTPUDevice("characterize", config)
-    return [characterize_op(op, device) for op in Opcode]
+    return [characterize_op(op, device) for op in Opcode if not op.is_macro]
 
 
 def measure_data_exchange(config: Optional[EdgeTPUConfig] = None) -> List[Tuple[int, float]]:

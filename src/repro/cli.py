@@ -13,6 +13,10 @@ Commands
     Print the benchmark dataset inventory.
 ``serve``
     Run a multi-tenant serving session (repro.serve) and report it.
+``nn``
+    Run one repro.nn model (LeNet-style CNN or single-head attention)
+    end-to-end on the simulated Edge TPU pool and print the per-layer
+    latency attribution (see docs/nn.md).
 ``loadgen``
     Load-test the serving layer; ``--strict`` asserts the zero-lost /
     bit-identical invariants, ``--json`` archives the metrics snapshot.
@@ -202,6 +206,7 @@ def _loadgen_spec(args: argparse.Namespace):
         time_scale=args.time_scale,
         deadline_seconds=args.deadline,
         plan_cache=args.plan_cache,
+        mix=args.mix,
     )
 
 
@@ -311,6 +316,56 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_nn(args: argparse.Namespace) -> int:
+    """Run one repro.nn model end-to-end with per-layer attribution."""
+    import numpy as np
+
+    from repro.config import SystemConfig
+    from repro.host.platform import Platform
+    from repro.nn.models import MODELS, sample_input
+    from repro.runtime.api import OpenCtpu
+
+    model = MODELS[args.model](seed=args.seed)
+    x = sample_input(model, batch=args.batch, seed=args.seed)
+    plan_cache = None
+    if args.plan_cache:
+        from repro.plan import PlanCache
+
+        plan_cache = PlanCache()
+    ctx = OpenCtpu(Platform(SystemConfig().with_tpus(args.tpus)),
+                   plan_cache=plan_cache)
+    out = model.forward(ctx, x, sync_per_layer=True)
+    for _ in range(args.repeat - 1):
+        # Warm passes rebind cached plans; the attribution below reports
+        # the last pass, so `--repeat 2` shows warm-path latency.
+        out = model.forward(ctx, x, sync_per_layer=True)
+    rows = [
+        (r["layer"], f"{r['wall_seconds'] * 1e3:.4f} ms",
+         f"{r['device_seconds'] * 1e3:.4f} ms")
+        for r in model.layer_reports
+    ]
+    total = sum(r["wall_seconds"] for r in model.layer_reports)
+    rows.append(("total", f"{total * 1e3:.4f} ms", ""))
+    print(
+        format_table(
+            ["layer", "wall (sim)", "device busy"],
+            rows,
+            title=f"{args.model} on {args.tpus} Edge TPU(s), "
+                  f"input {'x'.join(map(str, x.shape))}:",
+        )
+    )
+    print(f"\noutput shape: {out.shape}")
+    if args.model == "lenet":
+        probs = np.asarray(out)
+        print(f"predicted classes: {probs.argmax(axis=1).tolist()}")
+        print(f"row-sum drift: {np.abs(probs.sum(axis=1) - 1.0).max():.2e}")
+    if plan_cache is not None:
+        c = plan_cache.counters()
+        print(f"plan cache: {int(c['entries'])} entries, "
+              f"{int(c['binds'])} binds, {c['hit_rate'] * 100:.1f} % hit rate")
+    return 0
+
+
 def cmd_conformance(args: argparse.Namespace) -> int:
     """Run the differential/metamorphic/fuzz/fault conformance suites."""
     import json
@@ -367,6 +422,13 @@ def cmd_conformance(args: argparse.Namespace) -> int:
                          f"{plans['ops_checked']} ops + {plans['apps_checked']} apps "
                          f"replay bit-identical, {plans['roundtrips']} byte-exact "
                          "round-trips" if plans["ok"] else "FAILED"))
+        if "nn" in report.sections:
+            nn = report.sections["nn"]
+            rows.append(("nn",
+                         f"{len(nn['cases'])} op cases + "
+                         f"{len(nn['metamorphic'])} properties, "
+                         f"{len(nn['models'])} models replay bit-identical"
+                         if nn["ok"] else "FAILED"))
         if "integrity" in report.sections:
             integ = report.sections["integrity"]
             detected = sum(
@@ -511,6 +573,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=True,
                        help="AOT compiled-plan cache: lower each distinct "
                             "GEMM signature once, bind cached plans after")
+        p.add_argument("--mix", default="gemm", choices=["gemm", "nn"],
+                       help="request shape mix: shared-B GEMMs, or an NN "
+                            "triple (conv2D_nn / attention-score GEMM / "
+                            "softmax) per tenant")
 
     serve_p = sub.add_parser("serve", help="run a multi-tenant serving session")
     add_serving_args(serve_p)
@@ -522,13 +588,28 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_p.add_argument("--strict", action="store_true",
                            help="exit non-zero unless serving invariants hold")
 
+    nn_p = sub.add_parser(
+        "nn", help="run one repro.nn model with per-layer attribution"
+    )
+    nn_p.add_argument("--model", default="lenet",
+                      choices=["lenet", "attention"])
+    nn_p.add_argument("--tpus", type=int, default=8)
+    nn_p.add_argument("--seed", type=int, default=0)
+    nn_p.add_argument("--batch", type=int, default=2,
+                      help="batch size (image models only)")
+    nn_p.add_argument("--repeat", type=int, default=1,
+                      help="forward passes; >1 reports the warm-cache pass")
+    nn_p.add_argument("--plan-cache", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="AOT compiled-plan cache across layers and passes")
+
     conf_p = sub.add_parser(
         "conformance",
         help="run the differential/metamorphic/fuzz/fault conformance suites",
     )
     conf_p.add_argument("--suite", default="ops,apps,format,serve",
                         help="comma-separated subset of "
-                             "ops,apps,format,serve,integrity,plans")
+                             "ops,apps,format,serve,integrity,plans,nn")
     conf_p.add_argument("--seed", type=int, default=0,
                         help="campaign seed; the JSON report records it and "
                              "reproduces every case exactly")
@@ -562,6 +643,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "nn": cmd_nn,
         "conformance": cmd_conformance,
         "trace": cmd_trace,
         "table3": cmd_table3,

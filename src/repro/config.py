@@ -38,6 +38,13 @@ TABLE1_OPS: Mapping[str, float] = MappingProxyType(
         "max": 477.08,
         "tanh": 3232.31,
         "ReLu": 11194.26,
+        # NN-inference extension opcodes (docs/nn.md) — not paper values.
+        # conv2D_nn is a host-level macro lowered onto conv2D instructions,
+        # so it inherits conv2D's rates; pool/softmax are calibrated by
+        # analogy to the reduction/LUT instructions above.
+        "conv2D_nn": 10268.80,
+        "pool": 4200.00,
+        "softmax": 2987.50,
     }
 )
 
@@ -55,6 +62,12 @@ TABLE1_RPS: Mapping[str, float] = MappingProxyType(
         "max": 477.08,
         "tanh": 2_148_232_470.28,
         "ReLu": 4_043_196_115.38,
+        # NN-inference extension opcodes (docs/nn.md); RPS chosen so the
+        # optimal output shape (RPS / OPS) is a whole tile: conv2D_nn
+        # mirrors conv2D, pool/softmax peak at 16384 = 128² elements.
+        "conv2D_nn": 168_240_326.89,
+        "pool": 68_812_800.00,
+        "softmax": 48_947_200.00,
     }
 )
 

@@ -141,7 +141,7 @@ OP_CASES: List[OpCase] = [
             "data": rng.normal(size=(65, 67)) * 2.0,
             "kernel": rng.normal(size=(3, 3)),
         },
-        lambda ctx, d: ops.tpu_conv2d(ctx, d["data"], d["kernel"]),
+        lambda ctx, d: ops.tpu_stencil2d(ctx, d["data"], d["kernel"]),
         lambda d: _conv2d_valid(d["data"], d["kernel"]),
     ),
     OpCase(
@@ -173,6 +173,102 @@ OP_CASES: List[OpCase] = [
         lambda d: d["a"] @ d["b"],
     ),
 ]
+
+
+def _nn_conv_builder(rng: np.random.Generator) -> Dict[str, np.ndarray]:
+    return {
+        "x": rng.normal(size=(2, 3, 17, 13)) * 2.0,
+        "w": rng.normal(size=(5, 3, 3, 3)),
+        "bias": rng.normal(size=5),
+    }
+
+
+def _conv2d_nn_direct(
+    x: np.ndarray,
+    w: np.ndarray,
+    bias=None,
+    stride=(1, 1),
+    padding=(0, 0, 0, 0),
+    relu: bool = False,
+) -> np.ndarray:
+    """Direct scalar float64 conv oracle: explicit loops, no im2col."""
+    n, c, h, wd = x.shape
+    f, _, kh, kw = w.shape
+    sy, sx = stride
+    pt, pb, pl, pr = padding
+    xp = np.zeros((n, c, h + pt + pb, wd + pl + pr))
+    xp[:, :, pt : pt + h, pl : pl + wd] = x
+    oh = (xp.shape[2] - kh) // sy + 1
+    ow = (xp.shape[3] - kw) // sx + 1
+    out = np.zeros((n, f, oh, ow))
+    for i in range(n):
+        for j in range(f):
+            for r in range(oh):
+                for col in range(ow):
+                    patch = xp[i, :, r * sy : r * sy + kh, col * sx : col * sx + kw]
+                    out[i, j, r, col] = float(np.sum(patch * w[j]))
+    if bias is not None:
+        out += np.asarray(bias).reshape(1, f, 1, 1)
+    if relu:
+        out = np.maximum(out, 0.0)
+    return out
+
+
+def _pool_ref(a: np.ndarray, window, stride, kind: str) -> np.ndarray:
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    wh, ww = window
+    sy, sx = stride
+    windows = sliding_window_view(a, (wh, ww))[::sy, ::sx]
+    if kind == "max":
+        return windows.max(axis=(2, 3))
+    return windows.mean(axis=(2, 3))
+
+
+def _softmax_ref(a: np.ndarray) -> np.ndarray:
+    e = np.exp(a - a.max(axis=1, keepdims=True))
+    return e / e.sum(axis=1, keepdims=True)
+
+
+#: The NN-inference extension ops (ISSUE 7): shapes stay ragged — prime
+#: spatial dims, stride > 1 with asymmetric padding — so the differential
+#: run crosses the same im2col/band boundaries the hypothesis geometry
+#: suite probes.
+NN_OP_CASES: List[OpCase] = [
+    OpCase(
+        "conv2d-nn", "conv2d_nn", _nn_conv_builder,
+        lambda ctx, d: ops.tpu_conv2d_nn(
+            ctx, d["x"], d["w"], bias=d["bias"],
+            stride=(2, 1), padding=(1, 0, 2, 1), relu=True,
+        ),
+        lambda d: _conv2d_nn_direct(
+            d["x"], d["w"], bias=d["bias"],
+            stride=(2, 1), padding=(1, 0, 2, 1), relu=True,
+        ),
+    ),
+    OpCase(
+        "pool-max", "pool", _single_builder(67, 41, scale=4.0),
+        lambda ctx, d: ops.tpu_pool2d(ctx, d["a"], window=(3, 2), stride=(2, 2)),
+        lambda d: _pool_ref(d["a"], (3, 2), (2, 2), "max"),
+    ),
+    OpCase(
+        "pool-avg", "pool", _single_builder(41, 67, scale=4.0),
+        lambda ctx, d: ops.tpu_pool2d(
+            ctx, d["a"], window=(2, 2), stride=(2, 2), kind="avg"
+        ),
+        lambda d: _pool_ref(d["a"], (2, 2), (2, 2), "avg"),
+    ),
+    OpCase(
+        # Ten columns — a classifier-head shape.  Wider rows drive most
+        # probabilities under the 1/127 output quantum, which is a MAPE
+        # artifact, not a lowering defect (docs/nn.md).
+        "softmax", "softmax", _single_builder(97, 10, scale=2.0),
+        lambda ctx, d: ops.tpu_softmax(ctx, d["a"]),
+        lambda d: _softmax_ref(d["a"]),
+    ),
+]
+
+OP_CASES += NN_OP_CASES
 
 
 def _conv2d_valid(data: np.ndarray, kernel: np.ndarray) -> np.ndarray:

@@ -209,12 +209,15 @@ PLAN_MUTATIONS = (
     "extend",
     "body-byte",
     "reserved-header",
+    "opname",
 )
 
 
 def _rand_template(rng: np.random.Generator, i: int) -> InstrTemplate:
+    # Canonical wire opnames only (the parser rejects everything else,
+    # including the conv2D_nn macro — see the opname mutation operator).
     return InstrTemplate(
-        opname=str(rng.choice(["CONV2D", "ADD", "MUL", "TANH"])),
+        opname=str(rng.choice(["conv2D", "add", "mul", "tanh", "pool", "softmax"])),
         label=f"fuzz:t{i}",
         group_key="task{task}:g" + str(i),
         cache_key="{src}:c" + str(i),
@@ -235,7 +238,7 @@ def _fresh_plan_blob(rng: np.random.Generator) -> bytes:
         plan = CompiledPlan(
             signature=f"plan-v1|fuzz|{int(rng.integers(0, 1 << 30))}",
             kind=KIND_GENERIC,
-            opname="ADD",
+            opname=str(rng.choice(["add", "pool", "softmax"])),
             cpu_seconds=float(rng.integers(0, 1 << 20)) / (1 << 16),
             templates=templates,
         )
@@ -279,7 +282,7 @@ def _fresh_plan_blob(rng: np.random.Generator) -> bytes:
     plan = CompiledPlan(
         signature=f"plan-v1|fuzz|{int(rng.integers(0, 1 << 30))}",
         kind=KIND_GEMM,
-        opname="CONV2D",
+        opname="conv2D",
         cpu_seconds=float(rng.integers(0, 1 << 20)) / (1 << 16),
         templates=templates,
         integrity_mode=integrity_mode,
@@ -322,6 +325,19 @@ def _mutate_plan(blob: bytes, mutation: str, rng: np.random.Generator) -> bytes:
     if mutation == "reserved-header":
         pos = int(rng.integers(len(PLAN_MAGIC) + 4, PLAN_HEADER_SIZE - 4))
         buf[pos] ^= int(rng.integers(1, 256))
+        return bytes(buf)
+    if mutation == "opname":
+        # Flip the case of one letter of the plan-level opname.  Wire
+        # opnames are canonical, case-sensitive registry entries (pool,
+        # softmax, conv2D, ... — and never the conv2D_nn macro), so any
+        # case-flipped rendering must be rejected with a typed error.
+        (sig_len,) = struct.unpack_from("<H", buf, PLAN_HEADER_SIZE)
+        off = PLAN_HEADER_SIZE + 2 + sig_len + 1  # past signature + kind byte
+        name_len = buf[off]
+        for pos in range(off + 1, off + 1 + name_len):
+            if 65 <= buf[pos] <= 90 or 97 <= buf[pos] <= 122:
+                buf[pos] ^= 0x20
+                break
         return bytes(buf)
     raise ValueError(f"unknown plan mutation {mutation!r}")  # pragma: no cover
 

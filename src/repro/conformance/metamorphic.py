@@ -210,6 +210,105 @@ def precision_monotonicity(seed: int) -> PropertyResult:
     )
 
 
+def conv_im2col_vs_direct(seed: int) -> PropertyResult:
+    """Two genuinely different conv lowerings must agree.
+
+    ``tpu_stencil2d`` lowers a single-plane convolution directly to a
+    halo-tiled conv2D instruction stream; ``tpu_conv2d_nn`` lowers the
+    same math through host im2col and the §7.1.2 patch×kernel GEMM.  On
+    a 1-channel/1-filter problem both must land in the same envelope of
+    the float truth and agree mutually — a geometry bug in either path
+    (im2col patch ordering, halo arithmetic) breaks the relation even
+    when each path is self-consistent.
+    """
+    rng = derive_rng(seed, "metamorphic", "conv-im2col-direct")
+    x = rng.normal(size=(33, 29)) * 2.0
+    # 3x3, like the catalog's conv2d-stencil case: the "conv2d" family
+    # envelope is calibrated for small stencils (a 5x5 sums 25 quantized
+    # products and sits right on the 1 % RMSE ceiling).
+    k = rng.normal(size=(3, 3))
+    truth = _conv2d_valid_ref(x, k)
+    direct = ops.tpu_stencil2d(pipeline_context(), x, k)
+    via_nn = ops.tpu_conv2d_nn(
+        pipeline_context(), x[None, None], k[None, None]
+    )[0, 0]
+    b_direct = bound_for_op("conv2d")
+    b_nn = bound_for_op("conv2d_nn")
+    cd = b_direct.check(direct, truth)
+    cn = b_nn.check(via_nn, truth)
+    mutual = rmse_percent(via_nn, direct)
+    ok = cd.ok and cn.ok and mutual <= b_direct.rmse_percent + b_nn.rmse_percent
+    return PropertyResult(
+        "conv-im2col-vs-direct", ok,
+        {"rmse_direct": cd.rmse_percent, "rmse_im2col": cn.rmse_percent,
+         "rmse_mutual": mutual},
+    )
+
+
+def pool_translation_covariance(seed: int) -> PropertyResult:
+    """Pooling commutes with stride-aligned translation.
+
+    Dropping the first window of rows and columns from the input must
+    drop exactly the first output row and column: ``pool(x[sy:, sx:]) ==
+    pool(x)[1:, 1:]`` in exact math.  Quantized, the shifted run re-scales
+    to its own data range, so both renderings are gated against the float
+    truth and against each other within the compounded envelope.
+    """
+    rng = derive_rng(seed, "metamorphic", "pool-translation")
+    a = rng.normal(size=(41, 37)) * 4.0
+    window, stride = (2, 2), (2, 2)
+    bound = bound_for_op("pool")
+    results = {}
+    for kind in ("max", "avg"):
+        base = ops.tpu_pool2d(
+            pipeline_context(), a, window=window, stride=stride, kind=kind
+        )
+        shifted = ops.tpu_pool2d(
+            pipeline_context(), a[stride[0]:, stride[1]:],
+            window=window, stride=stride, kind=kind,
+        )
+        overlap_base = base[1 : 1 + shifted.shape[0], 1 : 1 + shifted.shape[1]]
+        truth = _pool_valid_ref(a, window, stride, kind)[
+            1 : 1 + shifted.shape[0], 1 : 1 + shifted.shape[1]
+        ]
+        cb = bound.check(overlap_base, truth)
+        cs = bound.check(shifted[: overlap_base.shape[0], : overlap_base.shape[1]],
+                         truth)
+        mutual = rmse_percent(
+            shifted[: overlap_base.shape[0], : overlap_base.shape[1]],
+            overlap_base,
+        )
+        results[kind] = (cb, cs, mutual)
+    ok = all(
+        cb.ok and cs.ok and mutual <= 2.0 * bound.rmse_percent
+        for cb, cs, mutual in results.values()
+    )
+    return PropertyResult(
+        "pool-translation-covariance", ok,
+        {f"rmse_mutual_{kind}": mutual for kind, (_, _, mutual) in results.items()},
+    )
+
+
+def _conv2d_valid_ref(data: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    windows = sliding_window_view(data, kernel.shape)
+    return np.tensordot(windows, kernel, axes=([2, 3], [0, 1]))
+
+
+def _pool_valid_ref(a: np.ndarray, window, stride, kind: str) -> np.ndarray:
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    windows = sliding_window_view(a, window)[:: stride[0], :: stride[1]]
+    return windows.max(axis=(2, 3)) if kind == "max" else windows.mean(axis=(2, 3))
+
+
+#: NN-extension properties, runnable standalone by the ``nn`` suite.
+NN_PROPERTIES: List[Callable[[int], PropertyResult]] = [
+    conv_im2col_vs_direct,
+    pool_translation_covariance,
+]
+
 #: The full metamorphic battery, in report order.
 PROPERTIES: List[Callable[[int], PropertyResult]] = [
     gemm_transpose,
@@ -219,6 +318,7 @@ PROPERTIES: List[Callable[[int], PropertyResult]] = [
     reduction_permutation,
     pairwise_commutativity,
     precision_monotonicity,
+    *NN_PROPERTIES,
 ]
 
 

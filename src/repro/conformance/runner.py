@@ -17,7 +17,11 @@
   (:mod:`repro.conformance.plans`): cached replay bit-identical to
   fresh lowering across the op catalog and all applications, byte-exact
   plan round-trips, ABFT detection through cached plans, plus the
-  plan-blob mutation fuzzer.
+  plan-blob mutation fuzzer;
+* ``nn`` — the NN-inference battery (:mod:`repro.conformance.nn`):
+  the NN extension ops through the three oracles, LeNet and attention
+  end-to-end on an 8-TPU pool, and warm plan-cache replay
+  bit-identity.
 
 The report is reproducible from the recorded ``seed`` alone: every RNG
 stream derives from it (:func:`repro.conformance.oracles.derive_rng`)
@@ -42,12 +46,13 @@ from repro.conformance.integrity import (
     run_integrity_campaign,
 )
 from repro.conformance.metamorphic import run_properties
+from repro.conformance.nn import run_nn
 from repro.conformance.oracles import app_oracles, derive_rng, run_oracles
 from repro.conformance.plans import run_plans
 from repro.metrics.errors import bound_for_app, bound_for_op
 
 #: Suites in canonical execution/report order.
-SUITES = ("ops", "apps", "format", "serve", "integrity", "plans")
+SUITES = ("ops", "apps", "format", "serve", "integrity", "plans", "nn")
 
 
 @dataclass
@@ -211,6 +216,12 @@ def _run_plans_suite(
     report.sections["plans"] = section
 
 
+def _run_nn_suite(seed: int, report: ConformanceReport) -> None:
+    nn = run_nn(seed)
+    report.failures.extend(nn.violations)
+    report.sections["nn"] = nn.as_dict()
+
+
 def run_conformance(
     suites: Sequence[str] = SUITES,
     seed: int = 0,
@@ -235,4 +246,6 @@ def run_conformance(
         )
     if "plans" in ordered:
         _run_plans_suite(report.seed, report, fuzz_iterations)
+    if "nn" in ordered:
+        _run_nn_suite(report.seed, report)
     return report

@@ -328,18 +328,26 @@ class EdgeTPUDevice:
         """Pick the output scale: the caller's request, or a lossless default.
 
         Operators whose accumulator is already int8-ranged (crop, ext,
-        ReLu, max, tanh, and mean after averaging) requantize losslessly
-        at the accumulator scale; arithmetic operators require the caller
-        (the Tensorizer) to supply an output scale per §6.2.2.
+        ReLu, max, tanh, softmax, and mean after averaging) requantize
+        losslessly at the accumulator scale; arithmetic operators require
+        the caller (the Tensorizer) to supply an output scale per §6.2.2.
         """
         if instr.out_params is not None:
             return instr.out_params
         op = instr.opcode
-        if op.is_data_movement or op in (Opcode.RELU, Opcode.MAX, Opcode.TANH):
+        if op.is_data_movement or op in (
+            Opcode.RELU,
+            Opcode.MAX,
+            Opcode.TANH,
+            Opcode.SOFTMAX,
+        ):
             return QuantParams(scale=result.acc_scale)
-        if op is Opcode.MEAN:
+        if op in (Opcode.MEAN, Opcode.POOL):
             # acc = raw_mean * (scale * size); returning at the input scale
             # keeps the mean within int8 range (it cannot exceed the max).
+            # Pooling is the windowed analogue: max pooling's accumulator
+            # is already at the input scale (rescale is exactly 1), and an
+            # average can never exceed the window maximum.
             return QuantParams(scale=instr.data_params.scale)
         raise ValueError(
             f"{op.opname} needs explicit output quantization parameters (§6.2.2)"

@@ -19,7 +19,7 @@ data_rows             u32     data operand rows (1 for vectors)
 data_cols             u32     data operand columns
 data_scale            f32     quantization factor of the data operand
 out_scale             f32     requested output quantization (0 = none)
-attr[4]               4×i32   stride / crop box / ext shape+offset
+attr[4]               4×i32   stride / crop box / ext shape+offset / pool geometry
 data section          r×c     int8 payload, row-major
 model section         var     §3.3 model blob (binary opcodes only)
 ====================  ======  =====================================
@@ -42,6 +42,8 @@ WIRE_VERSION = 1
 _HEADER = struct.Struct("<4sHBBIIffiiii")
 _OPCODES = list(Opcode)
 _FLAG_WIDE_OUTPUT = 0x01
+#: Pool-kind wire codes, in order (attr word 2).
+_POOL_KINDS = ("max", "avg")
 
 
 def _attrs_to_words(instr: Instruction) -> Tuple[int, int, int, int]:
@@ -56,6 +58,18 @@ def _attrs_to_words(instr: Instruction) -> Tuple[int, int, int, int]:
         oh, ow = instr.attrs["ext_shape"]
         r0, c0 = instr.attrs.get("ext_offset", (0, 0))
         return int(oh), int(ow), int(r0), int(c0)
+    if op is Opcode.POOL:
+        wh, ww = instr.attrs.get("window", (2, 2))
+        sy, sx = instr.attrs.get("stride", (wh, ww))
+        kind = instr.attrs.get("kind", "max")
+        if kind not in _POOL_KINDS:
+            raise ModelFormatError(f"unknown pool kind {kind!r}")
+        return (
+            (int(wh) << 16) | int(ww),
+            (int(sy) << 16) | int(sx),
+            _POOL_KINDS.index(kind),
+            0,
+        )
     return 0, 0, 0, 0
 
 
@@ -67,6 +81,20 @@ def _attrs_from_words(op: Opcode, words: Tuple[int, int, int, int]) -> dict:
         return {"crop_box": tuple(words)}
     if op is Opcode.EXT:
         return {"ext_shape": (words[0], words[1]), "ext_offset": (words[2], words[3])}
+    if op is Opcode.POOL:
+        if words == (0, 0, 0, 0):
+            return {}
+        wh, ww = words[0] >> 16, words[0] & 0xFFFF
+        sy, sx = words[1] >> 16, words[1] & 0xFFFF
+        if min(wh, ww, sy, sx) < 1:
+            raise ModelFormatError(f"invalid pool geometry words {words}")
+        if not 0 <= words[2] < len(_POOL_KINDS):
+            raise ModelFormatError(f"unknown pool kind code {words[2]}")
+        return {
+            "window": (wh, ww),
+            "stride": (sy, sx),
+            "kind": _POOL_KINDS[words[2]],
+        }
     return {}
 
 
@@ -126,6 +154,10 @@ def decode_instruction(blob: bytes, kernel_shape: Optional[Tuple[int, ...]] = No
     if not 0 <= op_index < len(_OPCODES):
         raise ModelFormatError(f"unknown opcode index {op_index}")
     opcode = _OPCODES[op_index]
+    if opcode.is_macro:
+        raise ModelFormatError(
+            f"{opcode.opname} is a macro opcode and has no wire form"
+        )
     if rows < 1 or cols < 1:
         raise ModelFormatError(f"invalid data dimensions {rows}x{cols}")
     n_data = rows * cols

@@ -179,6 +179,81 @@ def relu(data: np.ndarray, scale: float) -> OpResult:
     return OpResult(acc=np.maximum(data.astype(np.int64), 0), acc_scale=scale, macs=0)
 
 
+def _pool_geometry(
+    data_shape: Tuple[int, ...],
+    window: Tuple[int, int],
+    stride: Tuple[int, int],
+) -> Tuple[int, int, int, int]:
+    wh, ww = window
+    sy, sx = stride
+    if wh < 1 or ww < 1:
+        raise UnsupportedInstructionError(f"pool window must be positive, got {window}")
+    if sy < 1 or sx < 1:
+        raise UnsupportedInstructionError(f"pool stride must be positive, got {stride}")
+    h, w = data_shape[-2], data_shape[-1]
+    if wh > h or ww > w:
+        raise UnsupportedInstructionError(
+            f"pool window {wh}x{ww} larger than data {h}x{w}"
+        )
+    return wh, ww, sy, sx
+
+
+def pool2d(
+    data: np.ndarray,
+    window: Tuple[int, int],
+    stride: Tuple[int, int],
+    kind: str,
+    scale: float,
+) -> OpResult:
+    """2-D valid pooling over sliding windows (NN extension: pool).
+
+    ``kind`` is ``"max"`` (exact: the accumulator keeps the winning int8
+    code at the input scale) or ``"avg"`` (exact window sums; the
+    effective scale folds in the window size, mirroring :func:`mean`).
+    """
+    data = _require_2d(data, "pool data")
+    wh, ww, sy, sx = _pool_geometry(data.shape, window, stride)
+    windows = sliding_window_view(data.astype(np.int64), (wh, ww))[::sy, ::sx]
+    if kind == "max":
+        acc = windows.max(axis=(2, 3))
+        acc_scale = scale
+    elif kind == "avg":
+        acc = windows.sum(axis=(2, 3))
+        acc_scale = scale * wh * ww
+    else:
+        raise UnsupportedInstructionError(f"unknown pool kind {kind!r}")
+    return OpResult(acc=acc, acc_scale=acc_scale, macs=int(acc.size) * wh * ww)
+
+
+def _exp_lut(scale: float) -> np.ndarray:
+    """256-entry LUT of ``rint(exp(-d / scale) * 127)`` for d in [0, 255].
+
+    ``d`` is the (non-negative) int8-level distance from the row maximum,
+    so the table covers every reachable argument of the max-subtracted
+    exponential and entry 0 is exactly 127.
+    """
+    steps = np.arange(256, dtype=np.float64)
+    return np.rint(np.exp(-steps / scale) * QMAX).astype(np.int64)
+
+
+def softmax(data: np.ndarray, scale: float) -> OpResult:
+    """Row-wise numerically-safe int8 softmax (NN extension: softmax).
+
+    The device subtracts each row's maximum level (so exponent arguments
+    are non-positive and the exponential never overflows), evaluates
+    ``exp`` through a 256-entry LUT scaled to 127, and normalizes by the
+    exact integer row sum.  Output codes live in [0, 127] with scale 127
+    — probabilities, lossless through the requantizer like tanh.
+    """
+    data = _require_2d(data, "softmax data")
+    w = data.astype(np.int64)
+    d = w.max(axis=1, keepdims=True) - w  # distances in [0, 255]
+    e = _exp_lut(scale)[d]
+    sums = e.sum(axis=1, keepdims=True)  # >= 127: the row max maps to 127
+    acc = np.rint(e * float(QMAX) / sums).astype(np.int64)
+    return OpResult(acc=acc, acc_scale=float(QMAX), macs=int(data.size))
+
+
 # ---------------------------------------------------------------------------
 # Batched kernels (vectorized Tensorizer path)
 # ---------------------------------------------------------------------------
@@ -284,6 +359,67 @@ def max_batched(
     return BatchedOpResult(
         acc=data.astype(np.int64).max(axis=(1, 2))[:, None, None],
         acc_scales=np.asarray(scales, dtype=np.float64),
+        macs=np.asarray(sizes, dtype=np.int64),
+    )
+
+
+def pool2d_batched(
+    data: np.ndarray,
+    window: Tuple[int, int],
+    stride: Tuple[int, int],
+    kind: str,
+    scales: np.ndarray,
+    out_sizes: np.ndarray,
+) -> BatchedOpResult:
+    """Batched 2-D pooling over an ``(n, h, w)`` int8 stack.
+
+    Same accumulator arithmetic as :func:`pool2d` per slice.  Windows
+    that overlap stack padding produce values the caller must slice
+    away (``out_sizes`` carries each tile's *actual* output element
+    count for MAC accounting).
+    """
+    wh, ww, sy, sx = _pool_geometry(data.shape, window, stride)
+    windows = sliding_window_view(data.astype(np.int64), (wh, ww), axis=(1, 2))
+    windows = windows[:, ::sy, ::sx]
+    if kind == "max":
+        acc = windows.max(axis=(3, 4))
+        acc_scales = np.asarray(scales, dtype=np.float64)
+    elif kind == "avg":
+        acc = windows.sum(axis=(3, 4))
+        acc_scales = np.asarray(scales, dtype=np.float64) * (wh * ww)
+    else:
+        raise UnsupportedInstructionError(f"unknown pool kind {kind!r}")
+    return BatchedOpResult(
+        acc=acc,
+        acc_scales=acc_scales,
+        macs=np.asarray(out_sizes, dtype=np.int64) * (wh * ww),
+    )
+
+
+def softmax_batched(
+    data: np.ndarray, scales: np.ndarray, sizes: np.ndarray
+) -> BatchedOpResult:
+    """Batched row-wise softmax over an ``(n, r, c)`` int8 stack.
+
+    Per-tile 256-entry exponential LUTs (scales differ per tile), then
+    the same max-subtract / integer-sum / normalize arithmetic as
+    :func:`softmax`.  Rows are independent, so padded *rows* in the
+    stack yield garbage the caller slices away without perturbing real
+    rows; padded columns are forbidden (they would enter row sums) —
+    the Tensorizer only stacks full-width row bands.
+    """
+    scales = np.asarray(scales, dtype=np.float64)
+    w = data.astype(np.int64)
+    d = w.max(axis=2, keepdims=True) - w
+    steps = np.arange(256, dtype=np.float64)
+    luts = np.rint(np.exp(-steps[None, :] / scales[:, None]) * QMAX).astype(np.int64)
+    n = data.shape[0]
+    e = luts[(np.arange(n)[:, None, None], d)]
+    sums = e.sum(axis=2, keepdims=True)
+    acc = np.rint(e * float(QMAX) / sums).astype(np.int64)
+    return BatchedOpResult(
+        acc=acc,
+        acc_scales=np.full(n, float(QMAX)),
         macs=np.asarray(sizes, dtype=np.int64),
     )
 
@@ -394,4 +530,10 @@ def execute(instr: Instruction) -> OpResult:
         return tanh(instr.data, ds)
     if op is Opcode.RELU:
         return relu(instr.data, ds)
+    if op is Opcode.POOL:
+        window = tuple(instr.attrs.get("window", (2, 2)))
+        stride = tuple(instr.attrs.get("stride", window))
+        return pool2d(instr.data, window, stride, instr.attrs.get("kind", "max"), ds)
+    if op is Opcode.SOFTMAX:
+        return softmax(instr.data, ds)
     raise UnsupportedInstructionError(f"unknown opcode {op!r}")  # pragma: no cover

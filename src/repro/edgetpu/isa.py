@@ -4,6 +4,15 @@ The device exposes eleven CISC instructions.  Each instruction takes up
 to two tensor inputs: a *data* tensor (the would-be "inference input")
 and, for binary operators, a *model* tensor (the would-be "weights",
 delivered in the §3.3 binary model format).  Both are 8-bit quantized.
+
+The NN-inference extension (docs/nn.md) adds three opcodes past the
+paper's Table 1: ``POOL`` and ``SOFTMAX`` are real device instructions
+(characterized by analogy to the Table 1 reductions/LUT ops), while
+``CONV2D_NN`` is a *macro* opcode — a host-level multichannel conv2d
+that the Tensorizer lowers onto conv2D-GEMM instructions via im2col.
+Macro opcodes never reach a device: constructing an
+:class:`Instruction` with one raises, and the wire decoder rejects
+their index with a typed format error.
 """
 
 from __future__ import annotations
@@ -31,6 +40,11 @@ class Opcode(enum.Enum):
     MAX = "max"
     TANH = "tanh"
     RELU = "ReLu"
+    # NN-inference extension opcodes (docs/nn.md) — appended after the
+    # eleven Table 1 instructions so existing wire indices stay stable.
+    CONV2D_NN = "conv2D_nn"
+    POOL = "pool"
+    SOFTMAX = "softmax"
 
     @property
     def opname(self) -> str:
@@ -66,6 +80,17 @@ class Opcode(enum.Enum):
     def is_data_movement(self) -> bool:
         """Operators that only rearrange data (crop, ext)."""
         return self in (Opcode.CROP, Opcode.EXT)
+
+    @property
+    def is_macro(self) -> bool:
+        """Host-level macro operators that lower onto other instructions.
+
+        Macro opcodes exist in the operation-queue vocabulary (so NN
+        requests carry first-class opcodes through plan signatures and
+        serving) but are never device instructions: the Tensorizer
+        expands ``CONV2D_NN`` into §7.1.2 conv2D-GEMM instructions.
+        """
+        return self is Opcode.CONV2D_NN
 
 
 _BINARY_OPS = frozenset(
@@ -122,6 +147,11 @@ class Instruction:
     output_key: str = ""
 
     def __post_init__(self) -> None:
+        if self.opcode.is_macro:
+            raise ValueError(
+                f"{self.opcode.opname} is a macro opcode; it lowers onto "
+                "device instructions and cannot be executed directly"
+            )
         if self.data.dtype != np.int8:
             raise TypeError(f"instruction data must be int8, got {self.data.dtype}")
         if self.opcode.takes_model:

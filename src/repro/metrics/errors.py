@@ -195,6 +195,16 @@ OP_BOUNDS: Dict[str, ErrorBound] = {
     "scan": ErrorBound(8.0, 0.8, 4.0, "§10 extension (GEMM-backed)"),
     "precise": ErrorBound(10.0, 0.6, 3.0, "§10 (k-split error reduction)"),
     "conv2d": ErrorBound(12.0, 1.0, 4.0, "Table 1 (stencil conv)"),
+    # NN extension families, calibrated like the rest: measured over the
+    # suite's default datasets for seeds 0-7, ~2x headroom on the worst.
+    # conv2d_nn pays two input quantizations plus a per-output-channel
+    # requantize (measured RMSE <= 0.29 %); avg pooling re-quantizes its
+    # window sums (RMSE <= 0.84 %); softmax's 1/127 output quantum makes
+    # entrywise MAPE heavy-tailed on small probabilities (<= 27 %) while
+    # the range-normalized metrics stay sub-percent.
+    "conv2d_nn": ErrorBound(10.0, 0.6, 3.0, "§10 NN extension (im2col GEMM)"),
+    "pool": ErrorBound(16.0, 1.6, 4.5, "§10 NN extension (window max/avg)"),
+    "softmax": ErrorBound(55.0, 0.8, 4.0, "§10 NN extension (exp LUT)"),
 }
 
 

@@ -1,0 +1,26 @@
+"""repro.nn — int8 neural-network inference on the simulated Edge TPU.
+
+The Edge TPU's native workload, built from the same OpenCtpu operator
+library as the paper's general-purpose kernels (docs/nn.md).  Layers
+(:mod:`repro.nn.layers`) wrap the NN operators with weights attached;
+:class:`~repro.nn.models.Sequential` chains them with per-layer
+telemetry spans; :func:`~repro.nn.models.lenet` and
+:func:`~repro.nn.models.attention` build the two reference workloads
+from deterministic seeded weights (no external model files).
+"""
+
+from repro.nn.layers import Attention, Conv2d, Dense, Flatten, Pool2d, Softmax
+from repro.nn.models import Sequential, attention, lenet, sample_input
+
+__all__ = [
+    "Attention",
+    "Conv2d",
+    "Dense",
+    "Flatten",
+    "Pool2d",
+    "Softmax",
+    "Sequential",
+    "attention",
+    "lenet",
+    "sample_input",
+]

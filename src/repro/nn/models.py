@@ -1,0 +1,141 @@
+"""The model zoo: Sequential graphs with deterministic seeded weights.
+
+No external model files: every weight tensor comes from a seeded
+``numpy`` generator with He-style scaling, so two processes that build
+``lenet(seed=7)`` run bit-identical int8 inference.  The two reference
+workloads are the ISSUE's tentpole models — a LeNet-style CNN (conv →
+pool → conv → pool → dense stack → softmax) and a single-head attention
+block (QKᵀ → softmax → AV).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RuntimeAPIError
+from repro.nn.layers import Attention, Conv2d, Dense, Flatten, Pool2d, Softmax
+from repro.runtime.api import OpenCtpu
+
+
+class Sequential:
+    """A linear int8 inference graph with per-layer telemetry.
+
+    Layers run in order through one OpenCtpu context.  Each layer is
+    wrapped in an ``nn:<model>/<layer>`` tracer span; with
+    ``sync_per_layer=True`` the runtime syncs after every layer that
+    enqueued device work and :attr:`layer_reports` records its simulated
+    wall and device-busy seconds — the per-layer latency attribution the
+    NN benchmark exports.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Tuple[str, object]],
+        name: str = "model",
+        input_shape: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        self.layers: List[Tuple[str, object]] = list(layers)
+        if not self.layers:
+            raise RuntimeAPIError("Sequential needs at least one layer")
+        names = [n for n, _ in self.layers]
+        if len(set(names)) != len(names):
+            raise RuntimeAPIError(f"Sequential layer names must be unique: {names}")
+        self.name = name
+        #: Per-example input shape (batch prepended by :func:`sample_input`);
+        #: None means the model consumes its input verbatim.
+        self.input_shape = input_shape
+        #: Per-layer attribution from the most recent synced forward.
+        self.layer_reports: List[Dict[str, float]] = []
+
+    def forward(
+        self, ctx: OpenCtpu, x: np.ndarray, sync_per_layer: bool = False
+    ) -> np.ndarray:
+        self.layer_reports = []
+        out = np.asarray(x, dtype=np.float64)
+        for layer_name, layer in self.layers:
+            with ctx.tracer.span(
+                f"nn:{self.name}/{layer_name}", cat="nn", track="nn"
+            ) as sp:
+                out = layer(ctx, out)
+                if sync_per_layer and ctx.pending_operations:
+                    report = ctx.sync()
+                    device = report.timeline.tpu_busy_seconds()
+                    sp.add_device_seconds(device)
+                    self.layer_reports.append(
+                        {
+                            "layer": layer_name,
+                            "wall_seconds": report.wall_seconds,
+                            "device_seconds": device,
+                        }
+                    )
+        return out
+
+    __call__ = forward
+
+
+def _he_conv(rng: np.random.Generator, f: int, c: int, kh: int, kw: int) -> np.ndarray:
+    fan_in = c * kh * kw
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(f, c, kh, kw))
+
+
+def _he_dense(rng: np.random.Generator, d_in: int, d_out: int) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / d_in), size=(d_in, d_out))
+
+
+def lenet(seed: int = 0) -> Sequential:
+    """LeNet-style CNN over 28×28 single-channel images.
+
+    conv(6@5×5, pad 2, ReLU) → maxpool 2 → conv(16@5×5, ReLU) →
+    maxpool 2 → flatten → dense 120 (ReLU) → dense 84 (ReLU) →
+    dense 10 → softmax.
+    """
+    rng = np.random.default_rng(seed)
+    layers = [
+        ("conv1", Conv2d(_he_conv(rng, 6, 1, 5, 5),
+                         bias=rng.normal(0.0, 0.1, size=6),
+                         padding=2, relu=True)),
+        ("pool1", Pool2d(window=2)),
+        ("conv2", Conv2d(_he_conv(rng, 16, 6, 5, 5),
+                         bias=rng.normal(0.0, 0.1, size=16),
+                         relu=True)),
+        ("pool2", Pool2d(window=2)),
+        ("flatten", Flatten()),
+        ("dense1", Dense(_he_dense(rng, 400, 120),
+                         bias=rng.normal(0.0, 0.1, size=120), relu=True)),
+        ("dense2", Dense(_he_dense(rng, 120, 84),
+                         bias=rng.normal(0.0, 0.1, size=84), relu=True)),
+        ("dense3", Dense(_he_dense(rng, 84, 10),
+                         bias=rng.normal(0.0, 0.1, size=10))),
+        ("softmax", Softmax()),
+    ]
+    return Sequential(layers, name="lenet", input_shape=(1, 28, 28))
+
+
+def attention(seed: int = 0, seq: int = 48, d_model: int = 64,
+              d_head: int = 32) -> Sequential:
+    """Single-head attention block over a (seq, d_model) sequence."""
+    rng = np.random.default_rng(seed)
+    block = Attention(
+        wq=_he_dense(rng, d_model, d_head),
+        wk=_he_dense(rng, d_model, d_head),
+        wv=_he_dense(rng, d_model, d_head),
+    )
+    model = Sequential([("attn", block)], name="attention", input_shape=None)
+    model.sequence_shape = (seq, d_model)  # consumed verbatim, no batch axis
+    return model
+
+
+MODELS = {"lenet": lenet, "attention": attention}
+
+
+def sample_input(model: Sequential, batch: int = 2, seed: int = 0) -> np.ndarray:
+    """Deterministic input for *model*: images for CNNs, a sequence else."""
+    rng = np.random.default_rng(seed + 1)
+    if model.input_shape is not None:
+        return rng.normal(size=(batch,) + tuple(model.input_shape))
+    shape = getattr(model, "sequence_shape", None)
+    if shape is None:
+        raise RuntimeAPIError(f"model {model.name!r} declares no input shape")
+    return rng.normal(size=shape)

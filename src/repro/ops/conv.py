@@ -1,7 +1,16 @@
-"""Stencil-style 2-D convolution wrapper (HotSpot3D's kernel, §7.2.2)."""
+"""Stencil-style 2-D convolution wrapper (HotSpot3D's kernel, §7.2.2).
+
+Named ``tpu_stencil2d`` to disambiguate it from the multichannel NN
+convolution (:func:`repro.ops.nn.tpu_conv2d_nn`): this routine convolves
+one 2-D plane with one small kernel — the HotSpot3D relaxation stencil —
+and lowers to a single halo-tiled conv2D instruction stream, with no
+channels, bias, or activation.  ``tpu_conv2d`` remains as a deprecated
+alias for existing callers.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -11,7 +20,7 @@ from repro.runtime.api import OpenCtpu
 from repro.runtime.buffers import Buffer
 
 
-def tpu_conv2d(
+def tpu_stencil2d(
     ctx: OpenCtpu,
     data,
     kernel,
@@ -31,3 +40,25 @@ def tpu_conv2d(
         out=out,
         **attrs,
     )
+
+
+def tpu_conv2d(
+    ctx: OpenCtpu,
+    data,
+    kernel,
+    model_name: str = "",
+    out: Optional[Buffer] = None,
+) -> np.ndarray:
+    """Deprecated alias of :func:`tpu_stencil2d`.
+
+    The name now belongs conceptually to the multichannel NN convolution
+    (:func:`repro.ops.nn.tpu_conv2d_nn`); use :func:`tpu_stencil2d` for
+    the single-plane stencil form.
+    """
+    warnings.warn(
+        "tpu_conv2d is deprecated; use tpu_stencil2d (single-plane stencil) "
+        "or repro.ops.nn.tpu_conv2d_nn (multichannel NN convolution)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return tpu_stencil2d(ctx, data, kernel, model_name=model_name, out=out)

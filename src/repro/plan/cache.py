@@ -17,8 +17,11 @@ plan serves a whole coalesced group.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from collections import OrderedDict
 from typing import Dict, Optional
+
+import numpy as np
 
 from repro.plan.compiled import CompiledPlan
 
@@ -30,6 +33,26 @@ def _dataclass_digest(obj) -> str:
     """Stable one-line digest of a frozen config dataclass."""
     pairs = sorted(dataclasses.asdict(obj).items())
     return ",".join(f"{k}={v!r}" for k, v in pairs)
+
+
+def _attr_token(value) -> str:
+    """Canonical signature token for one request attribute value.
+
+    ``repr`` alone is unsafe for array-valued attributes: NumPy elides
+    large arrays with ``...``, so two different per-channel quant vectors
+    (e.g. a ``channel_scales`` override on a wide conv2D_nn layer) could
+    collapse to one ambiguous token and replay the wrong plan.  Arrays
+    are digested over their full byte content instead; nested sequences
+    are canonicalized recursively so tuples and lists of the same values
+    produce one token.
+    """
+    if isinstance(value, np.ndarray):
+        payload = np.ascontiguousarray(value).tobytes()
+        digest = hashlib.blake2b(payload, digest_size=8).hexdigest()
+        return f"ndarray{tuple(value.shape)}:{value.dtype.str}:{digest}"
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_attr_token(v) for v in value) + ")"
+    return repr(value)
 
 
 def plan_signature(request, options, tpu_config) -> str:
@@ -44,7 +67,7 @@ def plan_signature(request, options, tpu_config) -> str:
         f"{tuple(x.shape)}:{x.dtype.str}" for x in request.inputs
     )
     attrs = ";".join(
-        f"{key}={request.attrs[key]!r}" for key in sorted(request.attrs)
+        f"{key}={_attr_token(request.attrs[key])}" for key in sorted(request.attrs)
     )
     return (
         f"plan-v1|op={request.opcode.opname}|quant={request.quant.name}"

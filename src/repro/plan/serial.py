@@ -30,6 +30,7 @@ from typing import List
 
 import numpy as np
 
+from repro.edgetpu.isa import Opcode
 from repro.errors import ModelSizeMismatchError, PlanFormatError
 from repro.plan.compiled import (
     KIND_GEMM,
@@ -51,6 +52,12 @@ PLAN_FORMAT_VERSION = 1
 _KIND_CODES = {KIND_GENERIC: 0, KIND_GEMM: 1}
 _KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
 _INTEGRITY_MODES = ("off", "abft", "vote")
+
+#: Opnames a plan may legally carry.  Instruction records are device
+#: instructions, so macro opcodes (host-level, no wire form — conv2D_nn)
+#: are rejected at parse time; the Tensorizer never captures them either
+#: (a macro lowers through its wire-op sub-request).
+_WIRE_OPNAMES = frozenset(op.opname for op in Opcode if not op.is_macro)
 
 #: Fixed-width tail of one instruction-group record past its strings:
 #: data/model/out bytes (u64 ×3), count (u32), build+exec seconds (f64 ×2).
@@ -267,6 +274,10 @@ def parse_plan(blob: bytes) -> CompiledPlan:
     opname = r.string("B")
     if not opname:
         raise PlanFormatError("plan opname must be non-empty")
+    if opname not in _WIRE_OPNAMES:
+        raise PlanFormatError(
+            f"plan opname {opname!r} is not an executable device opcode"
+        )
     cpu_seconds = _check_finite(r.f64(), "plan cpu_seconds")
 
     geom_fields = r.u8()
@@ -308,6 +319,11 @@ def parse_plan(blob: bytes) -> CompiledPlan:
         )
         if not t_opname:
             raise PlanFormatError("instruction record opname must be non-empty")
+        if t_opname not in _WIRE_OPNAMES:
+            raise PlanFormatError(
+                f"instruction record opname {t_opname!r} is not an "
+                f"executable device opcode"
+            )
         if count < 1:
             raise PlanFormatError(f"instruction record count must be >= 1, got {count}")
         templates.append(

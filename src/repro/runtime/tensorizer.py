@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.config import EdgeTPUConfig
 from repro.errors import QuantizationError, TensorizerError
@@ -259,10 +260,12 @@ class Tensorizer:
         self._global_params = None  # per-operation GLOBAL-params memo
         cache = self.plan_cache
         gemm = request.opcode is Opcode.CONV2D and request.attrs.get("gemm", False)
-        if cache is None or not self.options.vectorized or gemm:
+        if cache is None or not self.options.vectorized or gemm or request.opcode.is_macro:
             # conv2D-GEMM consults the cache inside its own rule (it has
             # a dedicated fast-replay path reusing the quantized model);
-            # every other vectorized rule replays generically below.
+            # macro ops (conv2D_nn) delegate to that same self-planning
+            # GEMM path after im2col; every other vectorized rule
+            # replays generically below.
             lowered = self._dispatch_rule(request)
         else:
             lowered = self._lower_generic_planned(request, cache)
@@ -405,6 +408,20 @@ class Tensorizer:
             lowered = self._lower_crop(request)
         elif op is Opcode.EXT:
             lowered = self._lower_ext(request)
+        elif op is Opcode.CONV2D_NN:
+            lowered = self._lower_conv2d_nn(request)
+        elif op is Opcode.POOL:
+            lowered = (
+                self._lower_pool_batched(request)
+                if vec
+                else self._lower_pool_scalar(request)
+            )
+        elif op is Opcode.SOFTMAX:
+            lowered = (
+                self._lower_softmax_batched(request)
+                if vec
+                else self._lower_softmax_scalar(request)
+            )
         else:  # pragma: no cover - all opcodes handled above
             raise TensorizerError(f"no lowering rule for {op!r}")
         return lowered
@@ -2165,3 +2182,355 @@ class Tensorizer:
             )
         ]
         return LoweredOperation(request, instrs, execd.dequantized())
+
+    # ------------------------------------------------------------------
+    # NN extension: pool / softmax / multichannel conv2d (docs/nn.md)
+    # ------------------------------------------------------------------
+
+    def _pool_operand(
+        self, request: OperationRequest
+    ) -> Tuple[np.ndarray, Tuple[int, int], Tuple[int, int], str]:
+        if len(request.inputs) != 1:
+            raise TensorizerError("pool takes one input")
+        a = request.inputs[0]
+        if a.ndim != 2:
+            raise TensorizerError(f"pool operates on a 2-D matrix, got {a.shape}")
+        window = tuple(int(v) for v in request.attrs.get("window", (2, 2)))
+        stride = tuple(int(v) for v in request.attrs.get("stride", window))
+        kind = str(request.attrs.get("kind", "max"))
+        if len(window) != 2 or min(window) < 1:
+            raise TensorizerError(f"pool window must be two positive ints, got {window}")
+        if len(stride) != 2 or min(stride) < 1:
+            raise TensorizerError(f"pool stride must be two positive ints, got {stride}")
+        if kind not in ("max", "avg"):
+            raise TensorizerError(f"unknown pool kind {kind!r}")
+        if window[0] > a.shape[0] or window[1] > a.shape[1]:
+            raise TensorizerError(
+                f"pool window {window} larger than data {a.shape}"
+            )
+        return a, window, stride, kind
+
+    def _row_bands(self, n_out_rows: int, out_cols: int) -> List[Tuple[int, int]]:
+        """Split *n_out_rows* output rows into bands of ~one optimal tile.
+
+        Each band becomes one instruction whose result count approaches
+        the 128² sweet spot (§3.2), mirroring how the GEMM path sizes
+        its kernel batches.
+        """
+        tile = self.options.arithmetic_tile
+        band = max(1, (tile * tile) // max(1, out_cols))
+        return [
+            (b0, min(b0 + band, n_out_rows)) for b0 in range(0, n_out_rows, band)
+        ]
+
+    @staticmethod
+    def _stack_bands(bands: List[np.ndarray]) -> np.ndarray:
+        """Stack ragged full-width row bands, zero-padding short ones.
+
+        Zero rows cannot change a band's ``max |x|`` (so per-band scales
+        match the scalar path exactly) and every *valid* output row reads
+        only real input rows — callers slice padded garbage away.
+        """
+        hmax = max(b.shape[0] for b in bands)
+        stacked = np.zeros((len(bands), hmax, bands[0].shape[1]), dtype=np.float64)
+        for i, b in enumerate(bands):
+            stacked[i, : b.shape[0]] = b
+        return stacked
+
+    def _lower_pool_scalar(self, request: OperationRequest) -> LoweredOperation:
+        a, window, stride, kind = self._pool_operand(request)
+        wh, ww = window
+        sy, sx = stride
+        oh = (a.shape[0] - wh) // sy + 1
+        ow = (a.shape[1] - ww) // sx + 1
+        attrs = {"window": window, "stride": stride, "kind": kind}
+        result = np.empty((oh, ow), dtype=np.float64)
+        instrs: List[LoweredInstr] = []
+        saturated = 0
+        for bi, (b0, b1) in enumerate(self._row_bands(oh, ow)):
+            band = a[b0 * sy : (b1 - 1) * sy + wh]
+            pa = self._input_params(request, band)
+            instr = Instruction(
+                Opcode.POOL, quantize(band, pa), pa, attrs=attrs, task_id=request.task_id
+            )
+            execd = self._scratch.execute(instr)
+            self.stats.tiles_lowered += 1
+            self.stats.scalar_dispatches += 1
+            saturated += execd.saturated
+            result[b0:b1] = execd.dequantized()
+            instrs.append(
+                LoweredInstr(
+                    opcode=Opcode.POOL,
+                    task_id=request.task_id,
+                    group_key="",
+                    cache_key="",
+                    data_bytes=band.size,
+                    model_bytes=0,
+                    model_build_seconds=0.0,
+                    exec_seconds=execd.seconds,
+                    out_bytes=(b1 - b0) * ow,
+                    label=f"pool@{bi}",
+                )
+            )
+        return LoweredOperation(request, instrs, result, saturated=saturated)
+
+    def _lower_pool_batched(self, request: OperationRequest) -> LoweredOperation:
+        a, window, stride, kind = self._pool_operand(request)
+        wh, ww = window
+        sy, sx = stride
+        oh = (a.shape[0] - wh) // sy + 1
+        ow = (a.shape[1] - ww) // sx + 1
+        bands = self._row_bands(oh, ow)
+        slices = [a[b0 * sy : (b1 - 1) * sy + wh] for b0, b1 in bands]
+        stacked = self._stack_bands(slices)
+        scales = self._input_scales(request, stacked)
+        qa = quantize_batched(stacked, scales, assume_finite=True)
+        out_sizes = np.array([(b1 - b0) * ow for b0, b1 in bands], dtype=np.int64)
+        batched = functional.pool2d_batched(qa, window, stride, kind, scales, out_sizes)
+        # Device POOL default output scale: the input scale (max pooling
+        # requantizes with rescale exactly 1; averages cannot saturate).
+        out_scales = scales
+        q_out, saturated = requantize_batched(batched.acc, batched.acc_scales, out_scales)
+        deq = dequantize_batched(q_out, out_scales)
+        result = np.empty((oh, ow), dtype=np.float64)
+        for i, (b0, b1) in enumerate(bands):
+            result[b0:b1] = deq[i, : b1 - b0, :ow]
+        self.stats.tiles_lowered += len(bands)
+        self.stats.batched_dispatches += 1
+
+        instrs: List[LoweredInstr] = []
+        for i, (b0, b1) in enumerate(bands):
+            instrs.append(
+                LoweredInstr(
+                    opcode=Opcode.POOL,
+                    task_id=request.task_id,
+                    group_key="",
+                    cache_key="",
+                    data_bytes=slices[i].size,
+                    model_bytes=0,
+                    model_build_seconds=0.0,
+                    exec_seconds=self.timing.instruction_seconds(
+                        Opcode.POOL, int(out_sizes[i]), int(batched.macs[i])
+                    ),
+                    out_bytes=int(out_sizes[i]),
+                    label=f"pool@{i}",
+                )
+            )
+        return LoweredOperation(request, instrs, result, saturated=saturated)
+
+    def _softmax_operand(self, request: OperationRequest) -> np.ndarray:
+        if len(request.inputs) != 1:
+            raise TensorizerError("softmax takes one input")
+        a = request.inputs[0]
+        if a.ndim != 2:
+            raise TensorizerError(f"softmax operates on a 2-D matrix, got {a.shape}")
+        return a
+
+    def _lower_softmax_scalar(self, request: OperationRequest) -> LoweredOperation:
+        a = self._softmax_operand(request)
+        tile = self.options.arithmetic_tile
+        result = np.empty_like(a)
+        instrs: List[LoweredInstr] = []
+        saturated = 0
+        for bi, b0 in enumerate(range(0, a.shape[0], tile)):
+            band = a[b0 : b0 + tile]
+            pa = self._input_params(request, band)
+            instr = Instruction(
+                Opcode.SOFTMAX, quantize(band, pa), pa, task_id=request.task_id
+            )
+            execd = self._scratch.execute(instr)
+            self.stats.tiles_lowered += 1
+            self.stats.scalar_dispatches += 1
+            saturated += execd.saturated
+            result[b0 : b0 + band.shape[0]] = execd.dequantized()
+            instrs.append(
+                LoweredInstr(
+                    opcode=Opcode.SOFTMAX,
+                    task_id=request.task_id,
+                    group_key="",
+                    cache_key="",
+                    data_bytes=band.size,
+                    model_bytes=0,
+                    model_build_seconds=0.0,
+                    exec_seconds=execd.seconds,
+                    out_bytes=band.size,
+                    label=f"softmax@{bi}",
+                )
+            )
+        return LoweredOperation(request, instrs, result, saturated=saturated)
+
+    def _lower_softmax_batched(self, request: OperationRequest) -> LoweredOperation:
+        a = self._softmax_operand(request)
+        tile = self.options.arithmetic_tile
+        starts = list(range(0, a.shape[0], tile))
+        slices = [a[b0 : b0 + tile] for b0 in starts]
+        # Full-width row bands only: padded *columns* would enter row
+        # sums and break bit-identity; padded rows are sliced away.
+        stacked = self._stack_bands(slices)
+        scales = self._input_scales(request, stacked)
+        qa = quantize_batched(stacked, scales, assume_finite=True)
+        sizes = np.array([s.size for s in slices], dtype=np.int64)
+        batched = functional.softmax_batched(qa, scales, sizes)
+        # Lossless requantization at the LUT scale (127), like tanh.
+        q_out, saturated = requantize_batched(
+            batched.acc, batched.acc_scales, batched.acc_scales
+        )
+        deq = dequantize_batched(q_out, batched.acc_scales)
+        result = np.empty_like(a)
+        for i, b0 in enumerate(starts):
+            nb = slices[i].shape[0]
+            result[b0 : b0 + nb] = deq[i, :nb]
+        self.stats.tiles_lowered += len(slices)
+        self.stats.batched_dispatches += 1
+
+        instrs: List[LoweredInstr] = []
+        for i, b0 in enumerate(starts):
+            instrs.append(
+                LoweredInstr(
+                    opcode=Opcode.SOFTMAX,
+                    task_id=request.task_id,
+                    group_key="",
+                    cache_key="",
+                    data_bytes=int(sizes[i]),
+                    model_bytes=0,
+                    model_build_seconds=0.0,
+                    exec_seconds=self.timing.instruction_seconds(
+                        Opcode.SOFTMAX, int(sizes[i]), int(batched.macs[i])
+                    ),
+                    out_bytes=int(sizes[i]),
+                    label=f"softmax@{i}",
+                )
+            )
+        return LoweredOperation(request, instrs, result, saturated=saturated)
+
+    # -- multichannel conv2d (im2col over the conv2D-GEMM path) ---------
+
+    @staticmethod
+    def _conv2d_nn_padding(attrs) -> Tuple[int, int, int, int]:
+        pad = attrs.get("padding", 0)
+        if isinstance(pad, int):
+            return (pad, pad, pad, pad)
+        pad = tuple(int(v) for v in pad)
+        if len(pad) == 2:
+            return (pad[0], pad[0], pad[1], pad[1])
+        if len(pad) == 4:
+            return pad
+        raise TensorizerError(
+            f"conv2D_nn padding must be an int, (py, px), or (pt, pb, pl, pr); got {pad!r}"
+        )
+
+    def _lower_conv2d_nn(self, request: OperationRequest) -> LoweredOperation:
+        """Multichannel NCHW conv2d: im2col → conv2D-GEMM → NN epilogue.
+
+        The data-parallel heart — an ``(N·OH·OW, C·kh·kw) × (C·kh·kw, F)``
+        matrix product — runs through the §7.1.2 conv2D-GEMM rule and so
+        inherits its whole stack: plan capture/replay, ABFT integrity
+        checksums, model-block reuse, and scalar/vectorized bit-identity.
+        The host contributes the im2col transform and an NN-style
+        epilogue: bias fold, optional fused ReLU, and per-output-channel
+        int8 requantization (the "per-channel quant params" real NN
+        runtimes use; see docs/nn.md).
+        """
+        if len(request.inputs) not in (2, 3):
+            raise TensorizerError("conv2D_nn needs inputs (x, w[, bias])")
+        x, w = request.inputs[0], request.inputs[1]
+        bias = request.inputs[2] if len(request.inputs) == 3 else None
+        if x.ndim != 4 or w.ndim != 4:
+            raise TensorizerError(
+                f"conv2D_nn wants NCHW x and FCHW w, got {x.shape} and {w.shape}"
+            )
+        n, c, h, wid = x.shape
+        f, cw, kh, kw = w.shape
+        if cw != c:
+            raise TensorizerError(
+                f"conv2D_nn channel mismatch: x has {c}, w has {cw}"
+            )
+        if bias is not None and bias.shape != (f,):
+            raise TensorizerError(
+                f"conv2D_nn bias must have shape ({f},), got {bias.shape}"
+            )
+        sy, sx = (int(v) for v in request.attrs.get("stride", (1, 1)))
+        if sy < 1 or sx < 1:
+            raise TensorizerError(f"conv2D_nn stride must be positive, got ({sy}, {sx})")
+        pt, pb, pl, pr = self._conv2d_nn_padding(request.attrs)
+        if min(pt, pb, pl, pr) < 0:
+            raise TensorizerError("conv2D_nn padding must be non-negative")
+        ph, pw = h + pt + pb, wid + pl + pr
+        if kh > ph or kw > pw:
+            raise TensorizerError(
+                f"conv2D_nn kernel {kh}x{kw} larger than padded input {ph}x{pw}"
+            )
+        oh = (ph - kh) // sy + 1
+        ow = (pw - kw) // sx + 1
+
+        # Host im2col: zero-pad, then unfold every (kh, kw) patch into a
+        # row of A.  Rows are ordered (image, out_row, out_col); columns
+        # are ordered (channel, ky, kx) to match w.reshape(f, -1).
+        if (pt, pb, pl, pr) != (0, 0, 0, 0):
+            xp = np.zeros((n, c, ph, pw), dtype=np.float64)
+            xp[:, :, pt : pt + h, pl : pl + wid] = x
+        else:
+            xp = x
+        patches = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sy, ::sx]
+        a_mat = np.ascontiguousarray(
+            patches.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+        )
+        w_mat = np.ascontiguousarray(w.reshape(f, c * kh * kw).T)
+
+        sub_attrs = {"gemm": True}
+        if "gemm_chunks" in request.attrs:
+            sub_attrs["gemm_chunks"] = int(request.attrs["gemm_chunks"])
+        sub = OperationRequest(
+            task_id=request.task_id,
+            opcode=Opcode.CONV2D,
+            inputs=(a_mat, w_mat),
+            quant=request.quant,
+            attrs=sub_attrs,
+            input_name=request.input_name,
+            output_name=request.output_name,
+        )
+        inner = (
+            self._lower_gemm_conv2d_batched(sub)
+            if self.options.vectorized
+            else self._lower_gemm_conv2d_scalar(sub)
+        )
+
+        # NN epilogue (host float64, deterministic → bit-identical across
+        # the scalar and vectorized inner paths): bias, fused ReLU, then
+        # per-output-channel int8 requantization.
+        out2d = inner.result
+        if bias is not None:
+            out2d = out2d + bias[None, :]
+        if request.attrs.get("relu", False):
+            out2d = np.maximum(out2d, 0.0)
+        ch_override = request.attrs.get("channel_scales")
+        if ch_override is not None:
+            ch_scales = np.asarray(ch_override, dtype=np.float64)
+            if ch_scales.shape != (f,) or not np.all(ch_scales > 0):
+                raise TensorizerError(
+                    f"channel_scales must be {f} positive floats"
+                )
+        else:
+            cmax = np.abs(out2d).max(axis=0)
+            ch_scales = np.array(
+                [self._params_for_range(float(m) * 1.05).scale for m in cmax]
+            )
+        q = np.rint(out2d * ch_scales[None, :])
+        saturated = int(np.count_nonzero((q < QMIN) | (q > QMAX)))
+        deq = np.clip(q, QMIN, QMAX) / ch_scales[None, :]
+        result = np.ascontiguousarray(
+            deq.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+        )
+        # §7.1.3-style host transform cost: im2col writes A once, the
+        # epilogue touches every output value once.
+        host_seconds = self.cpu.elementwise_seconds(
+            a_mat.size + deq.size, bytes_per_elem=8
+        )
+        return LoweredOperation(
+            request,
+            inner.instrs,
+            result,
+            cpu_seconds=inner.cpu_seconds + host_seconds,
+            saturated=inner.saturated + saturated,
+            integrity=inner.integrity,
+        )

@@ -57,6 +57,13 @@ class LoadgenSpec:
     verify: bool = True
     #: AOT compiled-plan cache on the server (lower once, bind many).
     plan_cache: bool = True
+    #: Request shape mix: "gemm" is the classic coalescing-friendly
+    #: shared-B GEMM stream; "nn" cycles each tenant through an NN
+    #: inference triple — a shared-weight conv2D_nn layer, an
+    #: attention-score GEMM, and a softmax over the scores.  Only the
+    #: GEMMs are coalescible; conv2D_nn and softmax requests must ride
+    #: through the server as singletons.
+    mix: str = "gemm"
 
 
 @dataclass
@@ -94,6 +101,62 @@ async def _client(
     results[("__delivered__", tenant)] = delivered
 
 
+def _nn_mix(spec: LoadgenSpec, rng: np.random.Generator) -> dict:
+    """Per-tenant NN inference traffic: conv layer, attention GEMM, softmax.
+
+    The conv weights and the attention key matrix are shared across
+    tenants (the "many clients, one model" serving pattern); activations
+    are per-request.  The stream deliberately interleaves coalescible
+    GEMMs with non-coalescible NN ops so the serving path proves it
+    keeps them apart.
+    """
+    seq, d_head = 48, 32
+    conv_w = rng.normal(size=(8, 3, 3, 3))
+    k_t = rng.normal(size=(d_head, seq))  # shared Kᵀ for the score GEMM
+    per_tenant: dict = {}
+    for t in range(spec.tenants):
+        tenant = f"tenant{t}"
+        reqs = []
+        for i in range(spec.requests_per_tenant):
+            shape_kind = i % 3
+            if shape_kind == 0:
+                reqs.append(
+                    OperationRequest(
+                        task_id=0,
+                        opcode=Opcode.CONV2D_NN,
+                        inputs=(rng.normal(size=(1, 3, 14, 14)) * 2.0, conv_w),
+                        quant=QuantMode.SCALE,
+                        attrs={"stride": (1, 1), "padding": (1, 1, 1, 1),
+                               "relu": True},
+                        tenant=tenant,
+                    )
+                )
+            elif shape_kind == 1:
+                reqs.append(
+                    OperationRequest(
+                        task_id=0,
+                        opcode=Opcode.CONV2D,
+                        inputs=(rng.normal(size=(seq, d_head)), k_t),
+                        quant=QuantMode.SCALE,
+                        attrs={"gemm": True},
+                        tenant=tenant,
+                    )
+                )
+            else:
+                reqs.append(
+                    OperationRequest(
+                        task_id=0,
+                        opcode=Opcode.SOFTMAX,
+                        inputs=(rng.normal(size=(seq, seq)) * 2.0,),
+                        quant=QuantMode.SCALE,
+                        attrs={},
+                        tenant=tenant,
+                    )
+                )
+        per_tenant[tenant] = reqs
+    return per_tenant
+
+
 async def _run(spec: LoadgenSpec) -> LoadgenResult:
     rng = np.random.default_rng(spec.seed)
     platform = Platform.with_tpus(spec.tpus)
@@ -105,27 +168,32 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
         quarantine_seconds=0.02,
         plan_cache=spec.plan_cache,
     )
-    # One shared weight matrix across all tenants → coalescible traffic.
-    b = rng.integers(-64, 64, size=(spec.size, spec.size)).astype(np.float32)
     per_tenant: dict = {}
-    for t in range(spec.tenants):
-        tenant = f"tenant{t}"
-        per_tenant[tenant] = [
-            OperationRequest(
-                task_id=0,
-                opcode=Opcode.CONV2D,
-                inputs=(
-                    rng.integers(-64, 64, size=(spec.size, spec.size)).astype(
-                        np.float32
+    if spec.mix == "nn":
+        per_tenant = _nn_mix(spec, rng)
+    elif spec.mix == "gemm":
+        # One shared weight matrix across all tenants → coalescible traffic.
+        b = rng.integers(-64, 64, size=(spec.size, spec.size)).astype(np.float32)
+        for t in range(spec.tenants):
+            tenant = f"tenant{t}"
+            per_tenant[tenant] = [
+                OperationRequest(
+                    task_id=0,
+                    opcode=Opcode.CONV2D,
+                    inputs=(
+                        rng.integers(-64, 64, size=(spec.size, spec.size)).astype(
+                            np.float32
+                        ),
+                        b,
                     ),
-                    b,
-                ),
-                quant=QuantMode.SCALE,
-                attrs={"gemm": True},
-                tenant=tenant,
-            )
-            for _ in range(spec.requests_per_tenant)
-        ]
+                    quant=QuantMode.SCALE,
+                    attrs={"gemm": True},
+                    tenant=tenant,
+                )
+                for _ in range(spec.requests_per_tenant)
+            ]
+    else:
+        raise ValueError(f"unknown loadgen mix {spec.mix!r}; choose gemm or nn")
 
     if spec.fail_after_instructions > 0:
         platform.devices[spec.fail_device % spec.tpus].inject_fault(

@@ -9,7 +9,14 @@ from repro.edgetpu.isa import Opcode
 class TestCharacterizeOp:
     def test_every_opcode_measurable(self):
         rows = characterize_all()
-        assert [r.opname for r in rows] == [op.opname for op in Opcode]
+        expected = [op.opname for op in Opcode if not op.is_macro]
+        assert [r.opname for r in rows] == expected
+
+    def test_pool_and_softmax_recover_extension_rates(self):
+        for op in (Opcode.POOL, Opcode.SOFTMAX):
+            row = characterize_op(op)
+            assert row.ops_error_percent < 1.0, op
+            assert row.rps_error_percent < 1.0, op
 
     def test_measurement_recovers_table1(self):
         for row in characterize_all():

@@ -120,3 +120,37 @@ class TestPlanMutationOperators:
         for _ in range(20):
             blob = _mutate_plan(_fresh_plan_blob(rng), "identity", rng)
             assert serialize_plan(parse_plan(blob)) == blob
+
+    def test_opname_mutations_are_rejected(self):
+        # Canonical wire opnames (pool, softmax, conv2D, ...) are
+        # case-sensitive; a case-flipped opname must raise typed.
+        rng = derive_rng(4, "plan-fuzz-test", "opname")
+        for _ in range(10):
+            with pytest.raises(ModelFormatError, match="device opcode"):
+                parse_plan(_mutate_plan(_fresh_plan_blob(rng), "opname", rng))
+
+    def test_macro_opname_plan_is_rejected(self):
+        # conv2D_nn is a host-level macro with no wire form: a plan blob
+        # that names it (at the plan or instruction-record level) must
+        # never parse into something the executor could bind.
+        from repro.plan import CompiledPlan
+
+        plan = CompiledPlan(
+            signature="plan-v1|macro", kind="generic",
+            opname="conv2D_nn", cpu_seconds=0.0,
+        )
+        with pytest.raises(ModelFormatError, match="device opcode"):
+            parse_plan(serialize_plan(plan))
+
+    def test_nn_opnames_roundtrip(self):
+        # pool/softmax plans are first-class citizens of the blob format.
+        from repro.plan import CompiledPlan
+
+        for opname in ("pool", "softmax"):
+            plan = CompiledPlan(
+                signature=f"plan-v1|{opname}", kind="generic",
+                opname=opname, cpu_seconds=0.25,
+            )
+            blob = serialize_plan(plan)
+            assert parse_plan(blob).opname == opname
+            assert serialize_plan(parse_plan(blob)) == blob

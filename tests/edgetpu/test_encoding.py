@@ -38,11 +38,17 @@ def make_instruction(op: Opcode) -> Instruction:
         return Instruction(op, data, p, attrs={"crop_box": (1, 1, 3, 3)})
     if op is Opcode.EXT:
         return Instruction(op, data, p, attrs={"ext_shape": (8, 8), "ext_offset": (1, 1)})
+    if op is Opcode.POOL:
+        return Instruction(op, data, p, attrs={"window": (3, 2), "stride": (1, 2), "kind": "avg"})
     return Instruction(op, data, p)
 
 
+#: Wire-encodable opcodes (macro opcodes never reach the device).
+WIRE_OPS = [op for op in Opcode if not op.is_macro]
+
+
 class TestRoundTrip:
-    @pytest.mark.parametrize("op", list(Opcode), ids=[o.opname for o in Opcode])
+    @pytest.mark.parametrize("op", WIRE_OPS, ids=[o.opname for o in WIRE_OPS])
     def test_every_opcode_round_trips(self, op):
         instr = make_instruction(op)
         decoded = decode_instruction(encode_instruction(instr))
@@ -51,11 +57,13 @@ class TestRoundTrip:
         assert decoded.data_params.scale == pytest.approx(instr.data_params.scale)
         if instr.model is not None:
             np.testing.assert_array_equal(decoded.model, instr.model)
-        for key in ("stride", "crop_box", "ext_shape", "ext_offset"):
+        for key in ("stride", "crop_box", "ext_shape", "ext_offset", "window"):
             if key in instr.attrs:
                 assert tuple(decoded.attrs[key]) == tuple(instr.attrs[key]), key
+        if "kind" in instr.attrs:
+            assert decoded.attrs["kind"] == instr.attrs["kind"]
 
-    @pytest.mark.parametrize("op", list(Opcode), ids=[o.opname for o in Opcode])
+    @pytest.mark.parametrize("op", WIRE_OPS, ids=[o.opname for o in WIRE_OPS])
     def test_packet_execution_equals_direct_execution(self, op):
         """The wire path and the object path are the same device."""
         instr = make_instruction(op)
@@ -84,7 +92,7 @@ class TestRoundTrip:
         assert result.output.dtype == np.int64
 
     def test_packet_bytes_matches_actual_length(self):
-        for op in Opcode:
+        for op in WIRE_OPS:
             instr = make_instruction(op)
             assert packet_bytes(instr) == len(encode_instruction(instr)), op
 
@@ -107,6 +115,23 @@ class TestValidation:
         blob = bytearray(encode_instruction(make_instruction(Opcode.RELU)))
         blob[6] = 200  # opcode byte
         with pytest.raises(ModelFormatError, match="opcode"):
+            decode_instruction(bytes(blob))
+
+    def test_macro_opcode_rejected(self):
+        blob = bytearray(encode_instruction(make_instruction(Opcode.RELU)))
+        blob[6] = list(Opcode).index(Opcode.CONV2D_NN)  # opcode byte
+        with pytest.raises(ModelFormatError, match="macro"):
+            decode_instruction(bytes(blob))
+
+    def test_macro_opcode_has_no_instruction_form(self):
+        with pytest.raises(ValueError, match="macro"):
+            Instruction(Opcode.CONV2D_NN, i8([[1]]), QuantParams(1.0))
+
+    def test_bad_pool_kind_code_rejected(self):
+        blob = bytearray(encode_instruction(make_instruction(Opcode.POOL)))
+        # attr word 2 (kind code) starts at header offset 24 + 8 = 32.
+        blob[32] = 7
+        with pytest.raises(ModelFormatError, match="pool kind"):
             decode_instruction(bytes(blob))
 
     def test_trailing_garbage_rejected_for_unary_ops(self):

@@ -11,6 +11,7 @@ from repro.ops import (
     tpu_add,
     tpu_conv2d,
     tpu_crop,
+    tpu_stencil2d,
     tpu_gemm,
     tpu_matvec,
     tpu_max,
@@ -112,15 +113,23 @@ class TestConvCropPad:
     def test_conv2d_stencil(self, ctx):
         a = rand((60, 60), 18)
         k = np.ones((3, 3)) / 9.0
-        out = tpu_conv2d(ctx, a, k)
+        out = tpu_stencil2d(ctx, a, k)
         assert rmse_percent(out, correlate2d(a, k, mode="valid")) < 1.5
 
     def test_conv2d_model_name_caches_kernel(self, ctx):
         a = rand((60, 60), 19)
         k = np.ones((3, 3)) / 9.0
-        tpu_conv2d(ctx, a, k, model_name="stencil")
+        tpu_stencil2d(ctx, a, k, model_name="stencil")
         op = ctx._pending[-1]
         assert all(i.model_cache_key == "stencil" for i in op.instrs)
+
+    def test_conv2d_deprecated_alias_matches_stencil2d(self, ctx):
+        a = rand((40, 40), 21)
+        k = np.ones((3, 3)) / 9.0
+        want = tpu_stencil2d(ctx, a, k)
+        with pytest.warns(DeprecationWarning, match="tpu_stencil2d"):
+            got = tpu_conv2d(ctx, a, k)
+        assert np.array_equal(got, want)
 
     def test_crop(self, ctx):
         a = rand((12, 12), 20)

@@ -158,3 +158,32 @@ class TestSignature:
             _request(),
             config=dataclasses.replace(self.config, matrix_unit_dim=64),
         )
+
+    def test_per_channel_scale_attrs_distinguish(self):
+        # conv2D_nn carries per-output-channel quant params; two layers
+        # with different calibration vectors must never share a plan.
+        a = self._sig(_request(
+            opcode=Opcode.CONV2D_NN,
+            attrs={"channel_scales": tuple(float(i + 1) for i in range(64))},
+        ))
+        b = self._sig(_request(
+            opcode=Opcode.CONV2D_NN,
+            attrs={"channel_scales": tuple(float(i + 2) for i in range(64))},
+        ))
+        assert a != b
+
+    def test_wide_array_attrs_do_not_collapse_via_repr_elision(self):
+        # NumPy's repr elides long arrays with "..."; the signature must
+        # digest full content so near-identical wide vectors stay apart.
+        wide = np.linspace(0.5, 4.0, 4096)
+        tweaked = wide.copy()
+        tweaked[2048] += 1e-6
+        a = self._sig(_request(attrs={"channel_scales": wide}))
+        b = self._sig(_request(attrs={"channel_scales": tweaked}))
+        assert repr(wide) == repr(tweaked)  # repr alone cannot tell them apart
+        assert a != b
+
+    def test_list_and_tuple_attrs_share_a_token(self):
+        a = self._sig(_request(attrs={"channel_scales": [1.0, 2.0, 3.0]}))
+        b = self._sig(_request(attrs={"channel_scales": (1.0, 2.0, 3.0)}))
+        assert a == b

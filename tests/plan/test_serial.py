@@ -29,7 +29,7 @@ from repro.runtime.tensorizer import Tensorizer, TensorizerOptions
 
 def _template(i: int = 0) -> InstrTemplate:
     return InstrTemplate(
-        opname="ADD",
+        opname="add",
         label=f"add:{i}",
         group_key="task{task}:g" + str(i),
         cache_key="{src}:c" + str(i),
@@ -47,7 +47,7 @@ def _generic_plan() -> CompiledPlan:
     return CompiledPlan(
         signature="plan-v1|op=ADD|test",
         kind="generic",
-        opname="ADD",
+        opname="add",
         cpu_seconds=0.5,
         templates=[_template(0), _template(1)],
     )
@@ -111,7 +111,7 @@ class TestRoundTrip:
             CompiledPlan(
                 signature="plan-v1|op=SUB|test",
                 kind="generic",
-                opname="SUB",
+                opname="sub",
                 cpu_seconds=0.5,
             )
         )
@@ -198,14 +198,14 @@ class TestTypedRejects:
         plan = CompiledPlan(
             signature="sig",
             kind="gemm_conv2d",
-            opname="CONV2D",
+            opname="conv2D",
             cpu_seconds=0.0,
             geometry=geometry,
         )
         blob = bytearray(serialize_plan(plan))
         # Patch the serialized stride field (6th geometry u32) to 9.
         sig_len = 2 + len("sig")
-        geom_off = PLAN_HEADER_SIZE + sig_len + 1 + (1 + len("CONV2D")) + 8 + 1
+        geom_off = PLAN_HEADER_SIZE + sig_len + 1 + (1 + len("conv2D")) + 8 + 1
         struct.pack_into("<I", blob, geom_off + 3 * 4, 9)
         with pytest.raises(PlanFormatError):
             parse_plan(bytes(blob))

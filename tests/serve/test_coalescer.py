@@ -86,6 +86,58 @@ class TestEligibility:
         k2 = coalesce_key(gemm_request(a, b, gemm_chunks=4))
         assert k1 != k2
 
+    def test_nn_opcodes_are_never_coalesced(self):
+        # conv2D_nn / pool / softmax carry per-request quantization
+        # context (per-channel scales, window geometry, row maxima);
+        # merging two of them would bind one request's quant params to
+        # another's data.  They must always ride as singletons.
+        rng = np.random.default_rng(0)
+        conv = OperationRequest(
+            task_id=1, opcode=Opcode.CONV2D_NN,
+            inputs=(rng.normal(size=(1, 2, 8, 8)), rng.normal(size=(3, 2, 3, 3))),
+            quant=QuantMode.SCALE,
+            attrs={"stride": (1, 1), "padding": (0, 0, 0, 0)},
+        )
+        pool = OperationRequest(
+            task_id=1, opcode=Opcode.POOL, inputs=(rng.normal(size=(8, 8)),),
+            quant=QuantMode.SCALE,
+            attrs={"window": (2, 2), "stride": (2, 2), "kind": "max"},
+        )
+        softmax = OperationRequest(
+            task_id=1, opcode=Opcode.SOFTMAX, inputs=(rng.normal(size=(8, 8)),),
+            quant=QuantMode.SCALE, attrs={},
+        )
+        for request in (conv, pool, softmax):
+            assert coalesce_key(request) is None
+        groups = coalesce([_sreq(i, r) for i, r in
+                           enumerate((conv, pool, softmax, conv))])
+        assert [len(g) for g in groups] == [1, 1, 1, 1]
+
+    def test_different_quant_params_never_merge(self):
+        # Regression for the NN serving mix: two GEMMs over the same
+        # shared B but with different quantization parameters (a
+        # per-channel calibration attr, or a different QuantMode) must
+        # land in separate groups — a merged lowering would quantize
+        # both tenants' activations with one request's params.
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(8, 8))
+        plain = gemm_request(rng.normal(size=(8, 8)), b)
+        calibrated = gemm_request(
+            rng.normal(size=(8, 8)), b, channel_scales=(2.0,) * 8
+        )
+        global_quant = gemm_request(
+            rng.normal(size=(8, 8)), b, quant=QuantMode.GLOBAL
+        )
+        assert coalesce_key(calibrated) is None
+        assert coalesce_key(global_quant) is None
+        groups = coalesce([
+            _sreq(0, plain), _sreq(1, calibrated),
+            _sreq(2, global_quant), _sreq(3, plain),
+        ])
+        # The two plain requests pair up; the differing-quant requests
+        # stay alone, in arrival order.
+        assert [sorted(s.serve_id for s in g) for g in groups] == [[0, 3], [1], [2]]
+
 
 class TestGrouping:
     def test_groups_preserve_fcfs_and_max_size(self):

@@ -167,3 +167,31 @@ class TestFaultToleranceEndToEnd:
         assert result.snapshot["device_failures"] == 0
         assert result.snapshot["retries"] == 0
         assert result.mismatches == 0
+
+class TestNNRequestMix:
+    def test_nn_mix_delivers_exactly_once_and_bit_identical(self):
+        result = run_loadgen(
+            LoadgenSpec(mix="nn", tpus=4, tenants=3, requests_per_tenant=6)
+        )
+        outcomes = result.snapshot["outcomes"]
+        assert outcomes["completed"] == 18
+        assert outcomes["lost"] == 0
+        assert result.mismatches == 0
+        assert all(n == 6 for n in result.delivered_by_tenant.values())
+
+    def test_nn_mix_coalesces_only_the_score_gemms(self):
+        # The mix interleaves conv2D_nn / shared-B GEMM / softmax.  Only
+        # the attention-score GEMMs share a coalesce key; every NN op
+        # must stay a singleton (their quant params are per-request).
+        result = run_loadgen(
+            LoadgenSpec(mix="nn", tpus=2, tenants=4, requests_per_tenant=6)
+        )
+        assert result.mismatches == 0
+        coalesced = result.snapshot["coalescing"]["requests_coalesced"]
+        # 4 tenants x 2 score GEMMs each = 8 coalescible requests; the
+        # 16 NN requests must contribute nothing.
+        assert coalesced <= 8
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            run_loadgen(LoadgenSpec(mix="bogus"))

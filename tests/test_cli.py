@@ -155,3 +155,32 @@ class TestTraceCommand:
             ]
         )
         assert telemetry.get_tracer() is before
+
+
+class TestNNCommand:
+    def test_nn_lenet_prints_per_layer_attribution(self, capsys):
+        assert main(["nn", "--model", "lenet", "--tpus", "4",
+                     "--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        for layer in ("conv1", "pool1", "dense3", "softmax", "total"):
+            assert layer in out
+        assert "output shape: (1, 10)" in out
+        assert "predicted classes:" in out
+        assert "plan cache:" in out
+
+    def test_nn_attention_runs(self, capsys):
+        assert main(["nn", "--model", "attention", "--tpus", "2",
+                     "--no-plan-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "attn" in out
+        assert "output shape: (48, 32)" in out
+        assert "plan cache:" not in out
+
+    def test_nn_repeat_reports_warm_pass(self, capsys):
+        assert main(["nn", "--model", "attention", "--tpus", "2",
+                     "--repeat", "2"]) == 0
+        assert "plan cache:" in capsys.readouterr().out
+
+    def test_nn_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nn", "--model", "resnet"])
