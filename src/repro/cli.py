@@ -207,6 +207,7 @@ def _loadgen_spec(args: argparse.Namespace):
         deadline_seconds=args.deadline,
         plan_cache=args.plan_cache,
         mix=args.mix,
+        shard=args.shard,
     )
 
 
@@ -234,6 +235,14 @@ def _serving_rows(snapshot: dict) -> List[tuple]:
             ("plan-cache hit rate", f"{plan['hit_rate'] * 100:.1f} %"),
             ("plan-cache entries", str(int(plan["entries"]))),
             ("plan binds", str(int(plan["binds"]))),
+        ]
+    sharding = snapshot.get("sharding", {})
+    if sharding.get("enabled"):
+        rows += [
+            ("shard plans", str(sharding["plans"])),
+            ("shard segments", str(sharding["segments"])),
+            ("shard migrations", str(sharding["migrations"])),
+            ("shards merged", str(sharding["merged"])),
         ]
     integrity = snapshot.get("integrity", {})
     if integrity.get("tiles_verified"):
@@ -577,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="request shape mix: shared-B GEMMs, or an NN "
                             "triple (conv2D_nn / attention-score GEMM / "
                             "softmax) per tenant")
+        p.add_argument("--shard", default="auto", choices=["auto", "off"],
+                       help="multi-TPU segmentation: auto splits any "
+                            "request lowering to 2+ dispatch groups into "
+                            "per-device segments, off keeps least-loaded "
+                            "routing")
 
     serve_p = sub.add_parser("serve", help="run a multi-tenant serving session")
     add_serving_args(serve_p)
@@ -609,7 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf_p.add_argument("--suite", default="ops,apps,format,serve",
                         help="comma-separated subset of "
-                             "ops,apps,format,serve,integrity,plans,nn")
+                             "ops,apps,format,serve,integrity,plans,nn,shard")
     conf_p.add_argument("--seed", type=int, default=0,
                         help="campaign seed; the JSON report records it and "
                              "reproduces every case exactly")

@@ -41,6 +41,12 @@ from repro.conformance.runner import (
     parse_suites,
     run_conformance,
 )
+from repro.conformance.shard import (
+    SHARD_SCENARIOS,
+    ShardReport,
+    ShardScenario,
+    run_shard,
+)
 
 __all__ = [
     "APP_PARAMS",
@@ -59,8 +65,11 @@ __all__ = [
     "OracleOutcome",
     "PROPERTIES",
     "PropertyResult",
+    "SHARD_SCENARIOS",
     "SUITES",
     "ScenarioResult",
+    "ShardReport",
+    "ShardScenario",
     "app_oracles",
     "derive_rng",
     "parse_suites",
@@ -71,5 +80,6 @@ __all__ = [
     "run_integrity_campaign",
     "run_oracles",
     "run_properties",
+    "run_shard",
     "scalar_context",
 ]

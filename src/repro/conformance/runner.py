@@ -21,7 +21,12 @@
 * ``nn`` — the NN-inference battery (:mod:`repro.conformance.nn`):
   the NN extension ops through the three oracles, LeNet and attention
   end-to-end on an 8-TPU pool, and warm plan-cache replay
-  bit-identity.
+  bit-identity;
+* ``shard`` — the multi-TPU segmentation battery
+  (:mod:`repro.conformance.shard`): sharded-vs-solo bit-identity over
+  ragged GEMMs and both NN models, seeded fail-stop/SDC fault
+  scenarios with event-log exactly-once proofs, and the
+  profiled-split-point shift.
 
 The report is reproducible from the recorded ``seed`` alone: every RNG
 stream derives from it (:func:`repro.conformance.oracles.derive_rng`)
@@ -49,10 +54,11 @@ from repro.conformance.metamorphic import run_properties
 from repro.conformance.nn import run_nn
 from repro.conformance.oracles import app_oracles, derive_rng, run_oracles
 from repro.conformance.plans import run_plans
+from repro.conformance.shard import run_shard
 from repro.metrics.errors import bound_for_app, bound_for_op
 
 #: Suites in canonical execution/report order.
-SUITES = ("ops", "apps", "format", "serve", "integrity", "plans", "nn")
+SUITES = ("ops", "apps", "format", "serve", "integrity", "plans", "nn", "shard")
 
 
 @dataclass
@@ -222,6 +228,12 @@ def _run_nn_suite(seed: int, report: ConformanceReport) -> None:
     report.sections["nn"] = nn.as_dict()
 
 
+def _run_shard_suite(seed: int, report: ConformanceReport) -> None:
+    shard = run_shard(seed)
+    report.failures.extend(shard.violations)
+    report.sections["shard"] = shard.as_dict()
+
+
 def run_conformance(
     suites: Sequence[str] = SUITES,
     seed: int = 0,
@@ -248,4 +260,6 @@ def run_conformance(
         _run_plans_suite(report.seed, report, fuzz_iterations)
     if "nn" in ordered:
         _run_nn_suite(report.seed, report)
+    if "shard" in ordered:
+        _run_shard_suite(report.seed, report)
     return report

@@ -52,6 +52,15 @@ class DispatchGroup:
         """Total device instructions, counting bursts."""
         return sum(i.count for i in self.instrs)
 
+    @property
+    def burst_seconds(self) -> float:
+        """Total modeled matrix-unit time of the group's instructions.
+
+        The static execution estimate the shard planner falls back to
+        when no per-device profile exists (:mod:`repro.shard.cost`).
+        """
+        return sum(i.burst_exec_seconds for i in self.instrs)
+
 
 def build_dispatch_groups(
     iq: Sequence[LoweredInstr],

@@ -1401,7 +1401,11 @@ class Tensorizer:
                 measured = float(np.abs(acc).max()) / (p_rows.scale * p_cols.scale)
                 out_params = self._output_params(Opcode.CONV2D.opname, measured, lo, hi, n=n)
                 rescale = out_params.scale / (p_rows.scale * p_cols.scale)
-                q_out = np.rint(acc * rescale)
+                # ``+ 0.0``: the device returns int8, which has no signed
+                # zero, so the host's requantized grid must not either —
+                # the integrity write-back reconstructs these exact values
+                # from the wire bytes.
+                q_out = np.rint(acc * rescale) + 0.0
                 saturated += int(np.count_nonzero(np.abs(q_out) > 127))
                 q_out = np.clip(q_out, -128, 127)
                 result[c0:c1, j0:j1] = q_out / out_params.scale
@@ -1679,6 +1683,11 @@ class Tensorizer:
             rvec = np.repeat(rescale_row, batch_sizes)
             np.multiply(st, rvec, out=st)
             np.rint(st, out=st)
+            # Like the operand quantize above: rint's ``-0.0`` is not on
+            # the int8 wire grid, and the integrity write-back divides
+            # the device-returned ``0`` by the same out_scale — normalize
+            # so verified and unverified deliveries stay bit-identical.
+            np.add(st, 0.0, out=st)
             if may_saturate:
                 # Saturation counts are additive across blocks and clip
                 # is a no-op wherever nothing exceeds ±127, so one strip
@@ -1982,6 +1991,10 @@ class Tensorizer:
                 rvec = np.repeat(rescale_row, batch_sizes)
                 np.multiply(st, rvec, out=st)
                 np.rint(st, out=st)
+                # rint's ``-0.0`` is not on the int8 wire grid; the
+                # integrity write-back divides the device-returned 0 by
+                # the same out_scale and must reproduce these bytes.
+                np.add(st, 0.0, out=st)
                 if may_saturate:
                     saturated += int(np.count_nonzero(st > 127)) + int(
                         np.count_nonzero(st < -127)

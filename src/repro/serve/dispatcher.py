@@ -36,8 +36,8 @@ paths go through the :class:`ServeRequest` once-only guards.
 The pool exposes a campaign hook: assign :attr:`DevicePool.observer`
 before :meth:`DevicePool.start` and every lifecycle transition
 (``dispatch``, ``failure``, ``retry``, ``give-up``, ``timeout``,
-``deliver``, ``bounce``, ``drop``, ``sdc``) is reported with its serve
-ID and device.  The conformance fault-injection campaigns replay these
+``deliver``, ``bounce``, ``drop``, ``sdc``, ``migrate``) is reported
+with its serve ID and device.  The conformance fault-injection campaigns replay these
 event streams to prove the zero-lost / exactly-once invariants from the
 outside rather than trusting the pool's own counters.
 """
@@ -47,7 +47,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.errors import DeviceFailure, RequestTimeout, SilentDataCorruption
 from repro.host.platform import Platform
@@ -56,6 +56,8 @@ from repro.runtime.executor import group_service_seconds
 from repro.runtime.scheduler import DispatchGroup, SchedulePolicy
 from repro.serve.metrics import ServingMetrics
 from repro.serve.request import ServeRequest
+from repro.shard.merge import MergeError
+from repro.shard.profile import ShardProfile
 from repro.telemetry import SpanTracer, get_tracer
 
 #: Signature of the campaign hook: ``observer(event, serve_id, device)``.
@@ -76,6 +78,15 @@ class DispatchWork:
     #: Integrity-verification failures this work item has survived; a
     #: later clean delivery counts as an SDC *correction*.
     sdc_attempts: int = 0
+    #: Shard placement (repro.shard): the planner's preferred device.
+    #: The router honors the hint while that device is schedulable and
+    #: migrates the work (counting it) when it is not.
+    device_hint: Optional[int] = None
+    #: Index of the owning shard segment, or None when unsharded.
+    segment: Optional[int] = None
+    #: Output row span this group produces ``[start, stop)``; drives
+    #: the row-merge buffer on delivery.
+    rows: Optional[Tuple[int, int]] = None
 
 
 class CircuitBreaker:
@@ -141,6 +152,7 @@ class DevicePool:
         integrity: str = "off",
         quarantine_seconds: float = 0.05,
         quarantine_threshold: float = 1.0,
+        shard_profile: Optional[ShardProfile] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -175,6 +187,10 @@ class DevicePool:
         #: fake clock in tests therefore governs *every* time decision.
         self._clock = clock
         self._tracer = tracer if tracer is not None else get_tracer()
+        #: Per-device execution profile the segmentation planner reads;
+        #: workers feed it one observation per successfully executed
+        #: group (the span-profile loop of arXiv 2503.01025).
+        self.shard_profile = shard_profile
         self.breakers = [
             CircuitBreaker(breaker_threshold, breaker_cooldown, clock=clock)
             for _ in range(platform.num_tpus)
@@ -271,9 +287,13 @@ class DevicePool:
             return False
         return True
 
+    def available_devices(self) -> List[int]:
+        """Currently schedulable device indices (the planner's pool)."""
+        return [i for i in range(len(self.breakers)) if self._available(i)]
+
     def _candidates(self, work: DispatchWork) -> List[int]:
         """Healthy routing targets, preferring never-failed devices."""
-        ready = [i for i in range(len(self.breakers)) if self._available(i)]
+        ready = self.available_devices()
         fresh = [i for i in ready if i not in work.excluded]
         # Fall back to a previously failed device only when nothing else
         # is available (single-TPU pools, transient faults).
@@ -289,9 +309,20 @@ class DevicePool:
             while True:
                 candidates = self._candidates(work)
                 if candidates:
-                    pick = min(
-                        candidates, key=lambda i: self._device_queues[i].qsize()
-                    )
+                    if work.device_hint in candidates:
+                        pick = work.device_hint
+                    else:
+                        pick = min(
+                            candidates,
+                            key=lambda i: self._device_queues[i].qsize(),
+                        )
+                        if work.device_hint is not None:
+                            # The planned device is excluded, breaker-open
+                            # or quarantined: the segment migrates to the
+                            # least-loaded survivor and re-pins there.
+                            work.device_hint = pick
+                            self.metrics.shard_migrations += 1
+                            self._emit("migrate", work.sreq, pick)
                     self._device_queues[pick].put_nowait(work)
                     break
                 # Every device is unavailable (breaker open or
@@ -350,6 +381,17 @@ class DevicePool:
                 attempt=work.attempts,
                 instructions=work.group.instruction_count,
             )
+            seg_span = None
+            if work.segment is not None:
+                seg_span = self._tracer.begin(
+                    "segment_exec",
+                    cat="shard",
+                    track=device.name,
+                    serve_id=sreq.serve_id,
+                    segment=work.segment,
+                    rows=list(work.rows) if work.rows is not None else None,
+                    instructions=work.group.instruction_count,
+                )
             try:
                 # Fault hook: an armed injector trips here, modeling the
                 # device dying while holding the group.
@@ -364,6 +406,8 @@ class DevicePool:
                     await asyncio.sleep(0)
             except DeviceFailure as exc:
                 self._tracer.end(span.set(outcome="failure"))
+                if seg_span is not None:
+                    self._tracer.end(seg_span.set(outcome="failure"))
                 opened_before = breaker.opened
                 breaker.record_failure()
                 if breaker.opened > opened_before:
@@ -420,6 +464,8 @@ class DevicePool:
                         vspan.set(outcome="sdc", detections=len(verdict.detections))
                     )
                     self._tracer.end(span.set(outcome="sdc"))
+                    if seg_span is not None:
+                        self._tracer.end(seg_span.set(outcome="sdc"))
                     self._record_sdc(tpu_index, len(verdict.detections), sreq)
                     work.sdc_attempts += 1
                     worst = verdict.detections[0]
@@ -448,17 +494,44 @@ class DevicePool:
             self._tracer.end(
                 span.set(outcome="ok", service_seconds=cost.service_seconds)
             )
+            if seg_span is not None:
+                self._tracer.end(
+                    seg_span.set(outcome="ok", service_seconds=cost.service_seconds)
+                )
             device.instructions_executed += work.group.instruction_count
             device.busy_seconds += cost.exec_seconds
             breaker.record_success()
             self.metrics.record_group(
                 device.name, cost.exec_seconds, cost.bytes_in, cost.bytes_out
             )
+            if self.shard_profile is not None:
+                # Feed the segmentation profile the same observation the
+                # exec_group span records: this group's instructions took
+                # this modeled service time on this device.
+                self.shard_profile.observe(
+                    tpu_index, work.group.instruction_count, cost.service_seconds
+                )
+            if work.rows is not None and sreq.merge is not None:
+                # Install this group's verified output rows; overlap
+                # would mean a duplicated delivery and raises loudly.
+                sreq.merge.write(
+                    work.rows[0],
+                    work.rows[1],
+                    sreq.op.result[work.rows[0]:work.rows[1]],
+                )
             sreq.outstanding -= 1
-            if sreq.outstanding == 0 and self.metrics.record_delivery(
-                sreq, self._clock()
-            ):
-                self._emit("deliver", sreq, tpu_index)
+            if sreq.outstanding == 0:
+                if sreq.merge is not None:
+                    try:
+                        sreq.op.result = sreq.merge.finalize()
+                    except MergeError as exc:
+                        if sreq.reject(exc):
+                            self.metrics.failed += 1
+                        self._retire()
+                        continue
+                    self.metrics.shard_merged += 1
+                if self.metrics.record_delivery(sreq, self._clock()):
+                    self._emit("deliver", sreq, tpu_index)
             self._retire()
 
     def _pick_witness(self, primary: int) -> Optional[int]:

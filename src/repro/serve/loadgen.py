@@ -64,6 +64,8 @@ class LoadgenSpec:
     #: GEMMs are coalescible; conv2D_nn and softmax requests must ride
     #: through the server as singletons.
     mix: str = "gemm"
+    #: Multi-TPU segmentation mode ("auto" or "off"; see repro.shard).
+    shard: str = "auto"
 
 
 @dataclass
@@ -167,6 +169,7 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
         integrity=spec.integrity,
         quarantine_seconds=0.02,
         plan_cache=spec.plan_cache,
+        shard=spec.shard,
     )
     per_tenant: dict = {}
     if spec.mix == "nn":

@@ -63,6 +63,15 @@ class ServingMetrics:
         self.vote_adjudications = 0
         #: SDC incidents per device name.
         self.sdc_by_device: Dict[str, int] = defaultdict(int)
+        #: Sharding layer (repro.shard): requests placed by the
+        #: segmentation planner, per-device segments those plans
+        #: produced, segments re-routed off an unavailable hinted
+        #: device (migrations), and sharded results reassembled through
+        #: the row-merge buffer.
+        self.shard_plans = 0
+        self.shard_segments = 0
+        self.shard_migrations = 0
+        self.shard_merged = 0
 
     # -- recording ------------------------------------------------------
 
@@ -157,6 +166,10 @@ class ServingMetrics:
             "sdc_corrected": self.sdc_corrected,
             "quarantines": self.quarantines,
             "vote_adjudications": self.vote_adjudications,
+            "shard_plans": self.shard_plans,
+            "shard_segments": self.shard_segments,
+            "shard_migrations": self.shard_migrations,
+            "shard_merged": self.shard_merged,
         }
 
     def snapshot(self, elapsed_seconds: Optional[float] = None) -> dict:
@@ -207,6 +220,12 @@ class ServingMetrics:
                 "sdc_corrected": self.sdc_corrected,
                 "quarantines": self.quarantines,
                 "vote_adjudications": self.vote_adjudications,
+            },
+            "sharding": {
+                "plans": self.shard_plans,
+                "segments": self.shard_segments,
+                "migrations": self.shard_migrations,
+                "merged": self.shard_merged,
             },
             "elapsed_seconds": elapsed_seconds,
         }

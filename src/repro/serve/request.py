@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.runtime.opqueue import LoweredOperation, OperationRequest
+
+if TYPE_CHECKING:  # no runtime dependency on the shard package
+    from repro.shard.merge import MergeBuffer
 
 
 @dataclass
@@ -34,6 +37,10 @@ class ServeRequest:
     outstanding: int = 0
     #: Lowered form, attached by the dispatch loop.
     op: Optional[LoweredOperation] = None
+    #: Row-merge buffer when the request was sharded across devices
+    #: (:mod:`repro.shard.merge`); the last completing segment finalizes
+    #: it into ``op.result`` before delivery.
+    merge: Optional["MergeBuffer"] = None
     #: Set once the request failed; siblings still queued are dropped.
     failed: bool = field(default=False)
 

@@ -43,6 +43,7 @@ from repro.serve.coalescer import coalesce
 from repro.serve.dispatcher import DevicePool, DispatchWork
 from repro.serve.metrics import ServingMetrics
 from repro.serve.request import ServeRequest
+from repro.shard import MergeBuffer, ShardPlanner, ShardProfile
 from repro.telemetry import (
     CounterRegistry,
     SpanTracer,
@@ -91,6 +92,10 @@ class ServeConfig:
     plan_cache: bool = True
     #: Plan-cache LRU bound (distinct live lowering signatures).
     plan_cache_entries: int = 256
+    #: Multi-TPU segmentation (:mod:`repro.shard`): "auto" plans
+    #: per-device segments for any request lowering to two or more
+    #: dispatch groups; "off" keeps pure least-loaded group routing.
+    shard: str = "auto"
 
 
 class TpuServer:
@@ -102,11 +107,16 @@ class TpuServer:
         config: Optional[ServeConfig] = None,
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[SpanTracer] = None,
+        shard_profile: Optional[ShardProfile] = None,
     ) -> None:
         self.platform = platform or Platform()
         self.config = config or ServeConfig()
         self._clock = clock
         self.tracer = tracer if tracer is not None else get_tracer()
+        if self.config.shard not in ("auto", "off"):
+            raise ValueError(
+                f"shard must be 'auto' or 'off', got {self.config.shard!r}"
+            )
         # The integrity mode may arrive on ServeConfig (the serving-layer
         # knob) or on TensorizerOptions; the lowering side records the
         # checksum plans and the pool side verifies them, so both must
@@ -133,6 +143,19 @@ class TpuServer:
         self.admission = AdmissionController(
             self.config.max_queue_depth, self.config.per_tenant_limit
         )
+        #: Per-device execution profile (pre-seeded in tests / shared
+        #: across servers when passed in); the pool feeds it and the
+        #: planner reads it, so split points follow measured rates.
+        self.shard_profile = (
+            shard_profile
+            if shard_profile is not None
+            else ShardProfile(self.platform.num_tpus)
+        )
+        self.shard_planner = (
+            ShardPlanner(self.platform, profile=self.shard_profile)
+            if self.config.shard == "auto" and self.platform.num_tpus > 1
+            else None
+        )
         self.pool = DevicePool(
             self.platform,
             self.metrics,
@@ -145,6 +168,7 @@ class TpuServer:
             tracer=self.tracer,
             integrity=self.integrity,
             quarantine_seconds=self.config.quarantine_seconds,
+            shard_profile=self.shard_profile,
         )
         self._serve_seq = 0
         self._wakeup = asyncio.Event()
@@ -330,9 +354,52 @@ class TpuServer:
             # uses (these two used to duplicate the latency arithmetic).
             self.metrics.record_delivery(sreq, self._clock())
             return
+        plan = None
+        if self.shard_planner is not None and len(groups) >= 2:
+            sp = self.tracer.begin(
+                "shard_plan",
+                cat="shard",
+                track="server",
+                serve_id=sreq.serve_id,
+                groups=len(groups),
+            )
+            result = op.result
+            plan = self.shard_planner.plan(
+                groups,
+                result_rows=(
+                    result.shape[0]
+                    if getattr(result, "ndim", 0) == 2
+                    else None
+                ),
+                devices=self.pool.available_devices(),
+            )
+            self.tracer.end(sp.set(
+                segments=len(plan.segments) if plan is not None else 0,
+                profiled=plan.profiled if plan is not None else False,
+                placement=plan.describe() if plan is not None else None,
+            ))
         sreq.outstanding = len(groups)
-        for dgroup in groups:
-            self.pool.submit(DispatchWork(group=dgroup, sreq=sreq))
+        if plan is None:
+            for dgroup in groups:
+                self.pool.submit(DispatchWork(group=dgroup, sreq=sreq))
+            return
+        self.metrics.shard_plans += 1
+        self.metrics.shard_segments += len(plan.segments)
+        if plan.mergeable and np.issubdtype(op.result.dtype, np.floating):
+            sreq.merge = MergeBuffer(op.result)
+        for seg_index, seg in enumerate(plan.segments):
+            for g in range(seg.start, seg.stop):
+                self.pool.submit(DispatchWork(
+                    group=groups[g],
+                    sreq=sreq,
+                    device_hint=seg.device,
+                    segment=seg_index,
+                    rows=(
+                        plan.group_rows[g]
+                        if sreq.merge is not None
+                        else None
+                    ),
+                ))
 
     # -- reporting ------------------------------------------------------
 
@@ -371,4 +438,6 @@ class TpuServer:
             )
         if self.plan_cache is not None:
             snap["plan_cache"] = self.plan_cache.counters()
+        snap["sharding"]["enabled"] = self.shard_planner is not None
+        snap["sharding"]["profile"] = self.shard_profile.snapshot()
         return snap

@@ -1,0 +1,43 @@
+"""Interconnect-aware multi-TPU segmentation of large operations.
+
+A single large GEMM lowers into dozens of dispatch groups (one per row
+chunk, §7.1.2); without sharding the serving pool routes each group
+greedily to the least-loaded device, which balances load but ignores
+where the bytes travel.  This package plans the placement up front:
+
+* :mod:`repro.shard.partition` — pure contiguous-partition solvers (the
+  hypothesis-tested core);
+* :mod:`repro.shard.profile` — per-device seconds-per-instruction
+  profile fed by telemetry spans / pool observations (arXiv 2503.01025
+  profiled segmentation), with a static fallback when empty;
+* :mod:`repro.shard.cost` — group/segment cost model combining modeled
+  device time with the 6 ms/MB interconnect transfer occupancy and
+  shared-lane contention from :mod:`repro.interconnect.topology`;
+* :mod:`repro.shard.planner` — the segmentation planner mapping a
+  request's dispatch groups onto per-device contiguous segments;
+* :mod:`repro.shard.merge` — the bit-identical reassembly buffer for
+  row-partitioned GEMM results.
+"""
+
+from repro.shard.merge import MergeBuffer, MergeError
+from repro.shard.partition import (
+    partition_bounded,
+    partition_heterogeneous,
+    partition_weighted,
+)
+from repro.shard.planner import ShardPlan, ShardPlanner, ShardSegment
+from repro.shard.profile import ShardProfile
+from repro.shard.cost import ShardCostModel
+
+__all__ = [
+    "MergeBuffer",
+    "MergeError",
+    "ShardCostModel",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardProfile",
+    "ShardSegment",
+    "partition_bounded",
+    "partition_heterogeneous",
+    "partition_weighted",
+]

@@ -1,0 +1,128 @@
+"""Segment cost model: modeled device time + interconnect occupancy.
+
+The planner needs to compare placements *before* any group executes, so
+this model prices a dispatch group from what the lowering already knows
+(per-instruction modeled execution time, payload bytes) plus what the
+topology knows (per-link bandwidth/latency along the device's path, and
+which links several devices share).  When a :class:`ShardProfile` has
+measured a device, its seconds-per-instruction replaces the static
+execution estimate — the arXiv 2503.01025 profiled-segmentation step.
+
+Makespan estimation deliberately mirrors the DMA engine's
+store-and-forward contention: a link shared by several planned segments
+serializes their transfers, so the estimate is the max of per-device
+finish times and per-shared-link total occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.interconnect.topology import Topology
+from repro.runtime.scheduler import DispatchGroup
+from repro.shard.profile import ShardProfile
+
+
+class ShardCostModel:
+    """Price dispatch groups and placements on one topology."""
+
+    def __init__(
+        self, topology: Topology, profile: Optional[ShardProfile] = None
+    ) -> None:
+        self.topology = topology
+        self.profile = profile
+        self._paths = [
+            topology.path_links(i) for i in range(topology.num_tpus)
+        ]
+        self._path_names = list(topology.paths)
+        self._shared = set(topology.shared_link_names())
+
+    # -- per-group ------------------------------------------------------
+
+    @staticmethod
+    def group_bytes(group: DispatchGroup) -> int:
+        """Bytes one device moves for *group*: each resident chunk and
+        model blob once (the §6.1 locality rule keeps the group on one
+        device precisely so repeats hit on-chip memory), uncacheable
+        payloads every time, plus all result bytes."""
+        total = 0
+        seen_data: Dict[str, bool] = {}
+        seen_model: Dict[str, bool] = {}
+        for instr in group.instrs:
+            if instr.cache_key:
+                if instr.cache_key not in seen_data:
+                    seen_data[instr.cache_key] = True
+                    total += instr.data_bytes
+            else:
+                total += instr.data_bytes
+            if instr.model_cache_key:
+                if instr.model_cache_key not in seen_model:
+                    seen_model[instr.model_cache_key] = True
+                    total += instr.model_bytes
+            else:
+                total += instr.model_bytes
+            total += instr.out_bytes
+        return total
+
+    def exec_seconds(self, group: DispatchGroup, device: Optional[int] = None) -> float:
+        """Modeled matrix-unit time for *group* on *device*.
+
+        Static fallback: the lowering's per-instruction estimates.
+        Profiled: the device's measured seconds-per-instruction times
+        the group's instruction count.
+        """
+        if device is not None and self.profile is not None:
+            spi = self.profile.seconds_per_instruction(device)
+            if spi is not None:
+                return spi * group.instruction_count
+        return group.burst_seconds
+
+    def transfer_seconds(self, device: int, nbytes: int) -> float:
+        """Uncontended store-and-forward occupancy to *device*."""
+        if nbytes <= 0:
+            return 0.0
+        return sum(
+            link.occupancy_seconds(nbytes) for link in self._paths[device]
+        )
+
+    def group_seconds(self, group: DispatchGroup, device: int) -> float:
+        """Uncontended cost of *group* on *device* (exec + transfer)."""
+        return self.exec_seconds(group, device) + self.transfer_seconds(
+            device, self.group_bytes(group)
+        )
+
+    # -- per-placement --------------------------------------------------
+
+    def segment_seconds(
+        self, groups: Sequence[DispatchGroup], device: int
+    ) -> float:
+        """Uncontended serial cost of a whole segment on *device*."""
+        return sum(self.group_seconds(group, device) for group in groups)
+
+    def makespan(
+        self, segments: Iterable[Tuple[int, Sequence[DispatchGroup]]]
+    ) -> float:
+        """Estimated finish time of a placement.
+
+        ``segments`` yields ``(device, groups)`` pairs.  The estimate is
+        the max of (a) each device's serial segment cost and (b) each
+        shared link's total serialized occupancy across every segment
+        routed through it — the contention floor concurrent segments on
+        one card cannot beat.
+        """
+        device_finish: List[float] = []
+        link_occupancy: Dict[str, float] = {}
+        for device, groups in segments:
+            device_finish.append(self.segment_seconds(groups, device))
+            nbytes = sum(self.group_bytes(group) for group in groups)
+            if nbytes <= 0:
+                continue
+            for name in self._path_names[device]:
+                if name in self._shared:
+                    link = self.topology.links[name]
+                    link_occupancy[name] = (
+                        link_occupancy.get(name, 0.0)
+                        + link.occupancy_seconds(nbytes)
+                    )
+        floors = list(link_occupancy.values())
+        return max(device_finish + floors, default=0.0)

@@ -1,0 +1,81 @@
+"""Bit-identical reassembly of row-partitioned results.
+
+Sharding splits one GEMM's dispatch groups — each covering a contiguous
+row chunk of the output — across devices, so delivery must put the rows
+back together.  :class:`MergeBuffer` makes that step *provable* rather
+than vacuous: the output starts NaN-poisoned, every segment write is
+checked for overlap, and :meth:`finalize` refuses to deliver while any
+row is uncovered.  A dropped or double-delivered segment therefore
+surfaces as a loud :class:`MergeError` instead of silently delivering
+the (already host-computed) result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+class MergeError(ServingError):
+    """A sharded result could not be reassembled (gap or overlap)."""
+
+
+class MergeBuffer:
+    """Row-wise reassembly buffer for one sharded 2-D result."""
+
+    def __init__(self, template: np.ndarray) -> None:
+        template = np.asarray(template)
+        if template.ndim != 2:
+            raise MergeError(
+                f"row merge needs a 2-D result, got shape {template.shape}"
+            )
+        if not np.issubdtype(template.dtype, np.floating):
+            raise MergeError(
+                f"row merge needs a float result for NaN poisoning, "
+                f"got dtype {template.dtype}"
+            )
+        self._out = np.full(template.shape, np.nan, dtype=template.dtype)
+        self._covered = np.zeros(template.shape[0], dtype=bool)
+        #: Segment writes applied so far.
+        self.writes = 0
+
+    @property
+    def rows(self) -> int:
+        return self._out.shape[0]
+
+    @property
+    def complete(self) -> bool:
+        """True once every output row has been written exactly once."""
+        return bool(self._covered.all())
+
+    def write(self, row_start: int, row_stop: int, values: np.ndarray) -> None:
+        """Install one segment's rows ``[row_start, row_stop)``."""
+        if not 0 <= row_start < row_stop <= self.rows:
+            raise MergeError(
+                f"segment rows [{row_start}, {row_stop}) outside a "
+                f"{self.rows}-row result"
+            )
+        values = np.asarray(values)
+        if values.shape != self._out[row_start:row_stop].shape:
+            raise MergeError(
+                f"segment shape {values.shape} does not match rows "
+                f"[{row_start}, {row_stop}) of {self._out.shape}"
+            )
+        if self._covered[row_start:row_stop].any():
+            raise MergeError(
+                f"rows [{row_start}, {row_stop}) written twice"
+            )
+        self._out[row_start:row_stop] = values
+        self._covered[row_start:row_stop] = True
+        self.writes += 1
+
+    def finalize(self) -> np.ndarray:
+        """Return the reassembled result; raise on any coverage gap."""
+        if not self.complete:
+            missing = np.flatnonzero(~self._covered)
+            raise MergeError(
+                f"{missing.size} of {self.rows} result rows never "
+                f"arrived (first gap at row {int(missing[0])})"
+            )
+        return self._out

@@ -1,0 +1,197 @@
+"""Contiguous partition solvers for the segmentation planner.
+
+Dispatch groups of one lowered operation must stay in order (each group
+is a run of same-``group_key`` instructions and the merge step assumes
+row spans follow group order), so sharding reduces to partitioning a
+weight sequence into *contiguous* runs — one run per device.  Three
+exact solvers cover the planner's needs:
+
+* :func:`partition_weighted` — classic min-max contiguous partition
+  into at most *k* non-empty parts (homogeneous devices);
+* :func:`partition_bounded` — the same with a hard per-part capacity on
+  a second "size" sequence (per-device memory bounds);
+* :func:`partition_heterogeneous` — parts assigned in order to devices
+  of differing speeds, minimizing the slowest device's finish time
+  (profiled segmentation; empty parts allowed so a very slow device can
+  receive nothing).
+
+All return half-open index ranges ``(start, stop)``.  The hypothesis
+suite (``tests/shard/test_partition.py``) pins disjointness, coverage,
+bound respect, and optimality against brute force.
+"""
+
+from __future__ import annotations
+
+from itertools import accumulate
+from typing import List, Optional, Sequence, Tuple
+
+Range = Tuple[int, int]
+
+
+def _validate(weights: Sequence[float], k: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    for w in weights:
+        if w < 0:
+            raise ValueError(f"weights must be >= 0, got {w}")
+
+
+def _greedy_ranges(
+    weights: Sequence[float],
+    cap: float,
+    sizes: Optional[Sequence[float]] = None,
+    capacity: Optional[float] = None,
+) -> List[Range]:
+    # Run sums MUST be prefix-sum differences: the candidate caps in
+    # _min_cap are built that way, and re-accumulating here can differ
+    # by an ulp, making the optimal cap look infeasible.
+    prefix_w = [0.0, *accumulate(weights)]
+    prefix_s = [0.0, *accumulate(sizes)] if sizes is not None else None
+    ranges: List[Range] = []
+    start = 0
+    for i in range(len(weights)):
+        over = prefix_w[i + 1] - prefix_w[start] > cap
+        if capacity is not None and prefix_s is not None:
+            over = over or prefix_s[i + 1] - prefix_s[start] > capacity
+        if i > start and over:
+            ranges.append((start, i))
+            start = i
+    ranges.append((start, len(weights)))
+    return ranges
+
+
+def _greedy_count(
+    weights: Sequence[float],
+    cap: float,
+    sizes: Optional[Sequence[float]] = None,
+    capacity: Optional[float] = None,
+) -> Optional[int]:
+    """Parts a greedy left-to-right packing needs under *cap* (and the
+    optional per-part *capacity* on *sizes*); None when infeasible."""
+    prefix_w = [0.0, *accumulate(weights)]
+    if any(
+        prefix_w[i + 1] - prefix_w[i] > cap for i in range(len(weights))
+    ):
+        return None  # a single item can never fit
+    if capacity is not None and sizes is not None:
+        prefix_s = [0.0, *accumulate(sizes)]
+        if any(
+            prefix_s[i + 1] - prefix_s[i] > capacity
+            for i in range(len(weights))
+        ):
+            return None
+    return len(_greedy_ranges(weights, cap, sizes, capacity))
+
+
+def _min_cap(
+    weights: Sequence[float],
+    k: int,
+    sizes: Optional[Sequence[float]] = None,
+    capacity: Optional[float] = None,
+) -> float:
+    """Smallest achievable max part weight: binary search over the
+    finite candidate set of contiguous-run sums."""
+    prefix = [0.0, *accumulate(weights)]
+    candidates = sorted(
+        {prefix[j] - prefix[i] for i in range(len(weights)) for j in range(i + 1, len(weights) + 1)}
+    )
+    lo, hi = 0, len(candidates) - 1
+    best = candidates[-1]
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        parts = _greedy_count(weights, candidates[mid], sizes, capacity)
+        if parts is not None and parts <= k:
+            best = candidates[mid]
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    return best
+
+
+def partition_weighted(weights: Sequence[float], k: int) -> List[Range]:
+    """Split *weights* into at most *k* contiguous non-empty parts
+    minimizing the maximum part sum."""
+    _validate(weights, k)
+    if not weights:
+        return []
+    cap = _min_cap(weights, k)
+    ranges = _greedy_ranges(weights, cap)
+    assert len(ranges) <= k
+    return ranges
+
+
+def partition_bounded(
+    weights: Sequence[float],
+    sizes: Sequence[float],
+    k: int,
+    capacity: float,
+) -> List[Range]:
+    """:func:`partition_weighted` with a hard per-part bound: each
+    part's total *sizes* must stay within *capacity* (the per-device
+    memory limit).  Raises :class:`ValueError` when a single item
+    exceeds *capacity* or *k* parts cannot satisfy it."""
+    _validate(weights, k)
+    if len(sizes) != len(weights):
+        raise ValueError("weights and sizes must have equal length")
+    if capacity <= 0:
+        raise ValueError(f"capacity must be > 0, got {capacity}")
+    if not weights:
+        return []
+    if max(sizes) > capacity:
+        raise ValueError(
+            f"an item of size {max(sizes)} cannot fit capacity {capacity}"
+        )
+    if _greedy_count(weights, sum(weights), sizes, capacity) > k:
+        raise ValueError(
+            f"{k} parts of capacity {capacity} cannot hold the sequence"
+        )
+    cap = _min_cap(weights, k, sizes, capacity)
+    ranges = _greedy_ranges(weights, cap, sizes, capacity)
+    assert len(ranges) <= k
+    return ranges
+
+
+def partition_heterogeneous(
+    weights: Sequence[float], speeds: Sequence[float]
+) -> List[Range]:
+    """Assign contiguous runs, in order, to devices of given *speeds*.
+
+    Device *j* receives the *j*-th run and finishes in
+    ``sum(run_j) / speeds[j]``; the returned partition minimizes the
+    maximum finish time.  Runs may be empty (``start == stop``) — the
+    optimal plan for a crawling device can be to route nothing to it —
+    and the ranges still tile ``[0, len(weights))`` in order.
+    """
+    if not speeds:
+        raise ValueError("need at least one device speed")
+    for s in speeds:
+        if s <= 0:
+            raise ValueError(f"speeds must be > 0, got {s}")
+    _validate(weights, len(speeds))
+    n, k = len(weights), len(speeds)
+    prefix = [0.0, *accumulate(weights)]
+    inf = float("inf")
+    # best[j][i]: minimal max finish time placing the first i items on
+    # the first j devices.  cut[j][i] reconstructs the boundary.
+    best = [[inf] * (n + 1) for _ in range(k + 1)]
+    cut = [[0] * (n + 1) for _ in range(k + 1)]
+    best[0][0] = 0.0
+    for j in range(1, k + 1):
+        speed = speeds[j - 1]
+        for i in range(n + 1):
+            for t in range(i + 1):
+                prev = best[j - 1][t]
+                if prev == inf:
+                    continue
+                finish = max(prev, (prefix[i] - prefix[t]) / speed)
+                if finish < best[j][i]:
+                    best[j][i] = finish
+                    cut[j][i] = t
+    ranges: List[Range] = []
+    i = n
+    for j in range(k, 0, -1):
+        t = cut[j][i]
+        ranges.append((t, i))
+        i = t
+    ranges.reverse()
+    return ranges

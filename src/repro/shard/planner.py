@@ -1,0 +1,214 @@
+"""The segmentation planner: dispatch groups → per-device segments.
+
+One lowered operation arrives as an ordered list of dispatch groups
+(for the §7.1.2 conv2D GEMM, one group per output row chunk).  The
+planner prices each group with :class:`~repro.shard.cost.ShardCostModel`
+(profiled per-device rates when available, static lowering estimates
+otherwise), partitions the sequence into contiguous per-device segments
+with :func:`~repro.shard.partition.partition_heterogeneous`, and places
+segments so sibling segments spread across PCIe cards — concurrent
+transfers then ride distinct upstream links instead of serializing on a
+shared lane.  Candidate placements are compared by estimated makespan,
+which includes the shared-link contention floor.
+
+For row-chunked GEMMs the plan also carries each group's output row
+span (parsed from the scheduler's ``...rowsN`` group keys), which the
+serving layer uses to drive the bit-identical merge step.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.host.platform import Platform
+from repro.runtime.scheduler import DispatchGroup
+from repro.shard.cost import ShardCostModel
+from repro.shard.partition import partition_heterogeneous
+from repro.shard.profile import ShardProfile
+
+_ROWS_KEY = re.compile(r":rows(\d+)$")
+
+
+@dataclass(frozen=True)
+class ShardSegment:
+    """One contiguous run of dispatch groups pinned to one device."""
+
+    device: int
+    #: Half-open range into the operation's dispatch-group list.
+    start: int
+    stop: int
+    #: Output row span ``[row_start, row_stop)`` or None when the
+    #: operation is not row-partitioned.
+    rows: Optional[Tuple[int, int]]
+    #: Estimated segment cost (seconds) under the planning profile.
+    est_seconds: float
+    instructions: int
+
+    @property
+    def group_count(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A full placement of one operation's dispatch groups."""
+
+    segments: Tuple[ShardSegment, ...]
+    #: Per-group output row spans (parallel to the group list), or None.
+    group_rows: Optional[Tuple[Tuple[int, int], ...]]
+    #: Estimated makespan including shared-link contention floors.
+    makespan: float
+    #: True when at least one segment cost came from measured rates.
+    profiled: bool
+
+    @property
+    def devices(self) -> Tuple[int, ...]:
+        return tuple(seg.device for seg in self.segments)
+
+    @property
+    def mergeable(self) -> bool:
+        """True when the plan covers a row-partitioned 2-D result."""
+        return self.group_rows is not None
+
+    def describe(self) -> List[List[int]]:
+        """Compact span payload: ``[device, start, stop]`` per segment."""
+        return [[seg.device, seg.start, seg.stop] for seg in self.segments]
+
+
+def parse_group_rows(
+    groups: Sequence[DispatchGroup], result_rows: Optional[int]
+) -> Optional[Tuple[Tuple[int, int], ...]]:
+    """Row span per group from ``...rowsN`` keys, or None.
+
+    Returns spans only when every group carries a row key, the starts
+    are strictly increasing from 0, and the spans exactly tile
+    ``[0, result_rows)`` — anything else means the operation is not a
+    plain row-chunked GEMM and must not be merged row-wise.
+    """
+    if result_rows is None or result_rows <= 0 or not groups:
+        return None
+    starts: List[int] = []
+    for group in groups:
+        match = _ROWS_KEY.search(group.key)
+        if match is None:
+            return None
+        starts.append(int(match.group(1)))
+    if starts[0] != 0 or any(b <= a for a, b in zip(starts, starts[1:])):
+        return None
+    if starts[-1] >= result_rows:
+        return None
+    stops = starts[1:] + [result_rows]
+    return tuple(zip(starts, stops))
+
+
+class ShardPlanner:
+    """Plan per-device segments for one operation's dispatch groups."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        profile: Optional[ShardProfile] = None,
+        min_groups: int = 2,
+    ) -> None:
+        if min_groups < 2:
+            raise ValueError(f"min_groups must be >= 2, got {min_groups}")
+        self.platform = platform
+        self.profile = profile
+        self.min_groups = min_groups
+        self.cost = ShardCostModel(platform.topology, profile=profile)
+        #: Upstream (first) link name per device — its card attachment.
+        self._card_of = [path[0] for path in platform.topology.paths]
+
+    # -- placement orders ----------------------------------------------
+
+    def _candidate_orders(self, devices: Sequence[int]) -> List[List[int]]:
+        """Device orders to evaluate: card-interleaved (segments spread
+        across upstream links) and plain index order."""
+        by_card: dict = {}
+        for d in devices:
+            by_card.setdefault(self._card_of[d], []).append(d)
+        lanes = [sorted(members) for _, members in sorted(by_card.items())]
+        interleaved: List[int] = []
+        depth = max(len(lane) for lane in lanes)
+        for level in range(depth):
+            for lane in lanes:
+                if level < len(lane):
+                    interleaved.append(lane[level])
+        sequential = sorted(devices)
+        orders = [interleaved]
+        if sequential != interleaved:
+            orders.append(sequential)
+        return orders
+
+    # -- planning -------------------------------------------------------
+
+    def plan(
+        self,
+        groups: Sequence[DispatchGroup],
+        *,
+        result_rows: Optional[int] = None,
+        devices: Optional[Sequence[int]] = None,
+    ) -> Optional[ShardPlan]:
+        """Place *groups* across *devices*; None when sharding is moot
+        (too few groups, fewer than two devices, or a single segment
+        would win anyway)."""
+        if devices is None:
+            devices = list(range(self.platform.num_tpus))
+        devices = [d for d in devices if 0 <= d < self.platform.num_tpus]
+        if len(groups) < self.min_groups or len(devices) < 2:
+            return None
+        weights = [
+            self.cost.exec_seconds(group)
+            + self.cost.transfer_seconds(devices[0], self.cost.group_bytes(group))
+            for group in groups
+        ]
+        profiled = self.profile is not None and self.profile.profiled
+        best: Optional[Tuple[float, List[Tuple[int, Tuple[int, int]]]]] = None
+        for order in self._candidate_orders(devices):
+            speeds = (
+                self.profile.speeds(order)
+                if self.profile is not None
+                else [1.0] * len(order)
+            )
+            ranges = partition_heterogeneous(weights, speeds)
+            placed = [
+                (device, rng)
+                for device, rng in zip(order, ranges)
+                if rng[1] > rng[0]
+            ]
+            makespan = self.cost.makespan(
+                (device, groups[rng[0]:rng[1]]) for device, rng in placed
+            )
+            if best is None or makespan < best[0]:
+                best = (makespan, placed)
+        assert best is not None
+        makespan, placed = best
+        if len(placed) < 2:
+            return None  # one device would get everything: not a shard
+        group_rows = parse_group_rows(groups, result_rows)
+        segments = []
+        for device, (start, stop) in placed:
+            seg_groups = groups[start:stop]
+            segments.append(
+                ShardSegment(
+                    device=device,
+                    start=start,
+                    stop=stop,
+                    rows=(
+                        (group_rows[start][0], group_rows[stop - 1][1])
+                        if group_rows is not None
+                        else None
+                    ),
+                    est_seconds=self.cost.segment_seconds(seg_groups, device),
+                    instructions=sum(g.instruction_count for g in seg_groups),
+                )
+            )
+        return ShardPlan(
+            segments=tuple(segments),
+            group_rows=group_rows,
+            makespan=makespan,
+            profiled=profiled,
+        )

@@ -1,0 +1,119 @@
+"""Per-device execution profiles feeding the segmentation planner.
+
+"Improving inference time in multi-TPU systems with profiled model
+segmentation" (arXiv 2503.01025) picks split points from *measured*
+per-phase execution profiles rather than static cost estimates.  Here
+the measurement source is the PR 4 telemetry layer: every successful
+dispatch lands an ``exec_group`` span on the device's track carrying
+the group's instruction count and modeled service seconds, and the
+serving pool feeds the same observation straight into the profile.  A
+:class:`ShardProfile` keeps a per-device EWMA of seconds per
+instruction; the planner converts those into relative speeds, falling
+back to "all devices equal" while a device is unobserved.
+"""
+
+from __future__ import annotations
+
+import re
+from statistics import median
+from typing import Dict, List, Optional
+
+_TRACK_INDEX = re.compile(r"(\d+)$")
+
+#: Span names that carry a usable (instructions, seconds) observation.
+PROFILE_SPAN_NAMES = ("exec_group", "segment_exec")
+
+
+class ShardProfile:
+    """Exponentially-weighted per-device seconds-per-instruction."""
+
+    def __init__(self, num_devices: int, alpha: float = 0.25) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.num_devices = num_devices
+        self.alpha = alpha
+        self._spi: List[Optional[float]] = [None] * num_devices
+        #: Lifetime accepted observations (any device).
+        self.observations = 0
+
+    # -- feeding --------------------------------------------------------
+
+    def observe(self, device: int, instructions: int, seconds: float) -> None:
+        """Record one executed group: *instructions* took *seconds*."""
+        if not 0 <= device < self.num_devices:
+            return
+        if instructions <= 0 or seconds <= 0:
+            return  # degenerate groups carry no rate information
+        spi = seconds / instructions
+        prev = self._spi[device]
+        self._spi[device] = spi if prev is None else (
+            self.alpha * spi + (1.0 - self.alpha) * prev
+        )
+        self.observations += 1
+
+    @classmethod
+    def from_tracer(cls, tracer, num_devices: int, alpha: float = 0.25) -> "ShardProfile":
+        """Build a profile from a tracer's finished device spans.
+
+        Reads ``exec_group`` / ``segment_exec`` spans whose track names
+        end in the device index (``tpu3``) and whose args carry
+        ``instructions`` and ``service_seconds`` — exactly what the
+        serving pool records on successful dispatch.
+        """
+        profile = cls(num_devices, alpha=alpha)
+        for span in tracer.spans:
+            if span.name not in PROFILE_SPAN_NAMES:
+                continue
+            match = _TRACK_INDEX.search(span.track)
+            if match is None:
+                continue
+            instructions = span.args.get("instructions")
+            seconds = span.args.get("service_seconds")
+            if instructions is None or seconds is None:
+                continue
+            profile.observe(int(match.group(1)), int(instructions), float(seconds))
+        return profile
+
+    # -- reading --------------------------------------------------------
+
+    @property
+    def profiled(self) -> bool:
+        """True once at least one device has a measured rate."""
+        return any(spi is not None for spi in self._spi)
+
+    def seconds_per_instruction(self, device: int) -> Optional[float]:
+        """Measured EWMA rate for *device*, or None if unobserved."""
+        if not 0 <= device < self.num_devices:
+            raise IndexError(f"no device {device} in a {self.num_devices}-device profile")
+        return self._spi[device]
+
+    def speed(self, device: int) -> float:
+        """Relative throughput of *device* (1.0 = pool median).
+
+        Unobserved devices report 1.0, so a cold profile degenerates to
+        the homogeneous static heuristic.
+        """
+        spi = self.seconds_per_instruction(device)
+        known = [s for s in self._spi if s is not None]
+        if spi is None or not known:
+            return 1.0
+        baseline = median(known)
+        if baseline <= 0 or spi <= 0:
+            return 1.0
+        return baseline / spi
+
+    def speeds(self, devices) -> List[float]:
+        """Relative speeds for an ordered device list."""
+        return [self.speed(d) for d in devices]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly profile state."""
+        return {
+            "observations": self.observations,
+            "profiled": self.profiled,
+            "seconds_per_instruction": {
+                f"tpu{i}": spi for i, spi in enumerate(self._spi) if spi is not None
+            },
+        }

@@ -13,7 +13,10 @@ class TestParseSuites:
         assert parse_suites("format,ops,ops") == ("ops", "format")
 
     def test_all_suites(self):
-        assert parse_suites("ops,apps,format,serve,integrity,plans,nn") == SUITES
+        assert (
+            parse_suites("ops,apps,format,serve,integrity,plans,nn,shard")
+            == SUITES
+        )
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="nonsense"):
@@ -63,7 +66,8 @@ class TestRunner:
     def test_acceptance_full_run_seed_3(self):
         # The ISSUE acceptance command, minus the subprocess.
         report = run_conformance(
-            ["ops", "apps", "format", "serve", "integrity", "plans", "nn"],
+            ["ops", "apps", "format", "serve", "integrity", "plans", "nn",
+             "shard"],
             seed=3,
             fuzz_iterations=400,
         )

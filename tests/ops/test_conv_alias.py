@@ -1,0 +1,69 @@
+"""Regression guard on the ``tpu_conv2d`` deprecation alias.
+
+The alias must keep emitting exactly one DeprecationWarning per call —
+not zero (silent rename) and not two (a nested wrapper warning twice) —
+and its result must stay bit-identical to ``tpu_stencil2d`` on the same
+inputs, since it is documented as a pure delegation.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.host.platform import Platform
+from repro.ops import tpu_conv2d, tpu_stencil2d
+from repro.runtime.api import OpenCtpu
+
+
+@pytest.fixture()
+def ctx():
+    return OpenCtpu(Platform.with_tpus(2))
+
+
+def rand(shape, seed=0):
+    return np.random.default_rng(seed).uniform(0.0, 4.0, shape)
+
+
+class TestConvAlias:
+    def test_warning_fires_exactly_once_per_call(self, ctx):
+        data, kernel = rand((24, 24), 1), rand((3, 3), 2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            tpu_conv2d(ctx, data, kernel)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "tpu_conv2d is deprecated" in message
+        assert "tpu_stencil2d" in message
+
+    def test_warning_points_at_the_caller(self, ctx):
+        # stacklevel=2: the warning must name this test file, not the
+        # ops module, so downstream users can find their own call site.
+        data, kernel = rand((16, 16), 3), rand((3, 3), 4)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            tpu_conv2d(ctx, data, kernel)
+        (record,) = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert record.filename == __file__
+
+    def test_alias_is_bit_identical_to_stencil2d(self, ctx):
+        data, kernel = rand((40, 32), 5), rand((5, 5), 6)
+        want = tpu_stencil2d(ctx, data, kernel)
+        with pytest.warns(DeprecationWarning):
+            got = tpu_conv2d(ctx, data, kernel)
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == want.dtype
+
+    def test_alias_forwards_model_name_residency(self, ctx):
+        # The alias must pass model_name through so iterative callers
+        # keep the on-chip kernel residency they had before the rename.
+        data, kernel = rand((24, 24), 7), rand((3, 3), 8)
+        with pytest.warns(DeprecationWarning):
+            aliased = tpu_conv2d(ctx, data, kernel, model_name="halo")
+        direct = tpu_stencil2d(ctx, data, kernel, model_name="halo")
+        np.testing.assert_array_equal(aliased, direct)

@@ -168,12 +168,17 @@ class TestVoteDispatch:
     def test_witness_adjudication_implicates_the_witness(self):
         # Corrupt a non-primary device: when it serves as the vote
         # witness, the disagreement adjudicates in the primary's favor
-        # and the delivery proceeds without a retry.
+        # and the delivery proceeds without a retry.  Sharding is off so
+        # the scenario keeps its premise — a clean primary (the armed
+        # devices all share one injector seed, so two of them corrupting
+        # the *same* group would agree byte-for-byte and the compare
+        # could not see it; the shard suite covers vote under sharding
+        # with distinct seeds).
         a, b = _gemm_inputs(6)
 
         async def run():
             platform = Platform()
-            server = _serve(platform, integrity="vote")
+            server = _serve(platform, integrity="vote", shard="off")
             async with server:
                 # Arm after startup so the injector targets whichever
                 # device ends up as witness for tpu-primary groups.

@@ -1,0 +1,70 @@
+"""MergeBuffer: provable bit-identical reassembly of row segments."""
+
+import numpy as np
+import pytest
+
+from repro.shard.merge import MergeBuffer, MergeError
+
+
+def template(m=12, n=7):
+    return np.zeros((m, n), dtype=np.float64)
+
+
+class TestMergeValidation:
+    def test_requires_2d_float(self):
+        with pytest.raises(MergeError):
+            MergeBuffer(np.zeros(8))
+        with pytest.raises(MergeError):
+            MergeBuffer(np.zeros((2, 2, 2)))
+        with pytest.raises(MergeError):
+            MergeBuffer(np.zeros((4, 4), dtype=np.int32))
+
+    def test_rejects_out_of_range_rows(self):
+        buf = MergeBuffer(template())
+        with pytest.raises(MergeError):
+            buf.write(-1, 3, np.ones((4, 7)))
+        with pytest.raises(MergeError):
+            buf.write(8, 20, np.ones((12, 7)))
+        with pytest.raises(MergeError):
+            buf.write(5, 5, np.ones((0, 7)))
+
+    def test_rejects_shape_mismatch(self):
+        buf = MergeBuffer(template())
+        with pytest.raises(MergeError):
+            buf.write(0, 4, np.ones((3, 7)))
+        with pytest.raises(MergeError):
+            buf.write(0, 4, np.ones((4, 6)))
+
+    def test_rejects_overlapping_writes(self):
+        buf = MergeBuffer(template())
+        buf.write(0, 6, np.ones((6, 7)))
+        with pytest.raises(MergeError):
+            buf.write(4, 8, np.ones((4, 7)))
+
+    def test_finalize_refuses_gaps(self):
+        buf = MergeBuffer(template())
+        buf.write(0, 4, np.ones((4, 7)))
+        buf.write(8, 12, np.ones((4, 7)))
+        assert not buf.complete
+        with pytest.raises(MergeError, match="row 4"):
+            buf.finalize()
+
+
+class TestMergeReassembly:
+    def test_round_trip_is_bit_identical(self):
+        rng = np.random.default_rng(0)
+        source = rng.standard_normal((29, 13))
+        buf = MergeBuffer(source)
+        # Ragged segment boundaries, written out of order.
+        for start, stop in [(11, 29), (0, 4), (4, 11)]:
+            buf.write(start, stop, source[start:stop])
+        assert buf.complete and buf.writes == 3
+        out = buf.finalize()
+        np.testing.assert_array_equal(out, source)
+        assert out.dtype == source.dtype
+
+    def test_unwritten_rows_stay_nan_poisoned(self):
+        buf = MergeBuffer(template())
+        buf.write(0, 6, np.ones((6, 7)))
+        assert np.isnan(buf._out[6:]).all()
+        assert not np.isnan(buf._out[:6]).any()

@@ -1,0 +1,196 @@
+"""Hypothesis property suite for the contiguous-partition solvers.
+
+The planner's correctness reduces to these invariants: every partition
+is a disjoint, in-order, complete tiling of the group list; part counts
+respect k; capacity bounds are honored; and the min-max objective is
+actually minimal (checked against brute force on small instances).
+"""
+
+import math
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.partition import (
+    partition_bounded,
+    partition_heterogeneous,
+    partition_weighted,
+)
+
+weights_st = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, width=32),
+    min_size=1,
+    max_size=60,
+)
+k_st = st.integers(min_value=1, max_value=8)
+
+
+def assert_tiling(ranges, n):
+    """Disjoint, ordered, complete coverage of range(n)."""
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == n
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 == b0, "ranges must be adjacent and in order"
+    for start, stop in ranges:
+        assert start <= stop
+
+
+def brute_force_minmax(weights, k):
+    """Optimal min-max over all contiguous partitions (small n only)."""
+    n = len(weights)
+    best = math.inf
+    for parts in range(1, min(k, n) + 1):
+        for cuts in combinations(range(1, n), parts - 1):
+            bounds = [0, *cuts, n]
+            worst = max(
+                sum(weights[a:b]) for a, b in zip(bounds, bounds[1:])
+            )
+            best = min(best, worst)
+    return best
+
+
+class TestPartitionWeighted:
+    @given(weights_st, k_st)
+    @settings(max_examples=150, deadline=None)
+    def test_tiles_and_respects_k(self, weights, k):
+        ranges = partition_weighted(weights, k)
+        assert_tiling(ranges, len(weights))
+        assert 1 <= len(ranges) <= k
+        for start, stop in ranges:
+            assert stop > start, "parts must be non-empty"
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=9,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_minmax_is_optimal_vs_brute_force(self, weights, k):
+        ranges = partition_weighted(weights, k)
+        achieved = max(sum(weights[a:b]) for a, b in ranges)
+        assert achieved == pytest.approx(
+            brute_force_minmax(weights, k), rel=1e-9, abs=1e-9
+        )
+
+    def test_prime_length_k_way_splits(self):
+        # Tile-edge analogue: ragged/prime counts for every pool size.
+        for n in (7, 13, 29, 31, 37):
+            weights = [1.0] * n
+            for k in range(1, 9):
+                ranges = partition_weighted(weights, k)
+                assert_tiling(ranges, n)
+                assert len(ranges) <= min(k, n)
+                sizes = [stop - start for start, stop in ranges]
+                # Uniform weights: the largest part matches the optimal
+                # ceil(n / k) bound exactly (greedy may realize it with
+                # fewer parts, but never a bigger one).
+                assert max(sizes) == math.ceil(n / min(k, n))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            partition_weighted([1.0], 0)
+        with pytest.raises(ValueError):
+            partition_weighted([-1.0], 2)
+        assert partition_weighted([], 3) == []
+
+
+class TestPartitionBounded:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.integers(min_value=1, max_value=64),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        k_st,
+        st.integers(min_value=64, max_value=512),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_capacity_respected_or_loud_failure(self, items, k, capacity):
+        weights = [w for w, _ in items]
+        sizes = [s for _, s in items]
+        try:
+            ranges = partition_bounded(weights, sizes, k, capacity)
+        except ValueError:
+            # Infeasible must really be infeasible: either one item
+            # overflows, or even the k-part greedy cannot fit.
+            min_parts_needed = 0
+            acc = 0
+            for s in sizes:
+                if acc == 0 or acc + s > capacity:
+                    min_parts_needed += 1
+                    acc = 0
+                acc += s
+            assert max(sizes) > capacity or min_parts_needed > k
+            return
+        assert_tiling(ranges, len(items))
+        assert len(ranges) <= k
+        for start, stop in ranges:
+            assert sum(sizes[start:stop]) <= capacity
+
+    def test_memory_bound_forces_extra_cuts(self):
+        # Four 2-byte items under a 4-byte device bound need >= 2 parts
+        # even when k allows fewer by weight.
+        ranges = partition_bounded([1.0] * 4, [2] * 4, 4, 4)
+        for start, stop in ranges:
+            assert 2 * (stop - start) <= 4
+
+    def test_single_oversized_item_is_rejected(self):
+        with pytest.raises(ValueError):
+            partition_bounded([1.0], [10], 8, 4)
+
+
+class TestPartitionHeterogeneous:
+    @given(
+        weights_st,
+        st.lists(
+            st.floats(min_value=0.125, max_value=8.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_tiles_in_order_with_possible_empties(self, weights, speeds):
+        ranges = partition_heterogeneous(weights, speeds)
+        assert len(ranges) == len(speeds)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == len(weights)
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_weighted_for_uniform_speeds(self, weights, k):
+        hetero = partition_heterogeneous(weights, [1.0] * k)
+        finish_h = max(sum(weights[a:b]) for a, b in hetero)
+        homo = partition_weighted(weights, k)
+        finish_w = max(sum(weights[a:b]) for a, b in homo)
+        assert finish_h == pytest.approx(finish_w, rel=1e-9)
+
+    def test_slow_device_receives_less(self):
+        weights = [1.0] * 16
+        balanced = partition_heterogeneous(weights, [1.0, 1.0, 1.0, 1.0])
+        skewed = partition_heterogeneous(weights, [0.25, 1.0, 1.0, 1.0])
+        share = lambda r: r[1] - r[0]
+        assert share(skewed[0]) < share(balanced[0])
+        assert sum(share(r) for r in skewed) == 16
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            partition_heterogeneous([1.0], [0.0])
+        with pytest.raises(ValueError):
+            partition_heterogeneous([1.0], [])

@@ -1,0 +1,283 @@
+"""Planner, cost-model, and profile tests on real GEMM lowerings.
+
+Exercises the full planning path the server uses: lower one GEMM, build
+its dispatch groups, and check that plans tile the group list, carry
+exact row spans, spread segments across PCIe cards, and shift split
+points when a profiled device is slow — the arXiv 2503.01025 behaviour
+the ISSUE pins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.edgetpu.isa import Opcode
+from repro.host.platform import Platform
+from repro.runtime.opqueue import LoweredInstr, OperationRequest, QuantMode
+from repro.runtime.scheduler import DispatchGroup, build_dispatch_groups
+from repro.runtime.tensorizer import Tensorizer
+from repro.shard.cost import ShardCostModel
+from repro.shard.planner import ShardPlanner, parse_group_rows
+from repro.shard.profile import ShardProfile
+from repro.telemetry.tracer import SpanTracer
+
+
+def lower_gemm(m=257, k=193, n=181, seed=0):
+    rng = np.random.default_rng(seed)
+    request = OperationRequest(
+        task_id=1,
+        opcode=Opcode.CONV2D,
+        inputs=(
+            rng.uniform(-4, 4, (m, k)),
+            rng.uniform(-4, 4, (k, n)),
+        ),
+        quant=QuantMode.SCALE,
+        attrs={"gemm": True},
+        input_name="shard-test",
+    )
+    op = Tensorizer().lower(request)
+    return op, build_dispatch_groups(op.instrs)
+
+
+def synth_instr(group, cache_key="", data=1024, model=0, out=256, count=1):
+    return LoweredInstr(
+        opcode=Opcode.ADD,
+        task_id=0,
+        group_key=group,
+        cache_key=cache_key,
+        data_bytes=data,
+        model_bytes=model,
+        model_build_seconds=0.0,
+        exec_seconds=1e-4,
+        out_bytes=out,
+        count=count,
+    )
+
+
+class TestParseGroupRows:
+    def test_real_gemm_rows_tile_the_result(self):
+        op, groups = lower_gemm()
+        rows = parse_group_rows(groups, op.result.shape[0])
+        assert rows is not None
+        assert rows[0][0] == 0 and rows[-1][1] == op.result.shape[0]
+        for (a0, a1), (b0, b1) in zip(rows, rows[1:]):
+            assert a1 == b0
+
+    def test_rejects_groups_without_row_keys(self):
+        groups = [DispatchGroup((synth_instr("plain"),))]
+        assert parse_group_rows(groups, 64) is None
+
+    def test_rejects_missing_result_rows(self):
+        _, groups = lower_gemm()
+        assert parse_group_rows(groups, None) is None
+        assert parse_group_rows(groups, 0) is None
+
+    def test_rejects_spans_that_do_not_start_at_zero(self):
+        groups = [
+            DispatchGroup((synth_instr("t0:x:rows8"),)),
+            DispatchGroup((synth_instr("t0:x:rows16"),)),
+        ]
+        assert parse_group_rows(groups, 32) is None
+
+    def test_rejects_start_past_the_result(self):
+        groups = [
+            DispatchGroup((synth_instr("t0:x:rows0"),)),
+            DispatchGroup((synth_instr("t0:x:rows40"),)),
+        ]
+        assert parse_group_rows(groups, 32) is None
+
+
+class TestCostModel:
+    def test_group_bytes_counts_resident_payloads_once(self):
+        cached = DispatchGroup(
+            (
+                synth_instr("g", cache_key="blob", data=1000, out=10),
+                synth_instr("g", cache_key="blob", data=1000, out=10),
+            )
+        )
+        uncached = DispatchGroup(
+            (
+                synth_instr("g", data=1000, out=10),
+                synth_instr("g", data=1000, out=10),
+            )
+        )
+        model = ShardCostModel(Platform().topology)
+        assert model.group_bytes(cached) == 1000 + 10 + 10
+        assert model.group_bytes(uncached) == 2 * (1000 + 10)
+
+    def test_exec_seconds_prefers_profiled_rate(self):
+        group = DispatchGroup((synth_instr("g", count=100),))
+        profile = ShardProfile(2)
+        profile.observe(0, 100, 0.5)  # 5 ms per instruction
+        model = ShardCostModel(Platform().topology, profile=profile)
+        assert model.exec_seconds(group, device=0) == pytest.approx(0.5)
+        # Unprofiled device falls back to the lowering's estimate.
+        assert model.exec_seconds(group, device=1) == group.burst_seconds
+
+    def test_transfer_cost_is_positive_and_zero_for_empty(self):
+        model = ShardCostModel(Platform().topology)
+        assert model.transfer_seconds(0, 0) == 0.0
+        assert model.transfer_seconds(0, 1 << 20) > 0.0
+
+    def test_shared_card_contention_never_beats_spreading(self):
+        # On the dual-card PCIe prototype the estimate for a same-card
+        # pair can never be lower than the spread placement.
+        platform = Platform()
+        model = ShardCostModel(platform.topology)
+        planner = ShardPlanner(platform)
+        cards = planner._card_of
+        same_card = [d for d in range(platform.num_tpus) if cards[d] == cards[0]]
+        other_card = [d for d in range(platform.num_tpus) if cards[d] != cards[0]]
+        assert len(same_card) >= 2 and other_card, "topology must have 2 cards"
+        seg = [DispatchGroup((synth_instr("g", data=1 << 21),))]
+        contended = model.makespan([(same_card[0], seg), (same_card[1], seg)])
+        spread = model.makespan([(same_card[0], seg), (other_card[0], seg)])
+        assert contended >= spread
+
+    def test_shared_bus_occupancy_floors_the_makespan(self):
+        # On the USB topology every device rides one shared bus whose
+        # occupancy exceeds the per-device leaf link, so the serialized
+        # bus transfer — not any single device's finish time — bounds a
+        # two-segment placement.
+        import dataclasses
+
+        from repro.host.platform import SystemConfig
+
+        platform = Platform(
+            dataclasses.replace(SystemConfig(), interconnect="usb")
+        )
+        model = ShardCostModel(platform.topology)
+        seg = [DispatchGroup((synth_instr("g", data=1 << 21),))]
+        solo = model.makespan([(0, seg)])
+        pair = model.makespan([(0, seg), (1, seg)])
+        assert pair > solo
+        (bus,) = platform.topology.shared_link_names()
+        nbytes = model.group_bytes(seg[0])
+        expected_floor = 2 * platform.topology.links[bus].occupancy_seconds(nbytes)
+        assert pair == pytest.approx(expected_floor)
+
+
+class TestShardProfile:
+    def test_ewma_blends_observations(self):
+        profile = ShardProfile(1, alpha=0.5)
+        profile.observe(0, 10, 1.0)  # spi 0.1
+        profile.observe(0, 10, 3.0)  # spi 0.3 -> EWMA 0.2
+        assert profile.seconds_per_instruction(0) == pytest.approx(0.2)
+        assert profile.observations == 2
+
+    def test_degenerate_and_out_of_range_observations_ignored(self):
+        profile = ShardProfile(2)
+        profile.observe(5, 10, 1.0)  # no such device
+        profile.observe(0, 0, 1.0)  # no instructions
+        profile.observe(0, 10, 0.0)  # no time
+        assert not profile.profiled
+        assert profile.observations == 0
+
+    def test_unobserved_devices_report_neutral_speed(self):
+        profile = ShardProfile(4)
+        assert profile.speeds([0, 1, 2, 3]) == [1.0] * 4
+        profile.observe(0, 100, 1.0)
+        assert profile.speed(1) == 1.0  # still unobserved
+
+    def test_speed_is_relative_to_pool_median(self):
+        profile = ShardProfile(3)
+        profile.observe(0, 100, 4.0)  # 4x slower than the median pair
+        profile.observe(1, 100, 1.0)
+        profile.observe(2, 100, 1.0)
+        assert profile.speed(0) == pytest.approx(0.25)
+        assert profile.speed(1) == pytest.approx(1.0)
+
+    def test_from_tracer_reads_device_exec_spans(self):
+        tracer = SpanTracer(enabled=True)
+        span = tracer.begin(
+            "exec_group", cat="device", track="tpu3",
+            instructions=200, service_seconds=0.4,
+        )
+        tracer.end(span)
+        noise = tracer.begin("lower", cat="runtime", track="host", instructions=5)
+        tracer.end(noise)
+        profile = ShardProfile.from_tracer(tracer, 8)
+        assert profile.profiled
+        assert profile.seconds_per_instruction(3) == pytest.approx(0.002)
+        assert profile.observations == 1
+
+
+class TestShardPlanner:
+    def test_plan_tiles_groups_and_rows_across_devices(self):
+        platform = Platform()
+        op, groups = lower_gemm()
+        plan = ShardPlanner(platform).plan(
+            groups, result_rows=op.result.shape[0]
+        )
+        assert plan is not None
+        assert not plan.profiled
+        # Segments tile the group list in order.
+        assert plan.segments[0].start == 0
+        assert plan.segments[-1].stop == len(groups)
+        for a, b in zip(plan.segments, plan.segments[1:]):
+            assert a.stop == b.start
+        # Every pool device participates for this many-group GEMM.
+        assert sorted(plan.devices) == list(range(platform.num_tpus))
+        # Row spans tile the output.
+        assert plan.mergeable
+        assert plan.segments[0].rows[0] == 0
+        assert plan.segments[-1].rows[1] == op.result.shape[0]
+        for a, b in zip(plan.segments, plan.segments[1:]):
+            assert a.rows[1] == b.rows[0]
+
+    def test_plan_spreads_adjacent_segments_across_cards(self):
+        platform = Platform()
+        planner = ShardPlanner(platform)
+        _, groups = lower_gemm()
+        plan = planner.plan(groups)
+        assert plan is not None
+        cards = [planner._card_of[seg.device] for seg in plan.segments]
+        # Card-interleaved placement: neighbours ride different upstream
+        # links whenever more than one card exists.
+        assert len(set(cards)) > 1
+        assert any(a != b for a, b in zip(cards, cards[1:]))
+
+    def test_too_few_groups_or_devices_yields_no_plan(self):
+        platform = Platform()
+        planner = ShardPlanner(platform)
+        _, groups = lower_gemm()
+        assert planner.plan(groups[:1]) is None
+        assert planner.plan(groups, devices=[2]) is None
+        assert planner.plan(groups, devices=[]) is None
+
+    def test_plan_restricted_to_available_devices(self):
+        platform = Platform()
+        _, groups = lower_gemm()
+        plan = ShardPlanner(platform).plan(groups, devices=[1, 5])
+        assert plan is not None
+        assert set(plan.devices) == {1, 5}
+
+    def test_skewed_profile_shifts_split_points(self):
+        # The ISSUE's profiled-segmentation proof: mark device 0 as 4x
+        # slower than its peers and the planner must shrink its share.
+        platform = Platform()
+        _, groups = lower_gemm()
+        balanced = ShardPlanner(platform).plan(groups)
+        profile = ShardProfile(platform.num_tpus)
+        for d in range(platform.num_tpus):
+            profile.observe(d, 1000, 4.0 if d == 0 else 1.0)
+        skewed = ShardPlanner(platform, profile=profile).plan(groups)
+        assert skewed is not None and skewed.profiled
+
+        def share(plan, device):
+            return sum(
+                seg.group_count for seg in plan.segments if seg.device == device
+            )
+
+        assert share(skewed, 0) < share(balanced, 0)
+        fast_shares = [share(skewed, d) for d in range(1, platform.num_tpus)]
+        assert min(fast_shares) > share(skewed, 0)
+
+    def test_describe_is_json_friendly(self):
+        platform = Platform()
+        _, groups = lower_gemm()
+        plan = ShardPlanner(platform).plan(groups)
+        payload = plan.describe()
+        assert all(
+            len(entry) == 3 and all(isinstance(v, int) for v in entry)
+            for entry in payload
+        )
