@@ -208,6 +208,7 @@ def _loadgen_spec(args: argparse.Namespace):
         plan_cache=args.plan_cache,
         mix=args.mix,
         shard=args.shard,
+        workers=args.workers,
     )
 
 
@@ -387,7 +388,10 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     report = run_conformance(
-        suites=suites, seed=args.seed, fuzz_iterations=args.fuzz_iterations
+        suites=suites,
+        seed=args.seed,
+        fuzz_iterations=args.fuzz_iterations,
+        workers=args.workers,
     )
     payload = report.as_dict()
     if args.json is not None:
@@ -591,6 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "request lowering to 2+ dispatch groups into "
                             "per-device segments, off keeps least-loaded "
                             "routing")
+        p.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="shard the data plane across N worker "
+                            "processes (shared-memory tile transport); "
+                            "0 = single-process asyncio server")
 
     serve_p = sub.add_parser("serve", help="run a multi-tenant serving session")
     add_serving_args(serve_p)
@@ -632,6 +640,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "when no file is given)")
     conf_p.add_argument("--fuzz-iterations", type=int, default=400,
                         help="model-format mutations per fuzz run")
+    conf_p.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run the serve/shard suites against the "
+                             "multi-process server with N workers "
+                             "(0 = in-process asyncio server)")
 
     trace_p = sub.add_parser(
         "trace", help="run another repro command with span tracing on"

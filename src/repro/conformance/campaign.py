@@ -181,7 +181,25 @@ async def _campaign_client(
             continue  # surfaced failure — counted server-side
 
 
-async def _run_scenario(scenario: FaultScenario, seed: int) -> ScenarioResult:
+def _make_server(platform: Platform, config: ServeConfig, workers: int):
+    """In-process server, or the multi-process one when *workers* > 0.
+
+    The scenario code is identical either way — that is the point: the
+    campaign proves the serving contract holds across process
+    boundaries without loosening a single invariant.
+    """
+    if workers:
+        from repro.mp import MpTpuServer
+
+        return MpTpuServer(
+            platform, config, workers=min(workers, platform.num_tpus)
+        )
+    return TpuServer(platform, config)
+
+
+async def _run_scenario(
+    scenario: FaultScenario, seed: int, workers: int = 0
+) -> ScenarioResult:
     rng = derive_rng(seed, "campaign", scenario.name)
     platform = Platform.with_tpus(scenario.tpus)
     for plan in scenario.faults:
@@ -223,7 +241,7 @@ async def _run_scenario(scenario: FaultScenario, seed: int) -> ScenarioResult:
 
     event_log: List[Tuple[str, int, int]] = []
     results: dict = {}
-    async with TpuServer(platform, config) as server:
+    async with _make_server(platform, config, workers) as server:
         server.pool.observer = lambda event, serve_id, device: event_log.append(
             (event, serve_id, device)
         )
@@ -328,9 +346,15 @@ def _check_invariants(
 def run_campaign(
     seed: int,
     scenarios: Optional[Tuple[FaultScenario, ...]] = None,
+    workers: int = 0,
 ) -> List[ScenarioResult]:
-    """Run every scenario to completion, each on a private event loop."""
+    """Run every scenario to completion, each on a private event loop.
+
+    ``workers`` > 0 drives the same scenarios, unchanged, through the
+    multi-process :class:`~repro.mp.MpTpuServer` (clamped per scenario
+    to its TPU count).
+    """
     return [
-        asyncio.run(_run_scenario(scenario, seed))
+        asyncio.run(_run_scenario(scenario, seed, workers))
         for scenario in (scenarios or DEFAULT_SCENARIOS)
     ]

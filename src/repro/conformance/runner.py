@@ -177,8 +177,9 @@ def _run_serve_suite(
     seed: int,
     report: ConformanceReport,
     scenarios: Optional[Tuple[FaultScenario, ...]],
+    workers: int = 0,
 ) -> None:
-    results = run_campaign(seed, scenarios)
+    results = run_campaign(seed, scenarios, workers=workers)
     for result in results:
         for violation in result.violations:
             report.failures.append(
@@ -228,8 +229,10 @@ def _run_nn_suite(seed: int, report: ConformanceReport) -> None:
     report.sections["nn"] = nn.as_dict()
 
 
-def _run_shard_suite(seed: int, report: ConformanceReport) -> None:
-    shard = run_shard(seed)
+def _run_shard_suite(
+    seed: int, report: ConformanceReport, workers: int = 0
+) -> None:
+    shard = run_shard(seed, workers=workers)
     report.failures.extend(shard.violations)
     report.sections["shard"] = shard.as_dict()
 
@@ -240,8 +243,14 @@ def run_conformance(
     fuzz_iterations: int = 400,
     scenarios: Optional[Tuple[FaultScenario, ...]] = None,
     integrity_scenarios: Optional[Tuple[IntegrityScenario, ...]] = None,
+    workers: int = 0,
 ) -> ConformanceReport:
-    """Run the requested suites and return the aggregate report."""
+    """Run the requested suites and return the aggregate report.
+
+    ``workers`` > 0 runs the ``serve`` and ``shard`` suites against the
+    multi-process :class:`~repro.mp.MpTpuServer`; the other suites do
+    not involve the serving layer and ignore it.
+    """
     ordered = parse_suites(",".join(suites)) if suites else SUITES
     report = ConformanceReport(seed=int(seed), suites=ordered)
     if "ops" in ordered:
@@ -251,7 +260,9 @@ def run_conformance(
     if "format" in ordered:
         _run_format_suite(report.seed, report, fuzz_iterations)
     if "serve" in ordered:
-        _run_serve_suite(report.seed, report, scenarios or DEFAULT_SCENARIOS)
+        _run_serve_suite(
+            report.seed, report, scenarios or DEFAULT_SCENARIOS, workers
+        )
     if "integrity" in ordered:
         _run_integrity_suite(
             report.seed, report, integrity_scenarios or DEFAULT_INTEGRITY_SCENARIOS
@@ -261,5 +272,5 @@ def run_conformance(
     if "nn" in ordered:
         _run_nn_suite(report.seed, report)
     if "shard" in ordered:
-        _run_shard_suite(report.seed, report)
+        _run_shard_suite(report.seed, report, workers)
     return report

@@ -111,6 +111,22 @@ def _config(**kwargs: object) -> ServeConfig:
     return ServeConfig(**kwargs)  # type: ignore[arg-type]
 
 
+def _make_server(platform: Platform, config: ServeConfig, workers: int):
+    """In-process server, or the multi-process one when *workers* > 0.
+
+    The checks themselves are identical either way: the suite's
+    invariants (bit-identity, fan-out, exactly-once, migration,
+    quarantine, adjudication) must survive the process boundary intact.
+    """
+    if workers:
+        from repro.mp import MpTpuServer
+
+        return MpTpuServer(
+            platform, config, workers=min(workers, platform.num_tpus)
+        )
+    return TpuServer(platform, config)
+
+
 async def _run_requests(
     server: TpuServer,
     requests: Sequence[OperationRequest],
@@ -151,11 +167,11 @@ def _exactly_once_violations(
 
 
 def _check_gemm(name: str, m: int, k: int, n: int, seed: int,
-                report: ShardReport) -> None:
+                report: ShardReport, workers: int = 0) -> None:
     rng = derive_rng(seed, "shard", name)
     request = _gemm_request(1, rng, m, k, n)
     want = _reference(request)
-    server = TpuServer(_pool_platform(), _config())
+    server = _make_server(_pool_platform(), _config(), workers)
     events: List[Tuple[str, int, str]] = []
     (got,) = asyncio.run(_run_requests(server, [request], events))
     snap = server.snapshot()
@@ -235,12 +251,14 @@ class _ServedContext:
 
 
 def _with_served_server(
-    platform: Platform, fn: Callable[[TpuServer, asyncio.AbstractEventLoop], np.ndarray]
+    platform: Platform,
+    fn: Callable[[TpuServer, asyncio.AbstractEventLoop], np.ndarray],
+    workers: int = 0,
 ) -> Tuple[np.ndarray, dict]:
     loop = asyncio.new_event_loop()
     thread = threading.Thread(target=loop.run_forever, daemon=True)
     thread.start()
-    server = TpuServer(platform, _config())
+    server = _make_server(platform, _config(), workers)
     asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=60)
     try:
         out = fn(server, loop)
@@ -258,7 +276,7 @@ def _with_served_server(
 
 
 def _check_model(name: str, seed: int, faulted_device: int,
-                 report: ShardReport) -> None:
+                 report: ShardReport, workers: int = 0) -> None:
     model_seed = int(derive_rng(seed, "shard-nn", name).integers(0, 2**31))
     model = MODELS[name](seed=model_seed)
     x = sample_input(model, batch=2, seed=model_seed)
@@ -286,7 +304,7 @@ def _check_model(name: str, seed: int, faulted_device: int,
         invocations = ctx.invocations
         return out
 
-    got, snap = _with_served_server(served_platform, run)
+    got, snap = _with_served_server(served_platform, run, workers)
     entry = {
         "model": name,
         "model_seed": model_seed,
@@ -416,7 +434,7 @@ SHARD_SCENARIOS: Tuple[ShardScenario, ...] = (
 
 
 def _check_scenario(scenario: ShardScenario, seed: int,
-                    report: ShardReport) -> None:
+                    report: ShardReport, workers: int = 0) -> None:
     rng = derive_rng(seed, "shard-fault", scenario.name)
     requests = [
         _gemm_request(i + 1, rng, 257, 193, 181)
@@ -425,7 +443,7 @@ def _check_scenario(scenario: ShardScenario, seed: int,
     references = [_reference(r) for r in requests]
     platform = _pool_platform()
     scenario.arm(platform)
-    server = TpuServer(platform, _config(**scenario.config))
+    server = _make_server(platform, _config(**scenario.config), workers)
     events: List[Tuple[str, int, str]] = []
     results = asyncio.run(_run_requests(server, requests, events))
     snap = server.snapshot()
@@ -519,14 +537,21 @@ def _check_profiled_splits(seed: int, report: ShardReport) -> None:
 # -- entry point -------------------------------------------------------
 
 
-def run_shard(seed: int) -> ShardReport:
-    """Run the full sharding conformance suite."""
+def run_shard(seed: int, workers: int = 0) -> ShardReport:
+    """Run the full sharding conformance suite.
+
+    ``workers`` > 0 runs every served check through the multi-process
+    :class:`~repro.mp.MpTpuServer` instead of the in-process server;
+    the profiled-splits check is planner-only and runs unchanged.
+    """
     report = ShardReport()
     for name, m, k, n in GEMM_SHAPES:
-        _check_gemm(name, m, k, n, seed, report)
+        _check_gemm(name, m, k, n, seed, report, workers)
     for device, name in enumerate(sorted(MODELS), start=2):
-        _check_model(name, seed, faulted_device=device, report=report)
+        _check_model(
+            name, seed, faulted_device=device, report=report, workers=workers
+        )
     for scenario in SHARD_SCENARIOS:
-        _check_scenario(scenario, seed, report)
+        _check_scenario(scenario, seed, report, workers)
     _check_profiled_splits(seed, report)
     return report

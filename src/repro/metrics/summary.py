@@ -141,6 +141,55 @@ class ReservoirSample:
         """The retained sample (the full stream below capacity)."""
         return list(self._values)
 
+    def export_state(self) -> dict:
+        """Mergeable state: exact aggregates plus the retained sample."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max_value,
+            "values": list(self._values),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another reservoir's :meth:`export_state` into this one.
+
+        Count, total, and max stay exact (they are running aggregates,
+        not sampled).  The retained values concatenate when the union
+        fits ``capacity``; otherwise each side contributes a slice
+        proportional to its exact stream count, subsampled with this
+        reservoir's own RNG so merges stay deterministic.
+        """
+        other_values = [float(v) for v in state["values"]]
+        other_count = int(state["count"])
+        if other_count == 0:
+            return
+        self.total += float(state["total"])
+        if float(state["max"]) > self.max_value:
+            self.max_value = float(state["max"])
+        combined_len = len(self._values) + len(other_values)
+        if combined_len <= self.capacity:
+            self._values.extend(other_values)
+        else:
+            total_count = self.count + other_count
+            take_other = min(
+                len(other_values),
+                max(1, round(self.capacity * other_count / total_count)),
+            )
+            take_self = min(len(self._values), self.capacity - take_other)
+            take_other = min(len(other_values), self.capacity - take_self)
+            mine = (
+                self._values
+                if take_self == len(self._values)
+                else self._rng.sample(self._values, take_self)
+            )
+            theirs = (
+                other_values
+                if take_other == len(other_values)
+                else self._rng.sample(other_values, take_other)
+            )
+            self._values = list(mine) + list(theirs)
+        self.count += other_count
+
     def __len__(self) -> int:
         return len(self._values)
 

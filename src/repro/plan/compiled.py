@@ -146,14 +146,20 @@ class GemmModelBlock:
 
     def matches(self, b: np.ndarray) -> bool:
         """Is *b* the operand this block quantized?  Identity first (the
-        serving hot path shares one weight matrix object), then value
-        equality (normalization may have copied the array)."""
-        if self.b_ref is not None:
-            if b is self.b_ref:
-                return True
-            if b.shape != self.b_ref.shape:
-                return False
-            return bool(np.array_equal(b, self.b_ref))
+        serving hot path shares one weight matrix object), then the
+        capture-time content digest.
+
+        The digest — never value equality against ``b_ref`` — is the
+        authoritative fallback: ``b_ref`` may be a zero-copy view into a
+        shared-memory ring (the multi-process data plane), and once the
+        producer recycles that block, ``b_ref`` silently aliases a
+        *newer* request's bytes.  Comparing ``b`` against those bytes
+        would match any operand that happens to live at the same offset;
+        the digest was taken from the operand actually quantized and
+        cannot alias.
+        """
+        if self.b_ref is not None and b is self.b_ref:
+            return True
         if b.shape != self.q_b.shape:
             return False
         return hashlib.sha256(b.tobytes()).digest() == self.b_digest

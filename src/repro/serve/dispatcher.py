@@ -107,17 +107,23 @@ class CircuitBreaker:
         self._clock = clock
         self.consecutive_failures = 0
         self.opened = 0  # lifetime count of open transitions
-        self._open_until = -1.0
+        self._open_until: Optional[float] = None
 
     @property
     def is_open(self) -> bool:
         """True while the device is quarantined."""
-        return self._clock() < self._open_until
+        return self._open_until is not None and self._clock() < self._open_until
 
     @property
-    def reopens_at(self) -> float:
-        """Monotonic instant the breaker half-opens."""
-        return self._open_until
+    def reopens_at(self) -> Optional[float]:
+        """Monotonic instant the breaker half-opens, or None when closed.
+
+        A breaker that has never opened (or has fully re-closed after a
+        success) has no pending release instant; returning a ``-1.0``
+        sentinel here used to leak a fake "monotonic instant" into
+        snapshots and min()-style release computations.
+        """
+        return self._open_until if self.is_open else None
 
     def record_failure(self) -> None:
         """Count a failure; open the breaker at the threshold."""
@@ -131,7 +137,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """A completed group closes the breaker fully."""
         self.consecutive_failures = 0
-        self._open_until = -1.0
+        self._open_until = None
 
 
 class DevicePool:
@@ -329,7 +335,9 @@ class DevicePool:
                 # quarantined): wait for the earliest release instant —
                 # breaker half-open or quarantine probation — then
                 # re-evaluate.
-                releases = [b.reopens_at for b in self.breakers if b.is_open]
+                releases = [
+                    r for r in (b.reopens_at for b in self.breakers) if r is not None
+                ]
                 if self.quarantine is not None:
                     releases += [
                         self.quarantine.release_at(i)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -66,6 +66,9 @@ class LoadgenSpec:
     mix: str = "gemm"
     #: Multi-TPU segmentation mode ("auto" or "off"; see repro.shard).
     shard: str = "auto"
+    #: Worker processes for the data plane (0 = in-process server; see
+    #: repro.mp).  Requires 1 <= workers <= tpus when non-zero.
+    workers: int = 0
 
 
 @dataclass
@@ -159,7 +162,9 @@ def _nn_mix(spec: LoadgenSpec, rng: np.random.Generator) -> dict:
     return per_tenant
 
 
-async def _run(spec: LoadgenSpec) -> LoadgenResult:
+async def _run(
+    spec: LoadgenSpec, clock: Callable[[], float] = time.monotonic
+) -> LoadgenResult:
     rng = np.random.default_rng(spec.seed)
     platform = Platform.with_tpus(spec.tpus)
     config = ServeConfig(
@@ -207,9 +212,18 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
             seed=spec.seed,
         )
 
+    if spec.workers:
+        # Multi-process data plane: the parent stays the admission /
+        # coalescing tier; lowering and device math run in workers.
+        from repro.mp import MpTpuServer
+
+        server = MpTpuServer(platform, config, workers=spec.workers, clock=clock)
+    else:
+        server = TpuServer(platform, config, clock=clock)
+
     results: dict = {}
-    start = time.monotonic()
-    async with TpuServer(platform, config) as server:
+    start = clock()
+    async with server:
         await asyncio.gather(
             *(
                 _client(server, tenant, reqs, results, spec)
@@ -218,7 +232,7 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
         )
         await server.drain()
         snapshot = server.snapshot()
-    wall = time.monotonic() - start
+    wall = clock() - start
 
     mismatches = 0
     if spec.verify:
@@ -245,6 +259,16 @@ async def _run(spec: LoadgenSpec) -> LoadgenResult:
     )
 
 
-def run_loadgen(spec: Optional[LoadgenSpec] = None) -> LoadgenResult:
-    """Run one scenario to completion on a private event loop."""
-    return asyncio.run(_run(spec or LoadgenSpec()))
+def run_loadgen(
+    spec: Optional[LoadgenSpec] = None,
+    *,
+    clock: Callable[[], float] = time.monotonic,
+) -> LoadgenResult:
+    """Run one scenario to completion on a private event loop.
+
+    ``clock`` is injectable (the same contract as ``DevicePool``): the
+    reported wall time and the server's internal time base both read it,
+    so tests can pin a deterministic fake clock instead of racing
+    ``time.monotonic()``.
+    """
+    return asyncio.run(_run(spec or LoadgenSpec(), clock))

@@ -9,6 +9,7 @@ the ``repro serve`` report table).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from collections import defaultdict
 from typing import Dict, Optional
 
@@ -20,19 +21,46 @@ from repro.metrics import LatencySummary, ReservoirSample
 SAMPLE_RESERVOIR_CAPACITY = 8192
 
 
-class ServingMetrics:
-    """Lifetime counters and distributions for one serving session."""
+def reservoir_seed(base_seed: int, worker_id: int, stream: str) -> int:
+    """Distinct, stable reservoir seed per (base_seed, worker, stream).
 
-    def __init__(self) -> None:
+    Multi-process serving gives every worker its own metrics instance;
+    if each used the same hardcoded seed, the reservoirs would make
+    identical keep/evict decisions on identical streams and the merged
+    percentiles would be skewed toward correlated samples.
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}:{worker_id}:{stream}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ServingMetrics:
+    """Lifetime counters and distributions for one serving session.
+
+    ``base_seed`` / ``worker_id`` decorrelate the sampling reservoirs
+    across the processes of a multi-process server; worker instances are
+    folded back into the parent's with :meth:`merge_state`.
+    """
+
+    def __init__(self, base_seed: int = 0, worker_id: int = 0) -> None:
+        self.base_seed = base_seed
+        self.worker_id = worker_id
         self.submitted = 0
         self.rejected = 0  # QueueFull fast-rejects
         self.timeouts = 0  # RequestTimeout rejections
         self.completed = 0  # futures resolved with a result
         self.failed = 0  # futures rejected with DeviceFailure
         #: Per-request end-to-end latencies (seconds, completed only).
-        self.latencies = ReservoirSample(SAMPLE_RESERVOIR_CAPACITY, seed=1)
+        self.latencies = ReservoirSample(
+            SAMPLE_RESERVOIR_CAPACITY,
+            seed=reservoir_seed(base_seed, worker_id, "latency"),
+        )
         #: Admission-queue depth sampled at each dispatch-loop drain.
-        self.queue_depth_samples = ReservoirSample(SAMPLE_RESERVOIR_CAPACITY, seed=2)
+        self.queue_depth_samples = ReservoirSample(
+            SAMPLE_RESERVOIR_CAPACITY,
+            seed=reservoir_seed(base_seed, worker_id, "queue-depth"),
+        )
         #: Dispatch-group retries after a device failure.
         self.retries = 0
         #: Device failures observed (fault hook firings seen by workers).
@@ -115,6 +143,47 @@ class ServingMetrics:
     def sample_queue_depth(self, depth: int) -> None:
         """Record the admission-queue depth at a dispatch-loop drain."""
         self.queue_depth_samples.add(depth)
+
+    # -- cross-process merge --------------------------------------------
+
+    _SCALARS = (
+        "submitted", "rejected", "timeouts", "completed", "failed",
+        "retries", "device_failures", "coalesced_requests",
+        "coalesce_groups", "bytes_in", "bytes_out", "tiles_verified",
+        "sdc_detected", "sdc_incidents", "sdc_corrected", "quarantines",
+        "vote_adjudications", "shard_plans", "shard_segments",
+        "shard_migrations", "shard_merged",
+    )
+    _DEVICE_MAPS = (
+        "groups_by_device", "busy_by_device", "failures_by_device",
+        "sdc_by_device",
+    )
+
+    def export_state(self) -> dict:
+        """Picklable state for shipping across a process boundary."""
+        state: dict = {name: getattr(self, name) for name in self._SCALARS}
+        for name in self._DEVICE_MAPS:
+            state[name] = dict(getattr(self, name))
+        state["latencies"] = self.latencies.export_state()
+        state["queue_depth_samples"] = self.queue_depth_samples.export_state()
+        return state
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`export_state` into this instance.
+
+        Scalar counters, per-device counters, and the reservoirs' exact
+        count/total/max add precisely; only the *retained* percentile
+        samples are subsampled when the union exceeds capacity (see
+        :meth:`ReservoirSample.merge_state`).
+        """
+        for name in self._SCALARS:
+            setattr(self, name, getattr(self, name) + state[name])
+        for name in self._DEVICE_MAPS:
+            target = getattr(self, name)
+            for device, value in state[name].items():
+                target[device] += value
+        self.latencies.merge_state(state["latencies"])
+        self.queue_depth_samples.merge_state(state["queue_depth_samples"])
 
     # -- reporting ------------------------------------------------------
 

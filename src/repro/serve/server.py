@@ -108,6 +108,7 @@ class TpuServer:
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[SpanTracer] = None,
         shard_profile: Optional[ShardProfile] = None,
+        metrics: Optional[ServingMetrics] = None,
     ) -> None:
         self.platform = platform or Platform()
         self.config = config or ServeConfig()
@@ -139,7 +140,9 @@ class TpuServer:
             tracer=self.tracer,
             plan_cache=self.plan_cache,
         )
-        self.metrics = ServingMetrics()
+        #: Injectable so a multi-process worker can use seeds derived
+        #: from its worker id (see :class:`ServingMetrics`).
+        self.metrics = metrics if metrics is not None else ServingMetrics()
         self.admission = AdmissionController(
             self.config.max_queue_depth, self.config.per_tenant_limit
         )
@@ -429,6 +432,9 @@ class TpuServer:
             self.platform.devices[i].name: {
                 "open": b.is_open,
                 "opened": b.opened,
+                # None while closed; the monotonic half-open instant
+                # only exists while the breaker is actually open.
+                "reopens_at": b.reopens_at,
             }
             for i, b in enumerate(self.pool.breakers)
         }

@@ -24,6 +24,7 @@ from repro.telemetry.counters import (
 from repro.telemetry.export import (
     attribution,
     format_attribution,
+    merge_chrome_traces,
     save_chrome_trace,
     to_chrome_trace,
     validate_chrome_trace,
@@ -57,6 +58,7 @@ __all__ = [
     "get_tracer",
     "memory_counters",
     "plan_counters",
+    "merge_chrome_traces",
     "save_chrome_trace",
     "serving_counters",
     "set_tracer",

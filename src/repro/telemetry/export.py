@@ -29,19 +29,36 @@ _VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C"}
 
 
 def to_chrome_trace(
-    tracer: SpanTracer, counters: Optional[dict] = None
+    tracer: SpanTracer,
+    counters: Optional[dict] = None,
+    *,
+    pid: int = 0,
+    process_name: str = "repro-host",
+    time_origin: Optional[float] = None,
 ) -> dict:
-    """Render a tracer's spans as a Chrome-trace JSON object."""
+    """Render a tracer's spans as a Chrome-trace JSON object.
+
+    ``pid`` / ``process_name`` tag every event with the emitting process
+    (the multi-process server exports one trace per worker, pid-tagged,
+    and merges them with :func:`merge_chrome_traces` so Perfetto shows
+    one process lane per worker).  ``time_origin`` pins the shared zero
+    instant for such merges; by default each trace is rebased to its own
+    first span.
+    """
     spans = tracer.spans
-    t0 = min((s.start for s in spans), default=0.0)
+    t0 = (
+        time_origin
+        if time_origin is not None
+        else min((s.start for s in spans), default=0.0)
+    )
     events: List[dict] = [
         {
             "ph": "M",
             "name": "process_name",
-            "pid": 0,
+            "pid": pid,
             "tid": "host",
             "ts": 0,
-            "args": {"name": "repro-host"},
+            "args": {"name": process_name},
         }
     ]
     for span in spans:
@@ -49,8 +66,8 @@ def to_chrome_trace(
             "name": span.name,
             "cat": span.cat or "span",
             "ph": span.phase,
-            "ts": (span.start - t0) * 1e6,
-            "pid": 0,
+            "ts": max((span.start - t0) * 1e6, 0.0),
+            "pid": pid,
             "tid": span.track,
             "args": dict(span.args, device_seconds=span.device_seconds),
         }
@@ -62,6 +79,27 @@ def to_chrome_trace(
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     if counters is not None:
         payload["otherData"] = {"counters": counters}
+    return payload
+
+
+def merge_chrome_traces(traces: List[dict]) -> dict:
+    """Concatenate pid-tagged Chrome traces into one loadable payload.
+
+    Each input is a :func:`to_chrome_trace` object (typically one per
+    process, distinct ``pid``).  Events concatenate in order; the first
+    trace's ``otherData`` wins, with each later trace's counters kept
+    under its metadata process name.
+    """
+    events: List[dict] = []
+    other: dict = {}
+    for trace in traces:
+        events.extend(trace.get("traceEvents", []))
+        extra = trace.get("otherData")
+        if extra and not other:
+            other = dict(extra)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if other:
+        payload["otherData"] = other
     return payload
 
 

@@ -1,0 +1,62 @@
+"""Child process for the clean-shutdown shm lifecycle test.
+
+Runs a short multi-process serving session, records the ring segment
+names while live, and verifies every segment is gone from ``/dev/shm``
+after a clean stop.  Prints a JSON verdict on stdout; the parent test
+asserts on it plus this process's stderr (no resource_tracker noise).
+"""
+
+import asyncio
+import glob
+import json
+import os
+import sys
+
+import numpy as np
+
+
+def _shm_names():
+    return {os.path.basename(p) for p in glob.glob("/dev/shm/psm_*")}
+
+
+async def main() -> dict:
+    from repro.config import SystemConfig
+    from repro.edgetpu.isa import Opcode
+    from repro.host.platform import Platform
+    from repro.mp import MpTpuServer
+    from repro.runtime.opqueue import OperationRequest, QuantMode
+    from repro.serve.server import ServeConfig
+
+    rng = np.random.default_rng(21)
+    platform = Platform(SystemConfig().with_tpus(4))
+    server = MpTpuServer(platform, ServeConfig(time_scale=0.0), workers=2)
+    async with server:
+        ring_names = {
+            w.req_ring.shm.name.lstrip("/") for w in server._workers
+        } | {w.res_ring.shm.name.lstrip("/") for w in server._workers}
+        live = ring_names & _shm_names()
+        for i in range(4):
+            request = OperationRequest(
+                task_id=i + 1,
+                opcode=Opcode.CONV2D,
+                inputs=(
+                    rng.standard_normal((64, 48)),
+                    rng.standard_normal((48, 32)),
+                ),
+                quant=QuantMode.SCALE,
+                attrs={"gemm": True},
+            )
+            await server.submit(request)
+        await server.drain()
+        completed = server.snapshot()["outcomes"]["completed"]
+    return {
+        "segments": len(ring_names),
+        "live_while_running": len(live),
+        "completed": completed,
+        "leftover": sorted(ring_names & _shm_names()),
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(asyncio.run(main())))
+    sys.exit(0)

@@ -1,0 +1,100 @@
+"""Child process for the SIGKILL shm lifecycle + requeue test.
+
+Spawns a two-worker data plane, loads it with distinct-operand GEMMs so
+both workers hold in-flight work, SIGKILLs the busiest worker mid-group,
+and verifies: every request still completes bit-identically (requeued to
+a live worker, delivered exactly once), the crash and requeue counters
+reflect it, and every shared-memory segment — including the dead
+worker's rings — is unlinked after stop.  Prints a JSON verdict on
+stdout; the parent test also asserts this process's stderr carries no
+resource_tracker leak warnings.
+"""
+
+import asyncio
+import glob
+import json
+import os
+import signal
+import sys
+
+import numpy as np
+
+
+def _shm_names():
+    return {os.path.basename(p) for p in glob.glob("/dev/shm/psm_*")}
+
+
+async def main() -> dict:
+    from repro.config import SystemConfig
+    from repro.edgetpu.isa import Opcode
+    from repro.host.platform import Platform
+    from repro.mp import MpTpuServer
+    from repro.runtime.opqueue import OperationRequest, QuantMode
+    from repro.runtime.tensorizer import Tensorizer
+    from repro.serve.server import ServeConfig
+
+    rng = np.random.default_rng(22)
+    requests = [
+        OperationRequest(
+            task_id=i + 1,
+            opcode=Opcode.CONV2D,
+            inputs=(
+                rng.standard_normal((192, 160)),
+                rng.standard_normal((160, 128)),
+            ),
+            quant=QuantMode.SCALE,
+            attrs={"gemm": True},
+        )
+        for i in range(10)
+    ]
+    wants = [Tensorizer().lower(r).result for r in requests]
+
+    platform = Platform(SystemConfig().with_tpus(4))
+    server = MpTpuServer(platform, ServeConfig(time_scale=0.0), workers=2)
+    events = []
+    server.pool.observer = lambda event, sid, dev: events.append((event, sid))
+    async with server:
+        ring_names = {
+            w.req_ring.shm.name.lstrip("/") for w in server._workers
+        } | {w.res_ring.shm.name.lstrip("/") for w in server._workers}
+        futures = [server.submit_nowait(r) for r in requests]
+        # Let the dispatch loop ship work, then kill whichever worker
+        # holds the most in-flight shipments — mid-group by design.
+        victim = None
+        for _ in range(200):
+            await asyncio.sleep(0.02)
+            busy = max(
+                server._workers,
+                key=lambda w: w.inflight + len(w.pending),
+            )
+            if busy.alive and busy.inflight > 0:
+                victim = busy
+                break
+        assert victim is not None, "no worker ever held in-flight work"
+        os.kill(victim.pid, signal.SIGKILL)
+        results = await asyncio.gather(*futures)
+        await server.drain()
+        snap = server.snapshot()
+
+    mismatches = sum(
+        1
+        for got, want in zip(results, wants)
+        if got.tobytes() != want.tobytes()
+    )
+    delivers = [sid for event, sid in events if event == "deliver"]
+    return {
+        "completed": snap["outcomes"]["completed"],
+        "lost": snap["outcomes"]["lost"],
+        "crashes": snap["workers"]["crashes"],
+        "requeued": snap["workers"]["requeued"],
+        "alive": snap["workers"]["alive"],
+        "mismatches": mismatches,
+        "duplicate_delivers": len(delivers) - len(set(delivers)),
+        "delivers": len(delivers),
+        "leftover": sorted(ring_names & _shm_names()),
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(asyncio.run(main())))
+    sys.exit(0)

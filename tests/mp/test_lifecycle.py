@@ -1,0 +1,65 @@
+"""Shared-memory lifecycle: unlink on clean shutdown and after SIGKILL.
+
+Each scenario runs in a child Python process (spawn re-imports
+``__main__``, so the children are real script files) and reports a JSON
+verdict; the tests here also assert the children's *stderr* is free of
+``resource_tracker`` leak warnings — the tracker prints those at
+interpreter exit, after any in-process assertion could see them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _run_child(script: str) -> tuple:
+    env = dict(os.environ)
+    src = os.path.join(_HERE, os.pardir, os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_HERE, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr}"
+    verdict = json.loads(proc.stdout.strip().splitlines()[-1])
+    return verdict, proc.stderr
+
+
+def _assert_no_tracker_noise(stderr: str) -> None:
+    assert "resource_tracker" not in stderr, stderr
+    assert "leaked shared_memory" not in stderr, stderr
+
+
+class TestShmLifecycle:
+    def test_clean_shutdown_unlinks_every_segment(self):
+        verdict, stderr = _run_child("_lifecycle_clean.py")
+        assert verdict["segments"] == 4  # request + result ring per worker
+        assert verdict["live_while_running"] == 4
+        assert verdict["completed"] == 4
+        assert verdict["leftover"] == []
+        _assert_no_tracker_noise(stderr)
+
+    def test_sigkilled_worker_leaves_no_segment_and_loses_nothing(self):
+        verdict, stderr = _run_child("_lifecycle_kill.py")
+        assert verdict["completed"] == 10
+        assert verdict["lost"] == 0
+        assert verdict["mismatches"] == 0
+        assert verdict["crashes"] == 1
+        assert verdict["alive"] == 1
+        # The killed worker held in-flight work; it must have been
+        # requeued to the survivor and delivered exactly once.
+        assert verdict["requeued"] >= 1
+        assert verdict["delivers"] == 10
+        assert verdict["duplicate_delivers"] == 0
+        assert verdict["leftover"] == []
+        _assert_no_tracker_noise(stderr)

@@ -53,6 +53,19 @@ class TestCircuitBreaker:
         assert not breaker.is_open
         assert breaker.consecutive_failures == 0
 
+    def test_reopens_at_is_none_unless_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=1.0, clock=clock)
+        assert breaker.reopens_at is None  # never opened: no sentinel
+        breaker.record_failure()
+        assert breaker.reopens_at == pytest.approx(1.0)
+        clock.now = 1.5  # cooldown elapsed: half-open counts as closed
+        assert breaker.reopens_at is None
+        breaker.record_failure()
+        assert breaker.reopens_at == pytest.approx(2.5)
+        breaker.record_success()
+        assert breaker.reopens_at is None
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             CircuitBreaker(threshold=0, cooldown_seconds=1.0)

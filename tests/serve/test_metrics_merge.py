@@ -1,0 +1,110 @@
+"""Per-worker reservoir seeds and the cross-process metrics merge."""
+
+import pytest
+
+from repro.metrics import ReservoirSample
+from repro.serve.metrics import ServingMetrics, reservoir_seed
+
+
+class TestReservoirSeed:
+    def test_deterministic(self):
+        assert reservoir_seed(7, 3, "latency") == reservoir_seed(7, 3, "latency")
+
+    def test_distinct_across_workers_streams_and_base_seeds(self):
+        seeds = {
+            reservoir_seed(base, worker, stream)
+            for base in (0, 1)
+            for worker in range(5)
+            for stream in ("latency", "queue-depth")
+        }
+        assert len(seeds) == 2 * 5 * 2
+
+    def test_metrics_instances_use_derived_seeds(self):
+        a = ServingMetrics(base_seed=0, worker_id=1)
+        b = ServingMetrics(base_seed=0, worker_id=2)
+        # Same over-capacity stream, decorrelated keep/evict decisions.
+        for m in (a, b):
+            m.latencies.capacity = 8
+            for i in range(64):
+                m.latencies.add(float(i))
+        assert a.latencies.values() != b.latencies.values()
+
+
+class TestReservoirMerge:
+    def test_under_capacity_merge_is_exact(self):
+        a = ReservoirSample(capacity=16, seed=1)
+        b = ReservoirSample(capacity=16, seed=2)
+        for v in (1.0, 2.0, 3.0):
+            a.add(v)
+        for v in (10.0, 20.0):
+            b.add(v)
+        a.merge_state(b.export_state())
+        assert a.count == 5
+        assert a.total == 36.0
+        assert a.max_value == 20.0
+        assert sorted(a.values()) == [1.0, 2.0, 3.0, 10.0, 20.0]
+
+    def test_over_capacity_merge_keeps_aggregates_exact(self):
+        a = ReservoirSample(capacity=8, seed=1)
+        b = ReservoirSample(capacity=8, seed=2)
+        for i in range(100):
+            a.add(float(i))
+        for i in range(300):
+            b.add(float(1000 + i))
+        a.merge_state(b.export_state())
+        assert a.count == 400
+        assert a.total == sum(range(100)) + sum(range(1000, 1300))
+        assert a.max_value == 1299.0
+        # The retained sample is bounded and drawn from both sides,
+        # proportionally to their stream sizes (300 vs 100 -> mostly b).
+        values = a.values()
+        assert len(values) <= 8
+        assert sum(1 for v in values if v >= 1000.0) >= len(values) // 2
+
+    def test_merge_of_empty_is_noop(self):
+        a = ReservoirSample(capacity=8, seed=1)
+        a.add(4.0)
+        before = a.export_state()
+        a.merge_state(ReservoirSample(capacity=8, seed=9).export_state())
+        assert a.export_state() == before
+
+
+class TestServingMetricsMerge:
+    def test_counters_device_maps_and_reservoirs_fold_exactly(self):
+        parent = ServingMetrics(base_seed=0, worker_id=0)
+        parent.submitted = 10
+        parent.completed = 4
+        parent.groups_by_device["tpu0"] += 3
+        parent.latencies.add(0.5)
+
+        worker = ServingMetrics(base_seed=0, worker_id=1)
+        worker.submitted = 6
+        worker.completed = 6
+        worker.retries = 2
+        worker.groups_by_device["tpu0"] += 1
+        worker.groups_by_device["tpu2"] += 5
+        worker.busy_by_device["tpu2"] += 1.25
+        worker.latencies.add(0.25)
+        worker.latencies.add(0.75)
+        worker.queue_depth_samples.add(3)
+
+        parent.merge_state(worker.export_state())
+        assert parent.submitted == 16
+        assert parent.completed == 10
+        assert parent.retries == 2
+        assert parent.groups_by_device == {"tpu0": 4, "tpu2": 5}
+        assert parent.busy_by_device["tpu2"] == 1.25
+        assert parent.latencies.count == 3
+        assert parent.latencies.total == 1.5
+        assert parent.latencies.max_value == 0.75
+        assert parent.queue_depth_samples.count == 1
+
+    def test_merge_preserves_accounting_balance(self):
+        parent = ServingMetrics()
+        worker = ServingMetrics(worker_id=1)
+        worker.submitted = 8
+        worker.completed = 5
+        worker.failed = 2
+        worker.timeouts = 1
+        parent.merge_state(worker.export_state())
+        assert parent.lost == 0

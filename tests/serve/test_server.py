@@ -168,6 +168,35 @@ class TestFaultToleranceEndToEnd:
         assert result.snapshot["retries"] == 0
         assert result.mismatches == 0
 
+class TestLoadgenClock:
+    def test_injectable_clock_is_used_for_wall_and_latency(self):
+        # A frozen clock proves loadgen never reads time.monotonic()
+        # directly: every timestamp (start, completion, wall) comes from
+        # the injected callable, so the measured wall is exactly zero.
+        frozen = lambda: 1234.5  # noqa: E731
+        result = run_loadgen(
+            LoadgenSpec(tpus=2, tenants=2, requests_per_tenant=2, size=48),
+            clock=frozen,
+        )
+        assert result.snapshot["outcomes"]["completed"] == 4
+        assert result.wall_seconds == 0.0
+        latency = result.snapshot["latency"]
+        assert latency["p99_seconds"] == 0.0
+        assert latency["max_seconds"] == 0.0
+
+    def test_loadgen_drives_the_multiprocess_server(self):
+        result = run_loadgen(
+            LoadgenSpec(
+                tpus=4, workers=2, tenants=2, requests_per_tenant=2, size=48
+            )
+        )
+        outcomes = result.snapshot["outcomes"]
+        assert outcomes["completed"] == 4
+        assert outcomes["lost"] == 0
+        assert result.mismatches == 0
+        assert result.snapshot["workers"]["count"] == 2
+
+
 class TestNNRequestMix:
     def test_nn_mix_delivers_exactly_once_and_bit_identical(self):
         result = run_loadgen(
