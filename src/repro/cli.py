@@ -219,11 +219,13 @@ def _serving_rows(snapshot: dict) -> List[tuple]:
         ("submitted", str(outcomes["submitted"])),
         ("completed", str(outcomes["completed"])),
         ("rejected (QueueFull)", str(outcomes["rejected"])),
+        ("shed (LoadShed)", str(outcomes.get("shed", 0))),
         ("timeouts", str(outcomes["timeouts"])),
         ("failed", str(outcomes["failed"])),
         ("lost", str(outcomes["lost"])),
         ("p50 latency", f"{latency.get('p50_seconds', 0.0) * 1e3:.2f} ms"),
         ("p99 latency", f"{latency.get('p99_seconds', 0.0) * 1e3:.2f} ms"),
+        ("p99.9 latency", f"{latency.get('p999_seconds', 0.0) * 1e3:.2f} ms"),
         ("max queue depth", str(snapshot["queue_depth"]["max"])),
         ("device failures", str(snapshot["device_failures"])),
         ("retries", str(snapshot["retries"])),
@@ -253,6 +255,22 @@ def _serving_rows(snapshot: dict) -> List[tuple]:
             ("SDC corrected (groups)", str(integrity["sdc_corrected"])),
             ("quarantines", str(integrity["quarantines"])),
         ]
+    for tier, stats in sorted(snapshot.get("tiers", {}).items()):
+        lat = stats.get("latency") or {}
+        rows.append((
+            f"  tier {tier}",
+            f"{stats['completed']}/{stats['submitted']} ok, "
+            f"{stats['shed']} shed, {stats['deadline_misses']} missed, "
+            f"p99 {lat.get('p99_seconds', 0.0) * 1e3:.1f} ms, "
+            f"p99.9 {lat.get('p999_seconds', 0.0) * 1e3:.1f} ms",
+        ))
+    overload = snapshot.get("overload")
+    if overload is not None:
+        rows.append((
+            "overload governor",
+            f"level {overload['level']}, {overload['escalations']} escalations, "
+            f"miss EWMA {overload['miss_ewma']:.3f}",
+        ))
     for name, dev in sorted(snapshot["devices"].items()):
         rows.append(
             (f"  {name}", f"{dev['groups']} groups, {dev['failures']} failures")
@@ -323,6 +341,79 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             return 1
         print("strict checks passed: zero lost, bit-identical, "
               f"{outcomes['completed']} completed, {snapshot['retries']} retries")
+    return 0
+
+
+def cmd_sustained(args: argparse.Namespace) -> int:
+    """Run one open-loop sustained-load scenario and report it."""
+    import json
+
+    from repro.serve import SustainedSpec, run_sustained
+
+    spec = SustainedSpec(
+        tpus=args.tpus,
+        workers=args.workers,
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        burst=args.burst,
+        ticks=args.ticks,
+        tick_seconds=args.tick_seconds,
+        fail_after_instructions=args.fail_after,
+        sdc_after_instructions=args.sdc_after,
+        integrity=args.integrity,
+        shard=args.shard,
+        energy_aware=args.energy_aware,
+    )
+    result = run_sustained(spec)
+    rows = [
+        ("requests", str(args.requests)),
+        ("model time", f"{result.model_seconds:.1f} s"
+                       f" ({result.model_seconds / 60:.1f} min compressed)"),
+        ("wall time", f"{result.wall_seconds:.2f} s"),
+        ("outcomes", ", ".join(
+            f"{k}={v}" for k, v in sorted(result.outcomes.items())
+        )),
+        ("digest", result.digest[:16]),
+    ]
+    rows += _serving_rows(result.snapshot)
+    for tier, row in sorted(result.tier_table.items()):
+        jpr = row["joules_per_request"]
+        rows.append((
+            f"  energy {tier}",
+            "n/a" if jpr is None else f"{jpr:.3f} J/request "
+            f"({row['active_joules_per_request'] * 1e3:.3f} mJ active)",
+        ))
+    print(format_table(
+        ["metric", "value"],
+        rows,
+        title=f"repro sustained ({args.requests} open-loop arrivals "
+              f"@ {args.rate}/s):",
+    ))
+    if args.json:
+        import pathlib
+
+        payload = {
+            "spec": vars(args),
+            "digest": result.digest,
+            "schedule_digest": result.schedule_digest,
+            "outcomes": result.outcomes,
+            "tier_table": result.tier_table,
+            "energy": result.energy,
+            "model_seconds": result.model_seconds,
+            "wall_seconds": result.wall_seconds,
+            "violations": result.violations,
+            "snapshot": result.snapshot,
+        }
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if result.violations:
+        print("VIOLATIONS: " + "; ".join(result.violations))
+        if args.strict:
+            return 1
+    elif args.strict:
+        print("strict checks passed: zero lost, exactly-once, tier-ordered "
+              "shedding, per-tier latency within budget")
     return 0
 
 
@@ -610,6 +701,43 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_p.add_argument("--strict", action="store_true",
                            help="exit non-zero unless serving invariants hold")
 
+    sus_p = sub.add_parser(
+        "sustained",
+        help="open-loop sustained-load run: SLO tiers, shedding, energy",
+    )
+    sus_p.add_argument("--tpus", type=int, default=8)
+    sus_p.add_argument("--requests", type=int, default=20_000,
+                       help="total open-loop arrivals (bench uses 100k+)")
+    sus_p.add_argument("--rate", type=float, default=40.0,
+                       help="Poisson arrival rate in model requests/second")
+    sus_p.add_argument("--seed", type=int, default=7)
+    sus_p.add_argument("--burst", type=int, default=8,
+                       help="arrivals submitted between scheduler grants")
+    sus_p.add_argument("--ticks", type=int, default=2,
+                       help="cooperative scheduler grants per burst "
+                            "(the run's service-capacity model)")
+    sus_p.add_argument("--tick-seconds", type=float, default=0.0,
+                       help="real seconds per grant (give MP workers wall "
+                            "time; 0 = pure virtual time)")
+    sus_p.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="multi-process data plane with N workers")
+    sus_p.add_argument("--fail-after", type=int, default=0, metavar="INSTRS",
+                       help="fail-stop churn: kill one device after N "
+                            "instructions")
+    sus_p.add_argument("--sdc-after", type=int, default=0, metavar="INSTRS",
+                       help="SDC churn: corrupt one device's tiles after N "
+                            "instructions (pair with --integrity abft)")
+    sus_p.add_argument("--integrity", default="off",
+                       choices=["off", "abft", "vote"])
+    sus_p.add_argument("--shard", default="off", choices=["auto", "off"])
+    sus_p.add_argument("--energy-aware", action="store_true",
+                       help="energy-aware shard placement inside deadline "
+                            "slack")
+    sus_p.add_argument("--json", metavar="FILE.json",
+                       help="write the sustained report to a file")
+    sus_p.add_argument("--strict", action="store_true",
+                       help="exit non-zero on any invariant violation")
+
     nn_p = sub.add_parser(
         "nn", help="run one repro.nn model with per-layer attribution"
     )
@@ -669,6 +797,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "sustained": cmd_sustained,
         "nn": cmd_nn,
         "conformance": cmd_conformance,
         "trace": cmd_trace,

@@ -35,6 +35,11 @@ class OnChipMemory:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
         self._regions: "OrderedDict[str, Region]" = OrderedDict()
+        #: Running allocation total.  ``alloc`` consults ``free_bytes``
+        #: inside its eviction loop, so recomputing the sum over all
+        #: resident regions there is quadratic in region count — the
+        #: dominant serving-path cost under sustained load.
+        self._used = 0
         #: Cumulative eviction count, for cache-behaviour assertions.
         self.evictions = 0
         #: Residency hits/misses seen by :meth:`ensure` (telemetry).
@@ -46,7 +51,7 @@ class OnChipMemory:
     @property
     def used_bytes(self) -> int:
         """Bytes currently allocated."""
-        return sum(r.nbytes for r in self._regions.values())
+        return self._used
 
     @property
     def free_bytes(self) -> int:
@@ -91,6 +96,7 @@ class OnChipMemory:
                 )
         region = Region(name, nbytes, evictable)
         self._regions[name] = region
+        self._used += nbytes
         return region
 
     def ensure(self, name: str, nbytes: int, evictable: bool = True) -> bool:
@@ -111,11 +117,13 @@ class OnChipMemory:
         """Release one region."""
         if name not in self._regions:
             raise KeyError(f"region {name!r} not allocated")
+        self._used -= self._regions[name].nbytes
         del self._regions[name]
 
     def clear(self) -> None:
         """Release every region (device reset between tasks)."""
         self._regions.clear()
+        self._used = 0
 
     def pin(self, name: str) -> None:
         """Mark a region non-evictable."""
@@ -131,6 +139,7 @@ class OnChipMemory:
         for name, region in self._regions.items():
             if region.evictable:
                 del self._regions[name]
+                self._used -= region.nbytes
                 self.evictions += 1
                 return True
         return False

@@ -132,5 +132,22 @@ class QueueFull(ServingError):
     """
 
 
+class LoadShed(QueueFull):
+    """Admission shed this request by SLO policy, not by capacity.
+
+    Raised instead of the plain :class:`QueueFull` when the overload
+    controller is engaged and the request's tenant tier is inside the
+    current shed set (lowest tiers first; see :mod:`repro.serve.slo`).
+    Subclassing :class:`QueueFull` keeps existing back-off clients
+    working, while outcome accounting can tell deliberate shedding
+    apart from a full queue.
+    """
+
+    def __init__(self, message: str, tier: str = "") -> None:
+        super().__init__(message)
+        #: SLO tier the shed request belonged to (e.g. ``"bronze"``).
+        self.tier = tier
+
+
 class RequestTimeout(ServingError):
     """A request's deadline expired before its results were delivered."""

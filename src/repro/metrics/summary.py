@@ -62,6 +62,9 @@ class LatencySummary:
     p90: float
     p99: float
     max: float
+    #: p99.9 — the sustained-load SLO gate quantile.  Defaults to 0.0
+    #: so pre-existing direct constructions keep working.
+    p999: float = 0.0
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
@@ -75,6 +78,7 @@ class LatencySummary:
             p50=float(np.percentile(arr, 50)),
             p90=float(np.percentile(arr, 90)),
             p99=float(np.percentile(arr, 99)),
+            p999=float(np.percentile(arr, 99.9)),
             max=float(arr.max()),
         )
 
@@ -86,6 +90,7 @@ class LatencySummary:
             "p50_seconds": self.p50,
             "p90_seconds": self.p90,
             "p99_seconds": self.p99,
+            "p999_seconds": self.p999,
             "max_seconds": self.max,
         }
 

@@ -35,7 +35,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.edgetpu.isa import Opcode
-from repro.errors import DeviceFailure, RequestTimeout, ServingError
+from repro.errors import DeviceFailure, LoadShed, RequestTimeout, ServingError
 from repro.host.platform import Platform
 from repro.mp.messages import WorkerSpec, decode_error, encode_request
 from repro.mp.shm import RingFull, ShmRing
@@ -46,6 +46,7 @@ from repro.serve.coalescer import coalesce, coalesce_key
 from repro.serve.metrics import ServingMetrics
 from repro.serve.request import ServeRequest
 from repro.serve.server import ServeConfig
+from repro.serve.slo import OverloadController
 from repro.telemetry import (
     SpanTracer,
     get_tracer,
@@ -148,9 +149,22 @@ class MpTpuServer:
         self.base_seed = base_seed
         self.ring_bytes = ring_bytes
         self.metrics = ServingMetrics(base_seed=base_seed, worker_id=0)
+        self.slo = self.config.slo
+        scheduling = self.config.scheduling
+        if scheduling == "auto":
+            scheduling = "edf" if self.slo is not None else "rr"
         self.admission = AdmissionController(
-            self.config.max_queue_depth, self.config.per_tenant_limit
+            self.config.max_queue_depth,
+            self.config.per_tenant_limit,
+            scheduling=scheduling,
         )
+        self.overload: Optional[OverloadController] = (
+            OverloadController(self.slo, self.config.max_queue_depth)
+            if self.slo is not None and self.config.shed_enabled
+            else None
+        )
+        #: Timeout count already fed to the overload governor.
+        self._timeouts_seen = 0
         self.pool = _PoolFacade()
         # Contiguous device slices; worker 0 owns tpu0, so single-request
         # behaviour (and the shard suite's tpu0 expectations) match the
@@ -336,15 +350,40 @@ class MpTpuServer:
             task_id=serve_id,
             input_name=request.input_name or f"serve{serve_id}",
         )
+        tier_name, priority, sheddable = "", 0, True
+        deadline = None if deadline_seconds is None else now + deadline_seconds
+        if self.slo is not None:
+            tier = self.slo.tier_of(request.tenant)
+            tier_name, priority, sheddable = tier.name, tier.priority, tier.sheddable
+            if deadline is None and tier.deadline_budget is not None:
+                deadline = now + tier.deadline_budget
         sreq = ServeRequest(
             serve_id=serve_id,
             tenant=request.tenant,
             request=request,
             future=asyncio.get_running_loop().create_future(),
             submitted=now,
-            deadline=None if deadline_seconds is None else now + deadline_seconds,
+            deadline=deadline,
+            tier=tier_name,
+            priority=priority,
+            sheddable=sheddable,
         )
         self.metrics.submitted += 1
+        if tier_name:
+            self.metrics.submitted_by_tier[tier_name] += 1
+        if self.overload is not None and self.overload.should_shed(
+            priority, sheddable
+        ):
+            self.metrics.record_shed(tier_name)
+            self.tracer.instant(
+                "shed", cat="serve", track="mp-server", serve_id=serve_id,
+                tier=tier_name,
+            )
+            raise LoadShed(
+                f"tier {tier_name!r} shed under overload "
+                f"(level {self.overload.level}); retry later",
+                tier=tier_name,
+            )
         try:
             self.admission.offer(sreq)
         except Exception:
@@ -421,18 +460,53 @@ class MpTpuServer:
                         f"request {sreq.serve_id} expired in the admission queue"
                     )
                 ):
-                    self.metrics.timeouts += 1
+                    self.metrics.record_timeout(sreq)
                     self._emit("timeout", sreq.serve_id, -1)
-            self.metrics.sample_queue_depth(self.admission.depth)
+            depth = self.admission.depth
+            self.metrics.sample_queue_depth(depth)
             batch = self.admission.drain(self.config.max_batch)
+            if self.overload is not None:
+                # Timeout delta (admission + worker-reported) drives the
+                # EWMA: the slow-death overload signal.
+                misses = self.metrics.timeouts - self._timeouts_seen
+                self._timeouts_seen = self.metrics.timeouts
+                self.overload.observe(depth, misses, len(batch))
             if not batch:
                 continue
+            if self.slo is not None and self.slo.preempt:
+                self._preempt_parked(batch)
             sp = self.tracer.begin(
                 "ship_batch", cat="serve", track="mp-server", drained=len(batch)
             )
             for group in coalesce(batch, self.config.max_coalesce):
                 self._ship_group(group)
             self.tracer.end(sp)
+
+    def _preempt_parked(self, batch: List[ServeRequest]) -> None:
+        """Requeue parked lower-tier groups ahead of an urgent batch.
+
+        In the MP server only groups still parked on a worker's pending
+        deque (never shipped, pre-lowering) are preemptible — anything
+        already in a worker's ring may be executing.  Whole groups are
+        un-coalesced and their members re-admitted via ``requeue``, so
+        exactly-once delivery is untouched: no work was in flight.
+        """
+        urgent = min(s.priority for s in batch if not s.failed)
+        for worker in self._workers:
+            if not worker.pending:
+                continue
+            keep: deque = deque()
+            for group in worker.pending:
+                live = [s for s in group if not s.failed]
+                if live and all(s.priority > urgent for s in live):
+                    for sreq in live:
+                        sreq.preemptions += 1
+                        self.metrics.preemptions += 1
+                        self._emit("preempt", sreq.serve_id, -1)
+                        self.admission.requeue(sreq)
+                else:
+                    keep.append(group)
+            worker.pending = keep
 
     def _alive_workers(self) -> List[_Worker]:
         return [w for w in self._workers if w.alive]
@@ -573,6 +647,16 @@ class MpTpuServer:
                 worker.res_ring.read_view(offset, shape, dtype), copy=True
             )
             worker.send(("rfree", offset))
+            # Deadline holds at parent-side delivery (mirrors the
+            # in-process dispatcher): a worker answer that crossed the
+            # boundary after the budget elapsed is a miss, not a result.
+            if sreq.expired(self._clock()):
+                if sreq.reject(RequestTimeout(
+                    f"request {gid} completed after its deadline"
+                )):
+                    self.metrics.record_timeout(sreq)
+                self._emit("timeout", gid, -1)
+                return
             # resolve() reads sreq.op.result — THE single delivery path
             # (record_delivery) stays intact across the process boundary.
             sreq.op = SimpleNamespace(result=result)
@@ -582,7 +666,7 @@ class MpTpuServer:
             exc = decode_error(err)
             if sreq.reject(exc):
                 if isinstance(exc, RequestTimeout):
-                    self.metrics.timeouts += 1
+                    self.metrics.record_timeout(sreq)
                     self._emit("timeout", gid, -1)
                 else:
                     self.metrics.failed += 1
@@ -703,11 +787,22 @@ class MpTpuServer:
         the parent).
         """
         state = dict(state)
-        for key in ("submitted", "rejected", "timeouts", "completed", "failed"):
+        for key in ("submitted", "rejected", "shed", "timeouts", "completed", "failed"):
             state[key] = 0
         empty = {"count": 0, "total": 0.0, "max": float("-inf"), "values": []}
         state["latencies"] = empty
         state["queue_depth_samples"] = dict(empty)
+        # Per-tier terminal outcomes are parent-authoritative too; only
+        # busy_seconds-by-tier is genuinely worker-side (the parent never
+        # sees device occupancy).
+        for key in (
+            "submitted_by_tier",
+            "completed_by_tier",
+            "shed_by_tier",
+            "miss_by_tier",
+        ):
+            state[key] = {}
+        state["latency_by_tier"] = {}
         return state
 
     def _merged_snapshot(self) -> dict:
@@ -757,6 +852,8 @@ class MpTpuServer:
             snap["plan_cache"] = plan_cache
         snap["sharding"]["enabled"] = shard_enabled
         snap["sharding"]["profile"] = profile
+        if self.overload is not None:
+            snap["overload"] = self.overload.snapshot()
         snap["workers"] = {
             "count": self.num_workers,
             "alive": len(self._alive_workers()),

@@ -173,11 +173,13 @@ async def _amain(spec: WorkerSpec, inbox, outbox, snapbox) -> None:
         if injector is not None:
             device.fault_injector = injector
     # Admission already happened in the parent; the worker queue only
-    # buffers the parent's shipments, so it must never fast-reject.
+    # buffers the parent's shipments, so it must never fast-reject or
+    # shed (the SLO policy stays so tiers still price deadlines/busy).
     config = replace(
         spec.config,
         max_queue_depth=max(spec.config.max_queue_depth * 2, 64),
         per_tenant_limit=None,
+        shed_enabled=False,
     )
     tracer = SpanTracer(enabled=spec.trace)
     metrics = ServingMetrics(base_seed=spec.base_seed, worker_id=spec.worker_id + 1)

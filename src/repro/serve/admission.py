@@ -1,4 +1,4 @@
-"""Admission control and per-tenant fair queuing.
+"""Admission control: fair queuing or deadline-first scheduling.
 
 The paper's front-end OPQ (§6.1, Fig. 4) is unbounded — fine for one
 batch-mode caller, fatal for a service.  The admission controller makes
@@ -8,33 +8,54 @@ the OPQ a *bounded* queue with two backpressure rules:
   requests (or beyond a tenant's own share) raise
   :class:`~repro.errors.QueueFull` synchronously, before anything is
   enqueued, so overloaded clients learn immediately;
-* **round-robin fair queuing** — each tenant has its own FIFO and the
-  dispatcher drains one request per tenant per turn, so a tenant that
-  floods the queue cannot starve the others (it only queues behind
-  itself).
+* **scheduling** — ``"rr"`` (default) keeps per-tenant FIFOs drained
+  round-robin, one request per tenant per turn, so a flooding tenant
+  only queues behind itself; ``"edf"`` drains earliest-deadline-first
+  with tier priority as the tiebreak (the SLO-serving mode: a gold
+  request with a tight budget overtakes a bronze backlog instead of
+  waiting out the rotation).
+
+EDF ordering is a min-heap keyed ``(deadline, priority, seq)``; a
+request with no deadline sorts after every deadlined one.  The sequence
+number makes draining stable and deterministic under equal keys.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import QueueFull
 from repro.serve.request import ServeRequest
 
 
 class AdmissionController:
-    """Bounded multi-tenant front-end queue with round-robin draining."""
+    """Bounded multi-tenant front-end queue ("rr" or "edf" draining)."""
 
-    def __init__(self, capacity: int, per_tenant_limit: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        per_tenant_limit: Optional[int] = None,
+        scheduling: str = "rr",
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if per_tenant_limit is not None and per_tenant_limit < 1:
             raise ValueError(f"per_tenant_limit must be >= 1, got {per_tenant_limit}")
+        if scheduling not in ("rr", "edf"):
+            raise ValueError(f"scheduling must be 'rr' or 'edf', got {scheduling!r}")
         self.capacity = capacity
         self.per_tenant_limit = per_tenant_limit
+        self.scheduling = scheduling
         #: Tenant FIFOs in rotation order; a tenant appears iff non-empty.
         self._queues: "OrderedDict[str, Deque[ServeRequest]]" = OrderedDict()
+        #: EDF heap entries: (deadline-or-inf, priority, seq, request).
+        self._heap: List[Tuple[float, int, int, ServeRequest]] = []
+        #: Per-tenant pending counts (EDF mode; "rr" uses queue lengths).
+        self._counts: "OrderedDict[str, int]" = OrderedDict()
+        self._seq = 0
         self._depth = 0
 
     @property
@@ -45,12 +66,18 @@ class AdmissionController:
     @property
     def tenants(self) -> List[str]:
         """Tenants with pending requests, in current rotation order."""
+        if self.scheduling == "edf":
+            return [t for t, count in self._counts.items() if count > 0]
         return list(self._queues)
 
     def tenant_depth(self, tenant: str) -> int:
         """Pending requests for one tenant."""
+        if self.scheduling == "edf":
+            return self._counts.get(tenant, 0)
         queue = self._queues.get(tenant)
         return len(queue) if queue is not None else 0
+
+    # -- enqueue --------------------------------------------------------
 
     def offer(self, sreq: ServeRequest) -> None:
         """Admit one request or raise :class:`QueueFull` (fast-reject)."""
@@ -58,29 +85,59 @@ class AdmissionController:
             raise QueueFull(
                 f"admission queue at capacity ({self.capacity}); retry later"
             )
-        queue = self._queues.get(sreq.tenant)
         if (
             self.per_tenant_limit is not None
-            and queue is not None
-            and len(queue) >= self.per_tenant_limit
+            and self.tenant_depth(sreq.tenant) >= self.per_tenant_limit
         ):
             raise QueueFull(
                 f"tenant {sreq.tenant!r} at its share ({self.per_tenant_limit}); retry later"
             )
-        if queue is None:
-            queue = deque()
-            self._queues[sreq.tenant] = queue
-        queue.append(sreq)
+        self._enqueue(sreq)
+
+    def requeue(self, sreq: ServeRequest) -> None:
+        """Reinsert a preempted (already-admitted) request.
+
+        Bypasses the capacity and per-tenant checks: the request was
+        admitted once and must not be rejectable on its way back — the
+        queue may transiently exceed ``capacity`` by the preempted
+        count, which the next shed decision sees as pressure.
+        """
+        self._enqueue(sreq, front=True)
+
+    def _enqueue(self, sreq: ServeRequest, front: bool = False) -> None:
+        if self.scheduling == "edf":
+            key = math.inf if sreq.deadline is None else sreq.deadline
+            self._seq += 1
+            heapq.heappush(self._heap, (key, sreq.priority, self._seq, sreq))
+            self._counts[sreq.tenant] = self._counts.get(sreq.tenant, 0) + 1
+        else:
+            queue = self._queues.get(sreq.tenant)
+            if queue is None:
+                queue = deque()
+                self._queues[sreq.tenant] = queue
+            (queue.appendleft if front else queue.append)(sreq)
         self._depth += 1
 
-    def drain(self, limit: int) -> List[ServeRequest]:
-        """Pop up to *limit* requests, one per tenant per rotation turn.
+    # -- dequeue --------------------------------------------------------
 
-        FCFS within a tenant; round-robin across tenants — the fairness
-        rule that bounds any tenant's queueing delay by the number of
-        *active* tenants, not by the flood depth of the loudest one.
+    def drain(self, limit: int) -> List[ServeRequest]:
+        """Pop up to *limit* requests in scheduling order.
+
+        "rr": FCFS within a tenant, round-robin across tenants — the
+        fairness rule that bounds any tenant's queueing delay by the
+        number of *active* tenants, not the flood depth of the loudest.
+        "edf": globally earliest deadline first, tier priority breaking
+        ties, so the scarce dispatch turns go to the requests with the
+        least slack.
         """
         out: List[ServeRequest] = []
+        if self.scheduling == "edf":
+            while self._heap and len(out) < limit:
+                _key, _prio, _seq, sreq = heapq.heappop(self._heap)
+                self._counts[sreq.tenant] -= 1
+                out.append(sreq)
+                self._depth -= 1
+            return out
         while self._queues and len(out) < limit:
             tenant, queue = next(iter(self._queues.items()))
             del self._queues[tenant]
@@ -94,14 +151,27 @@ class AdmissionController:
     def expire(self, now: float) -> List[ServeRequest]:
         """Remove and return every pending request whose deadline passed."""
         expired: List[ServeRequest] = []
-        for tenant in list(self._queues):
-            queue = self._queues[tenant]
-            keep: Deque[ServeRequest] = deque()
-            for sreq in queue:
-                (expired if sreq.expired(now) else keep).append(sreq)
-            if keep:
-                self._queues[tenant] = keep
-            else:
-                del self._queues[tenant]
+        if self.scheduling == "edf":
+            keep: List[Tuple[float, int, int, ServeRequest]] = []
+            for entry in self._heap:
+                sreq = entry[3]
+                if sreq.expired(now):
+                    expired.append(sreq)
+                    self._counts[sreq.tenant] -= 1
+                else:
+                    keep.append(entry)
+            if expired:
+                heapq.heapify(keep)
+                self._heap = keep
+        else:
+            for tenant in list(self._queues):
+                queue = self._queues[tenant]
+                keep_q: Deque[ServeRequest] = deque()
+                for sreq in queue:
+                    (expired if sreq.expired(now) else keep_q).append(sreq)
+                if keep_q:
+                    self._queues[tenant] = keep_q
+                else:
+                    del self._queues[tenant]
         self._depth -= len(expired)
         return expired

@@ -1,0 +1,141 @@
+"""Seeded open-loop arrival schedules for sustained serving runs.
+
+A closed-loop load generator (each client waits for its previous
+answer) can never expose overload: the offered rate collapses to the
+service rate.  Sustained-load hardening needs the opposite — an
+*open-loop* process where arrivals fire on schedule whether or not
+earlier requests finished, so queues genuinely build and the shedding /
+deadline machinery is exercised.
+
+This module is the deterministic half of that: a Poisson arrival
+process (seeded exponential inter-arrival gaps) carrying a heavy-tailed
+lognormal request-shape mix, with every draw made in a fixed order from
+one seeded generator — the same seed always yields the byte-identical
+schedule, which :func:`ArrivalSchedule.digest` fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+#: Request sizes snap to this ladder so a sustained run re-uses a small
+#: set of shared weight matrices (plan-cache- and coalescing-friendly)
+#: while the lognormal mass still lands heavy-tailed across it.
+DEFAULT_SIZE_LADDER: Tuple[int, ...] = (32, 48, 64, 96, 128, 192, 256)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request."""
+
+    #: Model-time instant the request is submitted (seconds from start).
+    at: float
+    tenant: str
+    #: Square GEMM side (m = k = n) for this request.
+    size: int
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A full open-loop schedule, reproducible from its inputs."""
+
+    arrivals: Tuple[Arrival, ...]
+    rate: float
+    seed: int
+
+    @property
+    def span_seconds(self) -> float:
+        """Model time covered by the schedule."""
+        return self.arrivals[-1].at if self.arrivals else 0.0
+
+    def digest(self) -> str:
+        """SHA-256 fingerprint of the schedule (times, tenants, sizes)."""
+        h = hashlib.sha256()
+        times = np.array([a.at for a in self.arrivals], dtype=np.float64)
+        sizes = np.array([a.size for a in self.arrivals], dtype=np.int64)
+        h.update(times.tobytes())
+        h.update(sizes.tobytes())
+        h.update("|".join(a.tenant for a in self.arrivals).encode())
+        return h.hexdigest()
+
+
+def poisson_times(rate: float, count: int, seed: int) -> np.ndarray:
+    """Cumulative Poisson arrival instants: *count* draws at *rate*/s.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``; the return
+    is the cumulative sum, so ``times[i]`` is model-time seconds from
+    the start of the run.  Deterministic in (rate, count, seed).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=count)
+    return np.cumsum(gaps)
+
+
+def lognormal_sizes(
+    count: int,
+    seed: int,
+    *,
+    median: float = 64.0,
+    sigma: float = 0.6,
+    ladder: Sequence[int] = DEFAULT_SIZE_LADDER,
+) -> np.ndarray:
+    """Heavy-tailed GEMM sizes snapped to *ladder* (nearest rung).
+
+    ``median`` is the lognormal median (``exp(mu)``); ``sigma`` widens
+    the tail — most requests are small, a few are much larger, the
+    classic serving-shape skew.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if not ladder:
+        raise ValueError("ladder must be non-empty")
+    rng = np.random.default_rng(seed)
+    raw = rng.lognormal(mean=float(np.log(median)), sigma=sigma, size=count)
+    rungs = np.array(sorted(ladder), dtype=np.float64)
+    idx = np.abs(raw[:, None] - rungs[None, :]).argmin(axis=1)
+    return rungs[idx].astype(np.int64)
+
+
+def build_schedule(
+    *,
+    requests: int,
+    rate: float,
+    seed: int,
+    tenant_shares: Dict[str, float],
+    size_median: float = 64.0,
+    size_sigma: float = 0.6,
+    ladder: Sequence[int] = DEFAULT_SIZE_LADDER,
+) -> ArrivalSchedule:
+    """Build one deterministic open-loop schedule.
+
+    Three independent seeded streams (times, sizes, tenants) are derived
+    from *seed* so changing e.g. the tenant mix never perturbs the
+    arrival instants.  ``tenant_shares`` maps tenant name → relative
+    weight (normalised here).
+    """
+    if not tenant_shares:
+        raise ValueError("tenant_shares must be non-empty")
+    total = sum(tenant_shares.values())
+    if total <= 0:
+        raise ValueError("tenant_shares weights must sum to a positive value")
+    times = poisson_times(rate, requests, seed)
+    sizes = lognormal_sizes(
+        requests, seed + 1, median=size_median, sigma=size_sigma, ladder=ladder
+    )
+    names = sorted(tenant_shares)
+    probs = np.array([tenant_shares[n] / total for n in names])
+    rng = np.random.default_rng(seed + 2)
+    picks = rng.choice(len(names), size=requests, p=probs)
+    arrivals = tuple(
+        Arrival(at=float(times[i]), tenant=names[picks[i]], size=int(sizes[i]))
+        for i in range(requests)
+    )
+    return ArrivalSchedule(arrivals=arrivals, rate=rate, seed=seed)

@@ -10,6 +10,12 @@ against real time and drive the fault-tolerance machinery:
 * **fault hook** — each device's :meth:`check_fault` runs before a
   group is charged; an armed injector raises
   :class:`~repro.errors.DeviceFailure` mid-stream;
+* **preemption** (:meth:`DevicePool.preempt`) — a higher-priority batch
+  may pull *not-yet-started* lower-priority requests back out of the
+  device queues; every removed group retires here and the owning
+  request is handed back to the caller for un-coalescing and
+  re-admission, so exactly-once is untouched (requests with any group
+  already started on a device are never preempted);
 * **bounded retries** — a failed group is requeued onto a different
   device (the observed-failed one is excluded) up to ``max_retries``
   times before the owning request fails;
@@ -270,6 +276,53 @@ class DevicePool:
         if self._in_flight == 0:
             self._idle.set()
 
+    def preempt(self, below_priority: int) -> List[ServeRequest]:
+        """Remove queued work of strictly lower priority; return owners.
+
+        Eligibility is conservative: a request is pulled only when *all*
+        its outstanding groups are still sitting in the router inbox or
+        a device queue and none has started executing — preempting work
+        a device already touched would force re-execution and break the
+        busy/exactly-once accounting.  Removed groups retire here; the
+        caller resets the request's lowering state and re-admits it.
+        """
+        queues: List["asyncio.Queue[DispatchWork]"] = [
+            self._inbox, *self._device_queues
+        ]
+        queued: dict = {}
+        for queue in queues:
+            for work in queue._queue:  # deque snapshot; loop not running here
+                queued.setdefault(work.sreq.serve_id, []).append(work)
+        victims: Set[int] = set()
+        owners: List[ServeRequest] = []
+        for serve_id, works in queued.items():
+            sreq = works[0].sreq
+            if (
+                sreq.priority > below_priority
+                and not sreq.failed
+                and sreq.started == 0
+                and len(works) == sreq.outstanding
+            ):
+                victims.add(serve_id)
+                owners.append(sreq)
+        if not victims:
+            return []
+        for queue in queues:
+            kept: List[DispatchWork] = []
+            while True:
+                try:
+                    kept.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for work in kept:
+                if work.sreq.serve_id in victims:
+                    self._retire()
+                else:
+                    queue.put_nowait(work)
+        for sreq in owners:
+            self._emit("preempt", sreq)
+        return owners
+
     def _emit(self, event: str, sreq: ServeRequest, device: int = -1) -> None:
         if self.observer is not None:
             self.observer(event, sreq.serve_id, device)
@@ -377,10 +430,11 @@ class DevicePool:
                 if sreq.reject(RequestTimeout(
                     f"request {sreq.serve_id} expired before dispatch"
                 )):
-                    self.metrics.timeouts += 1
+                    self.metrics.record_timeout(sreq)
                 self._emit("timeout", sreq, tpu_index)
                 self._retire()
                 continue
+            sreq.started += 1  # past this point the request is not preemptible
             span = self._tracer.begin(
                 "exec_group",
                 cat="device",
@@ -510,7 +564,11 @@ class DevicePool:
             device.busy_seconds += cost.exec_seconds
             breaker.record_success()
             self.metrics.record_group(
-                device.name, cost.exec_seconds, cost.bytes_in, cost.bytes_out
+                device.name,
+                cost.exec_seconds,
+                cost.bytes_in,
+                cost.bytes_out,
+                tier=sreq.tier,
             )
             if self.shard_profile is not None:
                 # Feed the segmentation profile the same observation the
@@ -529,6 +587,17 @@ class DevicePool:
                 )
             sreq.outstanding -= 1
             if sreq.outstanding == 0:
+                # Deadline holds at *delivery*, not just at dispatch: a
+                # result computed after its budget elapsed is a miss —
+                # returning it late would make per-tier p99 meaningless.
+                if sreq.expired(self._clock()):
+                    if sreq.reject(RequestTimeout(
+                        f"request {sreq.serve_id} completed after its deadline"
+                    )):
+                        self.metrics.record_timeout(sreq)
+                    self._emit("timeout", sreq, tpu_index)
+                    self._retire()
+                    continue
                 if sreq.merge is not None:
                     try:
                         sreq.op.result = sreq.merge.finalize()

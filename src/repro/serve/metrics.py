@@ -47,10 +47,28 @@ class ServingMetrics:
         self.base_seed = base_seed
         self.worker_id = worker_id
         self.submitted = 0
-        self.rejected = 0  # QueueFull fast-rejects
+        self.rejected = 0  # QueueFull fast-rejects (capacity)
+        self.shed = 0  # LoadShed rejects (overload policy)
         self.timeouts = 0  # RequestTimeout rejections
         self.completed = 0  # futures resolved with a result
         self.failed = 0  # futures rejected with DeviceFailure
+        #: Preemptions: not-yet-dispatched requests pulled back into the
+        #: admission queue to make room for a higher-priority batch.
+        self.preemptions = 0
+        #: Shard placements where the energy-aware planner chose a
+        #: cheaper-energy candidate over the minimum-makespan one.
+        self.energy_plans = 0
+        #: Per-SLO-tier accounting (keys are tier names; empty when the
+        #: server runs without an SLO policy).
+        self.submitted_by_tier: Dict[str, int] = defaultdict(int)
+        self.completed_by_tier: Dict[str, int] = defaultdict(int)
+        self.shed_by_tier: Dict[str, int] = defaultdict(int)
+        #: Deadline misses (admission expiry or in-flight timeout).
+        self.miss_by_tier: Dict[str, int] = defaultdict(int)
+        #: Modeled device busy seconds attributed to each tier.
+        self.busy_by_tier: Dict[str, float] = defaultdict(float)
+        #: Per-tier end-to-end latency reservoirs (lazily created).
+        self.latency_by_tier: Dict[str, ReservoirSample] = {}
         #: Per-request end-to-end latencies (seconds, completed only).
         self.latencies = ReservoirSample(
             SAMPLE_RESERVOIR_CAPACITY,
@@ -103,10 +121,25 @@ class ServingMetrics:
 
     # -- recording ------------------------------------------------------
 
-    def record_completion(self, latency_seconds: float) -> None:
+    def _tier_reservoir(self, tier: str) -> ReservoirSample:
+        reservoir = self.latency_by_tier.get(tier)
+        if reservoir is None:
+            reservoir = ReservoirSample(
+                SAMPLE_RESERVOIR_CAPACITY,
+                seed=reservoir_seed(
+                    self.base_seed, self.worker_id, f"latency.{tier}"
+                ),
+            )
+            self.latency_by_tier[tier] = reservoir
+        return reservoir
+
+    def record_completion(self, latency_seconds: float, tier: str = "") -> None:
         """One request delivered; account its end-to-end latency."""
         self.completed += 1
         self.latencies.add(latency_seconds)
+        if tier:
+            self.completed_by_tier[tier] += 1
+            self._tier_reservoir(tier).add(latency_seconds)
 
     def record_delivery(self, sreq, now: float) -> bool:
         """THE single completion path: resolve *sreq* and account it.
@@ -119,15 +152,36 @@ class ServingMetrics:
         """
         if not sreq.resolve():
             return False
-        self.record_completion(now - sreq.submitted)
+        self.record_completion(now - sreq.submitted, tier=sreq.tier)
         return True
 
-    def record_group(self, device: str, exec_seconds: float, bytes_in: int, bytes_out: int) -> None:
+    def record_timeout(self, sreq) -> None:
+        """One deadline miss (queue expiry or pre-dispatch timeout)."""
+        self.timeouts += 1
+        if sreq.tier:
+            self.miss_by_tier[sreq.tier] += 1
+
+    def record_shed(self, tier: str) -> None:
+        """One request shed by overload policy at admission."""
+        self.shed += 1
+        if tier:
+            self.shed_by_tier[tier] += 1
+
+    def record_group(
+        self,
+        device: str,
+        exec_seconds: float,
+        bytes_in: int,
+        bytes_out: int,
+        tier: str = "",
+    ) -> None:
         """One dispatch group retired on *device*."""
         self.groups_by_device[device] += 1
         self.busy_by_device[device] += exec_seconds
         self.bytes_in += bytes_in
         self.bytes_out += bytes_out
+        if tier:
+            self.busy_by_tier[tier] += exec_seconds
 
     def record_device_failure(self, device: str) -> None:
         """One fault-hook firing on *device*."""
@@ -147,7 +201,8 @@ class ServingMetrics:
     # -- cross-process merge --------------------------------------------
 
     _SCALARS = (
-        "submitted", "rejected", "timeouts", "completed", "failed",
+        "submitted", "rejected", "shed", "timeouts", "completed", "failed",
+        "preemptions", "energy_plans",
         "retries", "device_failures", "coalesced_requests",
         "coalesce_groups", "bytes_in", "bytes_out", "tiles_verified",
         "sdc_detected", "sdc_incidents", "sdc_corrected", "quarantines",
@@ -158,14 +213,21 @@ class ServingMetrics:
         "groups_by_device", "busy_by_device", "failures_by_device",
         "sdc_by_device",
     )
+    _TIER_MAPS = (
+        "submitted_by_tier", "completed_by_tier", "shed_by_tier",
+        "miss_by_tier", "busy_by_tier",
+    )
 
     def export_state(self) -> dict:
         """Picklable state for shipping across a process boundary."""
         state: dict = {name: getattr(self, name) for name in self._SCALARS}
-        for name in self._DEVICE_MAPS:
+        for name in self._DEVICE_MAPS + self._TIER_MAPS:
             state[name] = dict(getattr(self, name))
         state["latencies"] = self.latencies.export_state()
         state["queue_depth_samples"] = self.queue_depth_samples.export_state()
+        state["latency_by_tier"] = {
+            tier: res.export_state() for tier, res in self.latency_by_tier.items()
+        }
         return state
 
     def merge_state(self, state: dict) -> None:
@@ -177,13 +239,15 @@ class ServingMetrics:
         :meth:`ReservoirSample.merge_state`).
         """
         for name in self._SCALARS:
-            setattr(self, name, getattr(self, name) + state[name])
-        for name in self._DEVICE_MAPS:
+            setattr(self, name, getattr(self, name) + state.get(name, 0))
+        for name in self._DEVICE_MAPS + self._TIER_MAPS:
             target = getattr(self, name)
-            for device, value in state[name].items():
-                target[device] += value
+            for key, value in state.get(name, {}).items():
+                target[key] += value
         self.latencies.merge_state(state["latencies"])
         self.queue_depth_samples.merge_state(state["queue_depth_samples"])
+        for tier, res_state in state.get("latency_by_tier", {}).items():
+            self._tier_reservoir(tier).merge_state(res_state)
 
     # -- reporting ------------------------------------------------------
 
@@ -195,7 +259,7 @@ class ServingMetrics:
     @property
     def lost(self) -> int:
         """Admitted requests unaccounted for — must be 0 after a drain."""
-        return self.submitted - self.rejected - self.delivered
+        return self.submitted - self.rejected - self.shed - self.delivered
 
     def latency_summary(self) -> Optional[LatencySummary]:
         """p50/p90/p99 summary, or None before the first completion.
@@ -214,14 +278,30 @@ class ServingMetrics:
             max=self.latencies.max_value,
         )
 
+    def tier_summary(self, tier: str) -> Optional[LatencySummary]:
+        """Latency summary for one tier, or None before a completion."""
+        reservoir = self.latency_by_tier.get(tier)
+        if not reservoir:
+            return None
+        summary = LatencySummary.from_samples(reservoir.values())
+        return dataclasses.replace(
+            summary,
+            count=reservoir.count,
+            mean=reservoir.mean,
+            max=reservoir.max_value,
+        )
+
     def counters(self) -> Dict[str, float]:
         """Flat scalar counters for the telemetry CounterRegistry."""
-        return {
+        out = {
             "submitted": self.submitted,
             "rejected": self.rejected,
+            "shed": self.shed,
             "timeouts": self.timeouts,
             "completed": self.completed,
             "failed": self.failed,
+            "preemptions": self.preemptions,
+            "energy_plans": self.energy_plans,
             "lost": self.lost,
             "retries": self.retries,
             "device_failures": self.device_failures,
@@ -240,6 +320,13 @@ class ServingMetrics:
             "shard_migrations": self.shard_migrations,
             "shard_merged": self.shard_merged,
         }
+        for tier in sorted(self.shed_by_tier):
+            out[f"shed.{tier}"] = self.shed_by_tier[tier]
+        for tier in sorted(self.miss_by_tier):
+            out[f"deadline_miss.{tier}"] = self.miss_by_tier[tier]
+        for tier in sorted(self.completed_by_tier):
+            out[f"completed.{tier}"] = self.completed_by_tier[tier]
+        return out
 
     def snapshot(self, elapsed_seconds: Optional[float] = None) -> dict:
         """JSON-friendly state dump (stable keys; see docs/serving.md)."""
@@ -258,16 +345,35 @@ class ServingMetrics:
             if elapsed_seconds:
                 entry["utilization"] = busy / elapsed_seconds
             devices[name] = entry
+        tiers = {}
+        for tier in sorted(
+            set(self.submitted_by_tier)
+            | set(self.completed_by_tier)
+            | set(self.shed_by_tier)
+            | set(self.miss_by_tier)
+            | set(self.busy_by_tier)
+        ):
+            summary = self.tier_summary(tier)
+            tiers[tier] = {
+                "submitted": self.submitted_by_tier.get(tier, 0),
+                "completed": self.completed_by_tier.get(tier, 0),
+                "shed": self.shed_by_tier.get(tier, 0),
+                "deadline_misses": self.miss_by_tier.get(tier, 0),
+                "busy_seconds": self.busy_by_tier.get(tier, 0.0),
+                "latency": summary.as_dict() if summary is not None else None,
+            }
         depth = self.queue_depth_samples
         return {
             "outcomes": {
                 "submitted": self.submitted,
                 "rejected": self.rejected,
+                "shed": self.shed,
                 "timeouts": self.timeouts,
                 "completed": self.completed,
                 "failed": self.failed,
                 "lost": self.lost,
             },
+            "tiers": tiers,
             "latency": latency.as_dict() if latency is not None else None,
             "queue_depth": {
                 "samples": depth.count,
@@ -275,6 +381,7 @@ class ServingMetrics:
                 "mean": depth.mean,
             },
             "retries": self.retries,
+            "preemptions": self.preemptions,
             "device_failures": self.device_failures,
             "coalescing": {
                 "groups": self.coalesce_groups,
@@ -295,6 +402,7 @@ class ServingMetrics:
                 "segments": self.shard_segments,
                 "migrations": self.shard_migrations,
                 "merged": self.shard_merged,
+                "energy_plans": self.energy_plans,
             },
             "elapsed_seconds": elapsed_seconds,
         }

@@ -31,6 +31,18 @@ class ServeRequest:
     submitted: float
     #: Absolute monotonic deadline, or None for no deadline.
     deadline: Optional[float] = None
+    #: SLO tier name ("" when the server has no SLO policy).
+    tier: str = ""
+    #: Tier priority (lower = more important; EDF tiebreak + preemption).
+    priority: int = 0
+    #: May the overload controller shed this request at admission?
+    sheddable: bool = True
+    #: Dispatch groups that have started executing on a device.  A
+    #: request is preemptible only while this is zero — un-coalescing
+    #: work that already touched a device would break exactly-once.
+    started: int = 0
+    #: Times this request was preempted back into the admission queue.
+    preemptions: int = 0
     #: Dispatch retries consumed across this request's groups.
     retries: int = 0
     #: Dispatch groups still in flight (set at launch).

@@ -32,7 +32,7 @@ from typing import Any, Callable, List, Mapping, Optional
 import numpy as np
 
 from repro.edgetpu.isa import Opcode
-from repro.errors import RequestTimeout, ServingError
+from repro.errors import LoadShed, RequestTimeout, ServingError
 from repro.host.platform import Platform
 from repro.plan import PlanCache
 from repro.runtime.opqueue import OperationRequest, QuantMode
@@ -43,6 +43,7 @@ from repro.serve.coalescer import coalesce
 from repro.serve.dispatcher import DevicePool, DispatchWork
 from repro.serve.metrics import ServingMetrics
 from repro.serve.request import ServeRequest
+from repro.serve.slo import OverloadController, SloPolicy
 from repro.shard import MergeBuffer, ShardPlanner, ShardProfile
 from repro.telemetry import (
     CounterRegistry,
@@ -96,6 +97,25 @@ class ServeConfig:
     #: per-device segments for any request lowering to two or more
     #: dispatch groups; "off" keeps pure least-loaded group routing.
     shard: str = "auto"
+    #: SLO policy (:mod:`repro.serve.slo`).  Attaching one switches
+    #: admission to earliest-deadline-first, stamps tier priorities and
+    #: default deadline budgets onto requests, and arms the overload
+    #: shedding governor plus (when the policy allows) preemption of
+    #: not-yet-dispatched lower-priority work.  None keeps the classic
+    #: round-robin, shed-nothing behaviour.
+    slo: Optional[SloPolicy] = None
+    #: Admission scheduling: "auto" picks "edf" when an SLO policy is
+    #: set and "rr" otherwise; explicit "rr"/"edf" override.
+    scheduling: str = "auto"
+    #: Overload shedding armed (MP workers set False: admission already
+    #: happened in the parent, so a worker must never shed).
+    shed_enabled: bool = True
+    #: Energy-aware shard placement: within a request's deadline slack,
+    #: candidates compete on §8.1 active joules instead of makespan.
+    energy_aware: bool = False
+    #: Fraction of a request's remaining deadline slack the energy-aware
+    #: planner may spend as its latency budget.
+    energy_headroom: float = 0.5
 
 
 class TpuServer:
@@ -117,6 +137,11 @@ class TpuServer:
         if self.config.shard not in ("auto", "off"):
             raise ValueError(
                 f"shard must be 'auto' or 'off', got {self.config.shard!r}"
+            )
+        if self.config.scheduling not in ("auto", "rr", "edf"):
+            raise ValueError(
+                f"scheduling must be 'auto', 'rr' or 'edf', "
+                f"got {self.config.scheduling!r}"
             )
         # The integrity mode may arrive on ServeConfig (the serving-layer
         # knob) or on TensorizerOptions; the lowering side records the
@@ -143,9 +168,24 @@ class TpuServer:
         #: Injectable so a multi-process worker can use seeds derived
         #: from its worker id (see :class:`ServingMetrics`).
         self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.slo = self.config.slo
+        scheduling = self.config.scheduling
+        if scheduling == "auto":
+            scheduling = "edf" if self.slo is not None else "rr"
         self.admission = AdmissionController(
-            self.config.max_queue_depth, self.config.per_tenant_limit
+            self.config.max_queue_depth,
+            self.config.per_tenant_limit,
+            scheduling=scheduling,
         )
+        #: Hysteresis shed governor, armed only with an SLO policy (and
+        #: not in MP workers, where the parent already admitted).
+        self.overload: Optional[OverloadController] = (
+            OverloadController(self.slo, self.config.max_queue_depth)
+            if self.slo is not None and self.config.shed_enabled
+            else None
+        )
+        #: Timeout count already fed to the overload governor.
+        self._timeouts_seen = 0
         #: Per-device execution profile (pre-seeded in tests / shared
         #: across servers when passed in); the pool feeds it and the
         #: planner reads it, so split points follow measured rates.
@@ -155,7 +195,11 @@ class TpuServer:
             else ShardProfile(self.platform.num_tpus)
         )
         self.shard_planner = (
-            ShardPlanner(self.platform, profile=self.shard_profile)
+            ShardPlanner(
+                self.platform,
+                profile=self.shard_profile,
+                energy_aware=self.config.energy_aware,
+            )
             if self.config.shard == "auto" and self.platform.num_tpus > 1
             else None
         )
@@ -226,6 +270,11 @@ class TpuServer:
     ) -> "asyncio.Future":
         """Admit one request; raise :class:`QueueFull` synchronously.
 
+        With an SLO policy, the tenant's tier stamps a priority and (for
+        clients that pass no deadline) the tier's deadline budget; an
+        engaged overload governor sheds sheddable tiers with a typed
+        :class:`~repro.errors.LoadShed` before anything is enqueued.
+
         Returns the asyncio future the caller awaits for the functional
         result (a numpy array), or which raises
         :class:`~repro.errors.DeviceFailure` /
@@ -244,15 +293,39 @@ class TpuServer:
             task_id=serve_id,
             input_name=request.input_name or f"serve{serve_id}",
         )
+        tier_name, priority, sheddable = "", 0, True
+        deadline = None if deadline_seconds is None else now + deadline_seconds
+        if self.slo is not None:
+            tier = self.slo.tier_of(request.tenant)
+            tier_name, priority, sheddable = tier.name, tier.priority, tier.sheddable
+            if deadline is None and tier.deadline_budget is not None:
+                deadline = now + tier.deadline_budget
         sreq = ServeRequest(
             serve_id=serve_id,
             tenant=request.tenant,
             request=request,
             future=asyncio.get_running_loop().create_future(),
             submitted=now,
-            deadline=None if deadline_seconds is None else now + deadline_seconds,
+            deadline=deadline,
+            tier=tier_name,
+            priority=priority,
+            sheddable=sheddable,
         )
         self.metrics.submitted += 1
+        if tier_name:
+            self.metrics.submitted_by_tier[tier_name] += 1
+        if self.overload is not None and self.overload.should_shed(
+            priority, sheddable
+        ):
+            self.metrics.record_shed(tier_name)
+            self.tracer.instant(
+                "shed", cat="serve", track="server", serve_id=serve_id, tier=tier_name
+            )
+            raise LoadShed(
+                f"tier {tier_name!r} shed under overload "
+                f"(level {self.overload.level}); retry later",
+                tier=tier_name,
+            )
         try:
             self.admission.offer(sreq)
         except Exception:
@@ -315,17 +388,49 @@ class TpuServer:
                 if sreq.reject(RequestTimeout(
                     f"request {sreq.serve_id} expired in the admission queue"
                 )):
-                    self.metrics.timeouts += 1
-            self.metrics.sample_queue_depth(self.admission.depth)
+                    self.metrics.record_timeout(sreq)
+            depth = self.admission.depth
+            self.metrics.sample_queue_depth(depth)
             batch = self.admission.drain(self.config.max_batch)
+            if self.overload is not None:
+                # Misses per turn = total timeout delta, so deadline
+                # expiries at the device queues (past admission) drive
+                # the governor's EWMA too — the slow-death signal.
+                misses = self.metrics.timeouts - self._timeouts_seen
+                self._timeouts_seen = self.metrics.timeouts
+                self.overload.observe(depth, misses, len(batch))
             if not batch:
                 continue
+            if self.slo is not None and self.slo.preempt:
+                self._maybe_preempt(batch)
             sp = self.tracer.begin(
                 "dispatch_batch", cat="serve", track="server", drained=len(batch)
             )
             for group in coalesce(batch, self.config.max_coalesce):
                 self._lower_and_launch(group)
             self.tracer.end(sp)
+
+    def _maybe_preempt(self, batch: List[ServeRequest]) -> None:
+        """Yank queued lower-tier groups ahead of an urgent batch.
+
+        Only requests whose every dispatch group is still queued (nothing
+        started) are preempted; victims are un-coalesced, their lowering
+        state reset, and re-admitted through :meth:`AdmissionController.
+        requeue` — an admitted request is never rejected on its way back.
+        """
+        if self.pool.in_flight == 0:
+            return
+        urgent = min(s.priority for s in batch if not s.failed)
+        for sreq in self.pool.preempt(urgent):
+            sreq.op = None
+            sreq.outstanding = 0
+            sreq.merge = None
+            sreq.preemptions += 1
+            self.metrics.preemptions += 1
+            self.tracer.instant(
+                "preempt", cat="serve", track="server", serve_id=sreq.serve_id
+            )
+            self.admission.requeue(sreq)
 
     def _lower_and_launch(self, group: List[ServeRequest]) -> None:
         live = [s for s in group if not s.failed]
@@ -367,6 +472,11 @@ class TpuServer:
                 groups=len(groups),
             )
             result = op.result
+            max_seconds = None
+            if self.config.energy_aware and sreq.deadline is not None:
+                slack = (sreq.deadline - self._clock()) * self.config.energy_headroom
+                if slack > 0:
+                    max_seconds = slack
             plan = self.shard_planner.plan(
                 groups,
                 result_rows=(
@@ -375,7 +485,10 @@ class TpuServer:
                     else None
                 ),
                 devices=self.pool.available_devices(),
+                max_seconds=max_seconds,
             )
+            if plan is not None and plan.energy_preferred:
+                self.metrics.energy_plans += 1
             self.tracer.end(sp.set(
                 segments=len(plan.segments) if plan is not None else 0,
                 profiled=plan.profiled if plan is not None else False,
@@ -446,4 +559,6 @@ class TpuServer:
             snap["plan_cache"] = self.plan_cache.counters()
         snap["sharding"]["enabled"] = self.shard_planner is not None
         snap["sharding"]["profile"] = self.shard_profile.snapshot()
+        if self.overload is not None:
+            snap["overload"] = self.overload.snapshot()
         return snap

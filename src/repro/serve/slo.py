@@ -1,0 +1,202 @@
+"""SLO tiers and the overload-shedding governor.
+
+Production serving over edge TPUs degrades by *tenant class*, not by
+collapse: when sustained open-loop traffic outruns the pool, the lowest
+tier is shed first (typed :class:`~repro.errors.LoadShed`, distinct from
+a capacity :class:`~repro.errors.QueueFull`), the highest tier keeps its
+deadline budget, and the system recovers automatically once pressure
+releases.  Three pieces:
+
+* :class:`SloTier` — a named class with a *priority* (lower = more
+  important), a default *deadline budget*, and whether the overload
+  controller may shed it at all (gold is never shed);
+* :class:`SloPolicy` — the tier table plus tenant→tier assignment and
+  the overload thresholds; attaching one to
+  :class:`~repro.serve.server.ServeConfig` switches admission from
+  round-robin to earliest-deadline-first and arms shedding/preemption;
+* :class:`OverloadController` — a hysteresis governor over admission
+  queue depth and a deadline-miss EWMA.  Escalation is immediate (one
+  observation past the high watermark engages the next shed level);
+  release requires the depth to fall under the low watermark *and* the
+  miss EWMA to decay, so the shed set does not flap at the boundary.
+
+Everything here is deterministic: shed decisions are pure functions of
+(queue depth, miss EWMA, tier), so a seeded open-loop run reproduces
+its shed set bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SloTier:
+    """One service class."""
+
+    name: str
+    #: Scheduling priority; lower values drain first under EDF ties and
+    #: are preferred by preemption.  Must be unique across a policy.
+    priority: int
+    #: Default per-request deadline budget (seconds on the server's
+    #: clock) applied when the client supplies none.
+    deadline_budget: Optional[float] = None
+    #: May the overload controller shed this tier?  The top tier should
+    #: set False — gold is degraded only by physics, never by policy.
+    sheddable: bool = True
+
+
+def gold_silver_bronze(
+    gold_budget: float = 0.5,
+    silver_budget: float = 2.0,
+    bronze_budget: float = 8.0,
+) -> Tuple[SloTier, ...]:
+    """The canonical three-class ladder used by the sustained loadgen."""
+    return (
+        SloTier("gold", priority=0, deadline_budget=gold_budget, sheddable=False),
+        SloTier("silver", priority=1, deadline_budget=silver_budget),
+        SloTier("bronze", priority=2, deadline_budget=bronze_budget),
+    )
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Tier table + tenant assignment + overload thresholds."""
+
+    tiers: Tuple[SloTier, ...] = field(default_factory=gold_silver_bronze)
+    #: tenant name -> tier name; unlisted tenants get ``default_tier``.
+    tenant_tiers: Dict[str, str] = field(default_factory=dict)
+    default_tier: str = "bronze"
+    #: Queue-depth fraction (of admission capacity) that engages the
+    #: first shed level; deeper pressure escalates one sheddable tier
+    #: per additional ``(1 - high) / n_sheddable`` fraction.
+    high_watermark: float = 0.6
+    #: Depth fraction the queue must fall under before a level releases.
+    low_watermark: float = 0.3
+    #: Deadline-miss EWMA smoothing factor per dispatch turn.
+    miss_alpha: float = 0.2
+    #: Miss-EWMA (misses per drained request) that engages shedding even
+    #: when the queue itself looks shallow (slow-death overload).
+    miss_threshold: float = 0.25
+    #: Arm preemption of not-yet-dispatched lower-priority groups when a
+    #: higher-priority request is waiting.
+    preempt: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("SloPolicy needs at least one tier")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        prios = [t.priority for t in self.tiers]
+        if len(set(prios)) != len(prios):
+            raise ValueError(f"duplicate tier priorities: {prios}")
+        if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                f"need 0 <= low <= high <= 1, got "
+                f"{self.low_watermark} / {self.high_watermark}"
+            )
+        if self.default_tier not in names:
+            raise ValueError(f"default_tier {self.default_tier!r} not in {names}")
+        for tenant, tier in self.tenant_tiers.items():
+            if tier not in names:
+                raise ValueError(f"tenant {tenant!r} maps to unknown tier {tier!r}")
+
+    def tier_of(self, tenant: str) -> SloTier:
+        """Resolve one tenant to its tier (default tier when unlisted)."""
+        name = self.tenant_tiers.get(tenant, self.default_tier)
+        for tier in self.tiers:
+            if tier.name == name:
+                return tier
+        raise KeyError(name)  # unreachable: __post_init__ validated
+
+    def sheddable_priorities(self) -> List[int]:
+        """Sheddable tier priorities, worst (largest) first."""
+        return sorted(
+            (t.priority for t in self.tiers if t.sheddable), reverse=True
+        )
+
+
+class OverloadController:
+    """Hysteresis shed governor: depth watermarks + miss EWMA.
+
+    ``level`` counts how many sheddable tiers are currently shed,
+    worst-first: level 1 sheds only the lowest tier, level 2 the lowest
+    two, and so on.  Unsheddable tiers are never in the shed set at any
+    level.
+    """
+
+    def __init__(self, policy: SloPolicy, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.policy = policy
+        self.capacity = capacity
+        #: Sheddable priorities, worst first (level k sheds the first k).
+        self._ladder = policy.sheddable_priorities()
+        self.level = 0
+        self.miss_ewma = 0.0
+        #: Lifetime count of level escalations (observability).
+        self.escalations = 0
+
+    def _target_level(self, depth_fraction: float) -> int:
+        """Shed level the depth alone calls for (no hysteresis)."""
+        if not self._ladder or depth_fraction < self.policy.high_watermark:
+            return 0
+        span = 1.0 - self.policy.high_watermark
+        step = span / len(self._ladder) if span > 0 else 0.0
+        if step <= 0:
+            return len(self._ladder)
+        over = depth_fraction - self.policy.high_watermark
+        return min(int(over / step) + 1, len(self._ladder))
+
+    def observe(self, depth: int, misses: int, drained: int) -> int:
+        """Feed one dispatch-turn observation; returns the new level.
+
+        *misses* is the count of deadline expiries seen this turn and
+        *drained* the requests dispatched; their ratio feeds the EWMA.
+        """
+        if misses or drained:
+            rate = misses / max(misses + drained, 1)
+            a = self.policy.miss_alpha
+            self.miss_ewma = (1.0 - a) * self.miss_ewma + a * rate
+        frac = depth / self.capacity
+        target = self._target_level(frac)
+        if self.miss_ewma >= self.policy.miss_threshold:
+            target = max(target, 1)
+        if target > self.level:
+            self.escalations += target - self.level
+            self.level = target
+        elif (
+            self.level > 0
+            and frac <= self.policy.low_watermark
+            and self.miss_ewma < self.policy.miss_threshold / 2.0
+        ):
+            self.level -= 1  # release one step per calm turn
+        return self.level
+
+    def shed_floor(self) -> Optional[int]:
+        """Lowest (numerically) priority currently shed, or None.
+
+        Priorities >= the floor are shed; smaller priorities (more
+        important tiers) are admitted.
+        """
+        if self.level == 0 or not self._ladder:
+            return None
+        return self._ladder[self.level - 1]
+
+    def should_shed(self, priority: int, sheddable: bool) -> bool:
+        """Is a request of this tier shed under the current level?"""
+        if not sheddable:
+            return False
+        floor = self.shed_floor()
+        return floor is not None and priority >= floor
+
+    def snapshot(self) -> dict:
+        """JSON-friendly governor state."""
+        return {
+            "level": self.level,
+            "miss_ewma": self.miss_ewma,
+            "escalations": self.escalations,
+            "shed_floor": self.shed_floor(),
+        }

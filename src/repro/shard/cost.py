@@ -16,7 +16,7 @@ finish times and per-shared-link total occupancy.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.interconnect.topology import Topology
 from repro.runtime.scheduler import DispatchGroup
@@ -98,6 +98,34 @@ class ShardCostModel:
     ) -> float:
         """Uncontended serial cost of a whole segment on *device*."""
         return sum(self.group_seconds(group, device) for group in groups)
+
+    def segment_energy_joules(
+        self,
+        groups: Sequence[DispatchGroup],
+        device: int,
+        active_power_watts: float,
+    ) -> float:
+        """Active energy a segment burns on *device* (§8.1 decomposition).
+
+        Charges the device's active draw for the whole time it holds
+        the segment (execution plus its transfer window).  Platform
+        idle power is excluded: within a fixed wall time the placement
+        cannot change it, so only active joules differentiate
+        candidates.
+        """
+        return active_power_watts * self.segment_seconds(groups, device)
+
+    def placement_energy_joules(
+        self,
+        segments: Iterable[Tuple[int, Sequence[DispatchGroup]]],
+        power_of: "Callable[[int], float]",
+    ) -> float:
+        """Total active joules of a placement (``power_of`` maps device
+        index to active watts)."""
+        return sum(
+            self.segment_energy_joules(groups, device, power_of(device))
+            for device, groups in segments
+        )
 
     def makespan(
         self, segments: Iterable[Tuple[int, Sequence[DispatchGroup]]]

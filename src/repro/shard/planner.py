@@ -22,6 +22,7 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.host.energy import EnergyModel
 from repro.host.platform import Platform
 from repro.runtime.scheduler import DispatchGroup
 from repro.shard.cost import ShardCostModel
@@ -62,6 +63,12 @@ class ShardPlan:
     makespan: float
     #: True when at least one segment cost came from measured rates.
     profiled: bool
+    #: Estimated active joules of this placement (0.0 when the planner
+    #: has no energy model).
+    energy_joules: float = 0.0
+    #: True when the energy-aware selection traded latency headroom for
+    #: a cheaper-energy candidate (it differs from the min-makespan one).
+    energy_preferred: bool = False
 
     @property
     def devices(self) -> Tuple[int, ...]:
@@ -112,6 +119,7 @@ class ShardPlanner:
         *,
         profile: Optional[ShardProfile] = None,
         min_groups: int = 2,
+        energy_aware: bool = False,
     ) -> None:
         if min_groups < 2:
             raise ValueError(f"min_groups must be >= 2, got {min_groups}")
@@ -119,6 +127,10 @@ class ShardPlanner:
         self.profile = profile
         self.min_groups = min_groups
         self.cost = ShardCostModel(platform.topology, profile=profile)
+        #: §8.1 energy model priced into placement when energy-aware:
+        #: within a request's deadline slack, a narrower (fewer active
+        #: devices, fewer transfers) candidate may beat the fastest one.
+        self.energy_model = EnergyModel(platform.config) if energy_aware else None
         #: Upstream (first) link name per device — its card attachment.
         self._card_of = [path[0] for path in platform.topology.paths]
 
@@ -145,16 +157,56 @@ class ShardPlanner:
 
     # -- planning -------------------------------------------------------
 
+    def _evaluate(
+        self,
+        order: Sequence[int],
+        weights: Sequence[float],
+        groups: Sequence[DispatchGroup],
+    ) -> Tuple[float, float, List[Tuple[int, Tuple[int, int]]]]:
+        """(makespan, active joules, placement) for one device order."""
+        speeds = (
+            self.profile.speeds(order)
+            if self.profile is not None
+            else [1.0] * len(order)
+        )
+        ranges = partition_heterogeneous(weights, speeds)
+        placed = [
+            (device, rng)
+            for device, rng in zip(order, ranges)
+            if rng[1] > rng[0]
+        ]
+        makespan = self.cost.makespan(
+            (device, groups[rng[0]:rng[1]]) for device, rng in placed
+        )
+        energy = 0.0
+        if self.energy_model is not None:
+            energy = self.cost.placement_energy_joules(
+                ((device, groups[rng[0]:rng[1]]) for device, rng in placed),
+                lambda d: self.energy_model.active_power_watts(f"tpu{d}"),
+            )
+        return makespan, energy, placed
+
     def plan(
         self,
         groups: Sequence[DispatchGroup],
         *,
         result_rows: Optional[int] = None,
         devices: Optional[Sequence[int]] = None,
+        max_seconds: Optional[float] = None,
     ) -> Optional[ShardPlan]:
         """Place *groups* across *devices*; None when sharding is moot
         (too few groups, fewer than two devices, or a single segment
-        would win anyway)."""
+        would win anyway).
+
+        ``max_seconds`` is the latency budget the caller can afford
+        (typically a fraction of the request's remaining deadline
+        slack).  When the planner is energy-aware, every candidate whose
+        estimated makespan fits the budget competes on *active joules*
+        instead of speed — including narrower prefix placements that
+        keep fewer TPUs busy — so headroom is converted into energy
+        savings; with no budget (or no energy model) selection stays
+        minimum-makespan, exactly the pre-energy behaviour.
+        """
         if devices is None:
             devices = list(range(self.platform.num_tpus))
         devices = [d for d in devices if 0 <= d < self.platform.num_tpus]
@@ -166,27 +218,27 @@ class ShardPlanner:
             for group in groups
         ]
         profiled = self.profile is not None and self.profile.profiled
-        best: Optional[Tuple[float, List[Tuple[int, Tuple[int, int]]]]] = None
-        for order in self._candidate_orders(devices):
-            speeds = (
-                self.profile.speeds(order)
-                if self.profile is not None
-                else [1.0] * len(order)
-            )
-            ranges = partition_heterogeneous(weights, speeds)
-            placed = [
-                (device, rng)
-                for device, rng in zip(order, ranges)
-                if rng[1] > rng[0]
-            ]
-            makespan = self.cost.makespan(
-                (device, groups[rng[0]:rng[1]]) for device, rng in placed
-            )
-            if best is None or makespan < best[0]:
-                best = (makespan, placed)
-        assert best is not None
-        makespan, placed = best
-        if len(placed) < 2:
+        orders = self._candidate_orders(devices)
+        evaluated = [self._evaluate(order, weights, groups) for order in orders]
+        best = min(evaluated, key=lambda c: c[0])
+        chosen = best
+        energy_preferred = False
+        if self.energy_model is not None and max_seconds is not None:
+            # Narrower placements: prefixes of the interleaved order use
+            # fewer devices (fewer active draws, fewer transfers) at a
+            # higher makespan — exactly the latency-for-energy trade.
+            base = orders[0]
+            for k in sorted({1, len(base) // 2}):
+                if 0 < k < len(base):
+                    evaluated.append(self._evaluate(base[:k], weights, groups))
+            feasible = [c for c in evaluated if c[0] <= max_seconds]
+            if feasible:
+                pick = min(feasible, key=lambda c: (c[1], len(c[2]), c[0]))
+                if pick is not best:
+                    energy_preferred = True
+                chosen = pick
+        makespan, energy, placed = chosen
+        if len(placed) < 2 and not energy_preferred:
             return None  # one device would get everything: not a shard
         group_rows = parse_group_rows(groups, result_rows)
         segments = []
@@ -211,4 +263,6 @@ class ShardPlanner:
             group_rows=group_rows,
             makespan=makespan,
             profiled=profiled,
+            energy_joules=energy,
+            energy_preferred=energy_preferred,
         )

@@ -105,3 +105,32 @@ class TestServingMetricsBounded:
         assert summary.count == 4
         assert summary.mean == pytest.approx(0.25)
         assert summary.max == pytest.approx(0.4)
+
+
+class TestP999Quantile:
+    """The sustained-load SLO gate quantile rides the same reservoir."""
+
+    def test_p999_ordered_between_p99_and_max(self):
+        summary = LatencySummary.from_samples(
+            [i * 1e-4 for i in range(10_000)]
+        )
+        assert summary.p99 <= summary.p999 <= summary.max
+        assert summary.p999 == pytest.approx(0.9999, rel=1e-3)
+
+    def test_p999_in_snapshot_dict(self):
+        summary = LatencySummary.from_samples([0.1, 0.2, 0.3])
+        assert "p999_seconds" in summary.as_dict()
+
+    def test_direct_construction_defaults_p999(self):
+        # Pre-existing call sites build LatencySummary positionally
+        # without p999; the field must default rather than break them.
+        summary = LatencySummary(count=1, mean=1.0, p50=1.0, p90=1.0,
+                                 p99=1.0, max=1.0)
+        assert summary.p999 == 0.0
+
+    def test_serving_snapshot_carries_p999(self):
+        metrics = ServingMetrics()
+        for i in range(1000):
+            metrics.record_completion(i * 1e-3)
+        snap = metrics.snapshot()
+        assert snap["latency"]["p999_seconds"] >= snap["latency"]["p99_seconds"]

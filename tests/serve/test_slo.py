@@ -1,0 +1,114 @@
+"""SLO tiers and the overload governor (hysteresis, shed ordering)."""
+
+import pytest
+
+from repro.serve.slo import (
+    OverloadController,
+    SloPolicy,
+    SloTier,
+    gold_silver_bronze,
+)
+
+
+class TestPolicy:
+    def test_canonical_ladder(self):
+        gold, silver, bronze = gold_silver_bronze()
+        assert gold.priority < silver.priority < bronze.priority
+        assert not gold.sheddable
+        assert silver.sheddable and bronze.sheddable
+
+    def test_tier_of_defaults_and_mapping(self):
+        policy = SloPolicy(tenant_tiers={"vip": "gold"})
+        assert policy.tier_of("vip").name == "gold"
+        assert policy.tier_of("anyone-else").name == "bronze"
+
+    def test_sheddable_priorities_worst_first(self):
+        assert SloPolicy().sheddable_priorities() == [2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(tiers=())
+        with pytest.raises(ValueError):
+            SloPolicy(tiers=(SloTier("a", 0), SloTier("a", 1)))
+        with pytest.raises(ValueError):
+            SloPolicy(tiers=(SloTier("a", 0), SloTier("b", 0)))
+        with pytest.raises(ValueError):
+            SloPolicy(high_watermark=0.2, low_watermark=0.5)
+        with pytest.raises(ValueError):
+            SloPolicy(default_tier="platinum")
+        with pytest.raises(ValueError):
+            SloPolicy(tenant_tiers={"x": "platinum"})
+
+
+class TestOverloadController:
+    def _ctl(self, capacity=100, **policy_kw):
+        return OverloadController(SloPolicy(**policy_kw), capacity)
+
+    def test_idle_below_high_watermark(self):
+        ctl = self._ctl()
+        assert ctl.observe(depth=50, misses=0, drained=10) == 0
+        assert ctl.shed_floor() is None
+        assert not ctl.should_shed(2, True)
+
+    def test_escalation_is_immediate_and_ordered(self):
+        """Crossing the high watermark sheds the worst tier first; deeper
+        pressure sheds the next one, never skipping ahead of gold."""
+        ctl = self._ctl()
+        assert ctl.observe(depth=65, misses=0, drained=10) == 1
+        assert ctl.shed_floor() == 2  # bronze only
+        assert ctl.should_shed(2, True)
+        assert not ctl.should_shed(1, True)
+        assert ctl.observe(depth=95, misses=0, drained=10) == 2
+        assert ctl.shed_floor() == 1  # bronze + silver
+        assert ctl.should_shed(1, True)
+        # gold (priority 0, unsheddable) is never shed at any level
+        assert not ctl.should_shed(0, False)
+
+    def test_release_needs_low_watermark_and_calm_ewma(self):
+        ctl = self._ctl()
+        ctl.observe(depth=95, misses=0, drained=10)
+        assert ctl.level == 2
+        # Between the watermarks: hold (hysteresis, no flapping).
+        assert ctl.observe(depth=50, misses=0, drained=10) == 2
+        # Under the low watermark: release one step per calm turn.
+        assert ctl.observe(depth=10, misses=0, drained=10) == 1
+        assert ctl.observe(depth=10, misses=0, drained=10) == 0
+
+    def test_miss_ewma_triggers_slow_death_shedding(self):
+        """A shallow queue with persistent deadline misses still engages
+        the first shed level."""
+        ctl = self._ctl()
+        level = 0
+        for _ in range(8):
+            level = ctl.observe(depth=5, misses=8, drained=8)
+        assert level >= 1
+        assert ctl.should_shed(2, True)
+
+    def test_ewma_blocks_release_until_decayed(self):
+        ctl = self._ctl()
+        for _ in range(8):
+            ctl.observe(depth=5, misses=8, drained=8)
+        assert ctl.level == 1
+        # Queue empty but misses keep coming: stay shed.
+        assert ctl.observe(depth=0, misses=8, drained=8) == 1
+        # Calm turns decay the EWMA below threshold/2, then release.
+        for _ in range(30):
+            ctl.observe(depth=0, misses=0, drained=8)
+        assert ctl.level == 0
+
+    def test_escalations_counter(self):
+        ctl = self._ctl()
+        ctl.observe(depth=95, misses=0, drained=10)
+        assert ctl.escalations == 2
+        ctl.observe(depth=10, misses=0, drained=10)
+        ctl.observe(depth=95, misses=0, drained=10)
+        assert ctl.escalations == 3
+
+    def test_snapshot_shape(self):
+        ctl = self._ctl()
+        snap = ctl.snapshot()
+        assert set(snap) == {"level", "miss_ewma", "escalations", "shed_floor"}
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            OverloadController(SloPolicy(), 0)

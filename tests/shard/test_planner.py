@@ -281,3 +281,71 @@ class TestShardPlanner:
             len(entry) == 3 and all(isinstance(v, int) for v in entry)
             for entry in payload
         )
+
+
+class TestEnergyAwarePlanning:
+    """§8.1 energy priced into placement: latency headroom buys joules."""
+
+    def test_default_planner_reports_no_energy(self):
+        platform = Platform()
+        _, groups = lower_gemm()
+        plan = ShardPlanner(platform).plan(groups)
+        assert plan.energy_joules == 0.0
+        assert not plan.energy_preferred
+
+    def test_energy_aware_without_budget_keeps_min_makespan(self):
+        # No deadline slack offered: selection must stay exactly the
+        # pre-energy behaviour, just with the joules figure attached.
+        platform = Platform()
+        _, groups = lower_gemm()
+        baseline = ShardPlanner(platform).plan(groups)
+        priced = ShardPlanner(platform, energy_aware=True).plan(groups)
+        assert priced is not None
+        assert priced.describe() == baseline.describe()
+        assert priced.energy_joules > 0.0
+        assert not priced.energy_preferred
+
+    def test_generous_budget_buys_a_narrower_placement(self):
+        # With ample slack the planner should trade speed for joules:
+        # fewer active devices, higher makespan, lower energy.
+        platform = Platform()
+        _, groups = lower_gemm()
+        planner = ShardPlanner(platform, energy_aware=True)
+        fast = planner.plan(groups)
+        frugal = planner.plan(groups, max_seconds=fast.makespan * 100)
+        assert frugal is not None
+        assert frugal.energy_preferred
+        assert len(frugal.devices) < len(fast.devices)
+        assert frugal.energy_joules <= fast.energy_joules
+        assert frugal.makespan <= fast.makespan * 100
+
+    def test_tight_budget_keeps_the_fast_placement(self):
+        # Slack below the fastest candidate: nothing is feasible, so the
+        # planner must not degrade latency chasing energy.
+        platform = Platform()
+        _, groups = lower_gemm()
+        planner = ShardPlanner(platform, energy_aware=True)
+        fast = planner.plan(groups)
+        tight = planner.plan(groups, max_seconds=fast.makespan * 0.01)
+        assert tight is not None
+        assert tight.describe() == fast.describe()
+        assert not tight.energy_preferred
+
+    def test_energy_matches_cost_model_pricing(self):
+        # The plan's joules must equal the cost model's active-power
+        # integral over its own placement (no hidden idle term).
+        platform = Platform()
+        from repro.host.energy import EnergyModel
+
+        energy_model = EnergyModel(platform.config)
+        _, groups = lower_gemm()
+        planner = ShardPlanner(platform, energy_aware=True)
+        plan = planner.plan(groups)
+        expected = planner.cost.placement_energy_joules(
+            (
+                (seg.device, list(groups[seg.start:seg.stop]))
+                for seg in plan.segments
+            ),
+            lambda d: energy_model.active_power_watts(f"tpu{d}"),
+        )
+        assert plan.energy_joules == pytest.approx(expected)
